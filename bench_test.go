@@ -1,0 +1,461 @@
+// Benchmarks regenerating the paper's evaluation (IPPS'07 §4): one
+// benchmark per table/figure. Each iteration runs the full experiment
+// in virtual time and reports the paper's metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the evaluation end to end.
+//
+// The full-resolution sweeps live in cmd/medbench and cmd/medapps;
+// benchmarks here use representative points so the whole suite stays in
+// the minutes range.
+package multiedge_test
+
+import (
+	"fmt"
+	"testing"
+
+	"multiedge/internal/apps"
+	"multiedge/internal/bench"
+	"multiedge/internal/cluster"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+)
+
+// --- Figure 2(a): latency -------------------------------------------------
+
+func benchLatency(b *testing.B, cfg cluster.Config, size int) {
+	b.Helper()
+	var r bench.MicroResult
+	for i := 0; i < b.N; i++ {
+		r = bench.RunPingPong(cfg, size)
+	}
+	b.ReportMetric(r.LatencyUs, "us_oneway")
+}
+
+func BenchmarkFig2Latency(b *testing.B) {
+	for _, cfg := range bench.Configs() {
+		for _, size := range []int{4, 4096} {
+			cfg, size := cfg, size
+			b.Run(fmt.Sprintf("%s/%dB", cfg.Name, size), func(b *testing.B) {
+				benchLatency(b, cfg, size)
+			})
+		}
+	}
+}
+
+// --- Figure 2(b): throughput ----------------------------------------------
+
+func BenchmarkFig2Throughput(b *testing.B) {
+	for _, cfg := range bench.Configs() {
+		for _, bm := range bench.Benchmarks {
+			cfg, bm := cfg, bm
+			b.Run(fmt.Sprintf("%s/%s/256KiB", cfg.Name, bm), func(b *testing.B) {
+				var r bench.MicroResult
+				for i := 0; i < b.N; i++ {
+					r = bench.RunMicro(bm, cfg, 262144)
+				}
+				b.ReportMetric(r.ThroughputMBs, "MB/s")
+			})
+		}
+	}
+}
+
+// --- Figure 2(c): protocol CPU utilization --------------------------------
+
+func BenchmarkFig2CPU(b *testing.B) {
+	for _, cfg := range bench.Configs() {
+		for _, bm := range bench.Benchmarks {
+			cfg, bm := cfg, bm
+			b.Run(fmt.Sprintf("%s/%s", cfg.Name, bm), func(b *testing.B) {
+				var r bench.MicroResult
+				for i := 0; i < b.N; i++ {
+					r = bench.RunMicro(bm, cfg, 65536)
+				}
+				b.ReportMetric(r.CPUPct, "pct_of_200")
+			})
+		}
+	}
+}
+
+// --- §4 network statistics -------------------------------------------------
+
+func BenchmarkNetStatsOOO(b *testing.B) {
+	for _, cfg := range bench.Configs() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 262144)
+			}
+			b.ReportMetric(r.Net.Proto.OOOFraction()*100, "ooo_pct")
+			b.ReportMetric(r.Net.Proto.ExtraTrafficFraction()*100, "extra_pct")
+		})
+	}
+}
+
+// BenchmarkAblationLinkFailure measures graceful degradation when one
+// of two 1-GbE rails is hard-failed 2 ms into an 8 MiB transfer, with
+// and without the sender's dead-link detection, and with the rail
+// repaired mid-run (results/ablations.txt "hard link failure" section).
+func BenchmarkAblationLinkFailure(b *testing.B) {
+	cases := []struct {
+		name     string
+		detect   bool
+		repairAt sim.Time
+	}{
+		{"detect", true, 0},
+		{"no-detect", false, 0},
+		{"repaired", true, 30 * sim.Millisecond},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var r bench.LinkFailureResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunLinkFailure(c.detect, 8<<20, 2*sim.Millisecond, c.repairAt)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+			b.ReportMetric(float64(r.FailDrops), "burned_frames")
+		})
+	}
+}
+
+// --- Table 1: sequential applications ---------------------------------------
+
+func BenchmarkTable1Apps(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var res apps.Result
+			for i := 0; i < b.N; i++ {
+				res = bench.RunApp(cluster.OneLink1G(1), name, apps.SizeTest)
+			}
+			b.ReportMetric(res.Elapsed.Seconds()*1e3, "virt_ms")
+		})
+	}
+}
+
+// --- Figures 3-6: applications over GeNIMA ----------------------------------
+
+func benchAppFigure(b *testing.B, cfg cluster.Config) {
+	b.Helper()
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var seq, par apps.Result
+			for i := 0; i < b.N; i++ {
+				seq = bench.RunApp(cluster.OneLink1G(1), name, apps.SizeSmall)
+				par = bench.RunApp(cfg, name, apps.SizeSmall)
+			}
+			b.ReportMetric(apps.Speedup(seq.Elapsed, par.Elapsed), "speedup")
+			b.ReportMetric(par.ProtoCPUFrac*100, "proto_cpu_pct")
+			b.ReportMetric(par.Net.Proto.OOOFraction()*100, "ooo_pct")
+		})
+	}
+}
+
+func BenchmarkFig3Apps1L1G(b *testing.B)  { benchAppFigure(b, cluster.OneLink1G(8)) }
+func BenchmarkFig4Apps1L10G(b *testing.B) { benchAppFigure(b, cluster.OneLink10G(4)) }
+func BenchmarkFig5Apps2L1G(b *testing.B)  { benchAppFigure(b, cluster.TwoLink1G(8)) }
+func BenchmarkFig6Apps2Lu1G(b *testing.B) { benchAppFigure(b, cluster.TwoLinkUnordered1G(8)) }
+
+// --- Ablations ---------------------------------------------------------------
+
+func BenchmarkAblationStriping(b *testing.B) {
+	for _, byteStripe := range []bool{false, true} {
+		byteStripe := byteStripe
+		name := "frame"
+		if byteStripe {
+			name = "byte"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.TwoLinkUnordered1G(2)
+			cfg.Core.ByteStripe = byteStripe
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 262144)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+		})
+	}
+}
+
+func BenchmarkAblationARQ(b *testing.B) {
+	for _, gbn := range []bool{false, true} {
+		gbn := gbn
+		name := "selective-repeat"
+		if gbn {
+			name = "go-back-n"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.TwoLinkUnordered1G(2)
+			cfg.Core.GoBackN = gbn
+			cfg.Link.LossProb = 0.002
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 262144)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+			b.ReportMetric(float64(r.Net.Proto.Retransmissions), "retrans")
+		})
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, w := range []int{16, 64, 256} {
+		w := w
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			cfg := cluster.OneLink10G(2)
+			cfg.Core.Window = w
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 262144)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+		})
+	}
+}
+
+func BenchmarkAblationDelayedAck(b *testing.B) {
+	for _, a := range []int{1, 8, 32} {
+		a := a
+		b.Run(fmt.Sprintf("ackEvery%d", a), func(b *testing.B) {
+			cfg := cluster.OneLink1G(2)
+			cfg.Core.AckEvery = a
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 262144)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+			b.ReportMetric(r.Net.Proto.ExtraTrafficFraction()*100, "extra_pct")
+		})
+	}
+}
+
+// --- Message-passing layer (the paper's §1 second application domain) ---
+
+func BenchmarkMsgPingPong(b *testing.B) {
+	for _, size := range []int{8, 4096, 262144} {
+		size := size
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			var r bench.MsgResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunMsgPingPong(cluster.OneLink1G(2), size, 20)
+			}
+			b.ReportMetric(r.LatencyUs, "us_rtt/2")
+			b.ReportMetric(r.BWMBs, "MB/s")
+		})
+	}
+}
+
+func BenchmarkMsgCollectives(b *testing.B) {
+	for _, name := range []string{"barrier", "bcast", "allreduce", "alltoall"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var r bench.MsgResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunCollective(name, 8, 1024, 10)
+			}
+			b.ReportMetric(r.LatencyUs, "us_op")
+		})
+	}
+}
+
+// --- Future work (IPPS'07 §6) ---
+
+func BenchmarkFutureOffload(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		off := off
+		name := "edge"
+		if off {
+			name = "offload"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.OneLink10G(2)
+			if off {
+				cfg = cluster.OneLink10GOffload(2)
+			}
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 1<<20)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+			b.ReportMetric(r.CPUPct, "host_cpu_pct")
+		})
+	}
+}
+
+func BenchmarkFutureTreeFabric(b *testing.B) {
+	b.Run("cross-core", func(b *testing.B) {
+		var mbs float64
+		for i := 0; i < b.N; i++ {
+			mbs = bench.RunTreeCrossPair(1 << 19)
+		}
+		b.ReportMetric(mbs, "MB/s")
+	})
+}
+
+// --- DSM primitives --------------------------------------------------------
+
+func BenchmarkDSMPrimitives(b *testing.B) {
+	b.Run("page-fetch", func(b *testing.B) {
+		var r bench.DSMResult
+		for i := 0; i < b.N; i++ {
+			r = bench.RunPageFetch(cluster.OneLink1G(2))
+		}
+		b.ReportMetric(r.LatencyUs, "us")
+	})
+	b.Run("lock-handoff", func(b *testing.B) {
+		var r bench.DSMResult
+		for i := 0; i < b.N; i++ {
+			r = bench.RunLockHandoff(cluster.OneLink1G(3))
+		}
+		b.ReportMetric(r.LatencyUs, "us")
+	})
+	b.Run("barrier-16", func(b *testing.B) {
+		var r bench.DSMResult
+		for i := 0; i < b.N; i++ {
+			r = bench.RunDSMBarrier(cluster.OneLink1G(16), 16)
+		}
+		b.ReportMetric(r.LatencyUs, "us")
+	})
+}
+
+// --- Transport comparison (§5 related work) --------------------------------
+
+func BenchmarkTransportComparison(b *testing.B) {
+	b.Run("multiedge-10G", func(b *testing.B) {
+		var r bench.MicroResult
+		for i := 0; i < b.N; i++ {
+			r = bench.RunOneWay(cluster.OneLink10G(2), 1<<20)
+		}
+		b.ReportMetric(r.ThroughputMBs, "MB/s")
+		b.ReportMetric(r.CPUPct, "cpu_pct")
+	})
+	b.Run("tcp-10G", func(b *testing.B) {
+		var r bench.TCPResult
+		for i := 0; i < b.N; i++ {
+			r = bench.RunTCPOneWay(phys.TenGigabit(), phys.Myri10GNICParams(), 24<<20)
+		}
+		b.ReportMetric(r.ThroughputMBs, "MB/s")
+		b.ReportMetric(r.CPUPct, "cpu_pct")
+	})
+}
+
+// BenchmarkEdgeScaling sweeps the number of 1-GbE rails (the §1 design
+// goal: link bandwidth scales with the number of links; the paper
+// measures up to two, results/ablations.txt extends to four).
+func BenchmarkEdgeScaling(b *testing.B) {
+	for rails := 1; rails <= 4; rails++ {
+		rails := rails
+		b.Run(fmt.Sprintf("%dL", rails), func(b *testing.B) {
+			cfg := cluster.TwoLinkUnordered1G(2)
+			cfg.LinksPerNode = rails
+			cfg.Name = "xL-1G"
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 1<<20)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+			b.ReportMetric(r.Net.Proto.OOOFraction()*100, "ooo_pct")
+		})
+	}
+}
+
+// BenchmarkBlockStore measures the storage domain (4 KiB random I/O
+// against a passive one-sided volume; results/blockstore.txt).
+func BenchmarkBlockStore(b *testing.B) {
+	cases := []struct {
+		name    string
+		cfg     cluster.Config
+		clients int
+	}{
+		{"1G-1client", cluster.OneLink1G(0), 1},
+		{"10G-1client", cluster.OneLink10G(0), 1},
+		{"2Lu-8clients", cluster.TwoLinkUnordered1G(0), 8},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var r bench.BlkResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunBlk(c.cfg, c.clients, 4096, 150)
+			}
+			b.ReportMetric(r.ReadIOPS, "read_iops")
+			b.ReportMetric(r.WriteLatUs, "write_us")
+		})
+	}
+}
+
+// BenchmarkLatencyTail reports round-trip latency percentiles
+// (results/latency.txt): the mean-only Figure 2(a) hides the RTO-scale
+// repair tail that appears under loss.
+func BenchmarkLatencyTail(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"1L-1G", cluster.OneLink1G(2)},
+		{"2Lu-1G-loss", func() cluster.Config {
+			c := cluster.TwoLinkUnordered1G(2)
+			c.Link.LossProb = 0.005
+			return c
+		}()},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var p50, p99 float64
+			for i := 0; i < b.N; i++ {
+				r := bench.RunLatencyDist(c.cfg, 64, 1000)
+				p50, p99 = r.Percentile(50).Micros(), r.Percentile(99).Micros()
+			}
+			b.ReportMetric(p50, "p50_us")
+			b.ReportMetric(p99, "p99_us")
+		})
+	}
+}
+
+// BenchmarkHybridRails measures heterogeneous-rail striping (1-GbE +
+// 10-GbE, results/ablations.txt "heterogeneous rails" section):
+// round-robin is paced by the slow rail; least-backlog striping
+// approaches the combined rate.
+func BenchmarkHybridRails(b *testing.B) {
+	for _, adaptive := range []bool{true, false} {
+		adaptive := adaptive
+		name := "adaptive"
+		if !adaptive {
+			name = "round-robin"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.HybridRails(2)
+			cfg.Core.AdaptiveStripe = adaptive
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 1<<20)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationInterruptAvoidance measures the paper's §2.6 masked
+// polling against per-frame receive interrupts (results/ablations.txt
+// "interrupt avoidance" section): decisive at 10-GbE, irrelevant at
+// 1-GbE where the thread sleeps between frames anyway.
+func BenchmarkAblationInterruptAvoidance(b *testing.B) {
+	for _, rx := range []bool{false, true} {
+		rx := rx
+		name := "masked-polling"
+		if rx {
+			name = "per-frame-interrupts"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.OneLink10G(2)
+			cfg.NIC.RxIntrUnmaskable = rx
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunOneWay(cfg, 1<<20)
+			}
+			b.ReportMetric(r.ThroughputMBs, "MB/s")
+		})
+	}
+}

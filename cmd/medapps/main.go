@@ -1,0 +1,97 @@
+// Command medapps runs the paper's application experiments: the eight
+// SPLASH-2 programs over GeNIMA-style shared memory on the four
+// MultiEdge cluster configurations (IPPS'07 Figures 3-6 and Table 1).
+//
+// Usage:
+//
+//	medapps -table1             # sequential times and footprints
+//	medapps -fig 3              # 1L-1G speedups and breakdowns (1..16 nodes)
+//	medapps -fig 4              # 1L-10G (1..4 nodes)
+//	medapps -fig 5              # 2L-1G, strictly ordered (16 nodes)
+//	medapps -fig 6              # 2Lu-1G, out-of-order delivery (16 nodes)
+//	medapps -one FFT -nodes 16 -config 1L-1G
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiedge/internal/apps"
+	"multiedge/internal/bench"
+	"multiedge/internal/cluster"
+)
+
+func main() {
+	fig := flag.String("fig", "", "application figure to regenerate: 3, 4, 5 or 6")
+	table1 := flag.Bool("table1", false, "measure Table 1 (sequential times, footprints)")
+	scaling := flag.Bool("scaling", false, "run the 8/16/32-node flat-vs-tree scaling experiment")
+	one := flag.String("one", "", "run a single application")
+	nodes := flag.Int("nodes", 16, "node count for -one")
+	config := flag.String("config", "1L-1G", "configuration for -one")
+	sizeFlag := flag.String("size", "small", "problem scale: test, small or full")
+	flag.Parse()
+
+	size := apps.SizeSmall
+	switch *sizeFlag {
+	case "test":
+		size = apps.SizeTest
+	case "full":
+		size = apps.SizeFull
+	case "small":
+	default:
+		fmt.Fprintf(os.Stderr, "medapps: unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	switch {
+	case *table1:
+		fmt.Print(bench.RenderTable1(bench.RunTable1(size)))
+	case *scaling:
+		fmt.Print(bench.RenderScaling(bench.RunScaling(size)))
+	case *fig != "":
+		for _, spec := range bench.AppFigures() {
+			if spec.Figure != *fig {
+				continue
+			}
+			pts := bench.RunFigure(spec, size)
+			fmt.Print(bench.RenderAppFigure(spec, pts))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "medapps: unknown figure %q\n", *fig)
+		os.Exit(2)
+	case *one != "":
+		cfg, ok := configByName(*config, *nodes)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "medapps: unknown configuration %q\n", *config)
+			os.Exit(2)
+		}
+		res := bench.RunApp(cfg, *one, size)
+		bd := res.MeanBreakdown()
+		fmt.Printf("%s on %d nodes (%s): %v\n", res.Name, res.Nodes, res.Config, res.Elapsed)
+		fmt.Printf("  breakdown: compute %v  data %v  lock %v  barrier %v  overhead %v\n",
+			bd.Compute, bd.Data, bd.Lock, bd.Barrier, bd.Overhead)
+		fmt.Printf("  dsm: fetches %d  diff ops %d  diff msgs %d  locks %d  barriers %d\n",
+			res.DSM.Fetches, res.DSM.DiffOps, res.DSM.DiffMsgs, res.DSM.LockAcquires, res.DSM.Barriers)
+		fmt.Printf("  net: ooo %.1f%%  extra %.2f%%  protocol CPU %.1f%%\n",
+			res.Net.Proto.OOOFraction()*100, res.Net.Proto.ExtraTrafficFraction()*100,
+			res.ProtoCPUFrac*100)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func configByName(name string, nodes int) (cluster.Config, bool) {
+	switch name {
+	case "1L-1G":
+		return cluster.OneLink1G(nodes), true
+	case "2L-1G":
+		return cluster.TwoLink1G(nodes), true
+	case "2Lu-1G":
+		return cluster.TwoLinkUnordered1G(nodes), true
+	case "1L-10G":
+		return cluster.OneLink10G(nodes), true
+	}
+	return cluster.Config{}, false
+}

@@ -1,0 +1,98 @@
+// Command medbench runs the MultiEdge micro-benchmarks of IPPS'07
+// Figure 2 (ping-pong, one-way, two-way over the four cluster
+// configurations), the §4 network-level statistics, and the design
+// ablations.
+//
+// Usage:
+//
+//	medbench -fig 2a        # latency panel
+//	medbench -fig 2b        # throughput panel
+//	medbench -fig 2c        # CPU utilization panel
+//	medbench -netstats      # out-of-order / extra-traffic statistics
+//	medbench -ablate        # striping, ARQ, window and delayed-ack sweeps
+//	medbench -one ping-pong -config 1L-10G -size 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiedge/internal/bench"
+	"multiedge/internal/cluster"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure panel to regenerate: 2a, 2b or 2c")
+	netstats := flag.Bool("netstats", false, "print network-level statistics")
+	ablate := flag.Bool("ablate", false, "run design ablations")
+	msgFlag := flag.Bool("msg", false, "run the message-passing layer benchmarks")
+	dsmFlag := flag.Bool("dsm", false, "run the DSM primitive benchmarks")
+	tcpFlag := flag.Bool("tcp", false, "compare MultiEdge against the TCP-like baseline")
+	blkFlag := flag.Bool("blk", false, "run the block-storage domain benchmarks")
+	latFlag := flag.Bool("lat", false, "print round-trip latency percentile tables")
+	one := flag.String("one", "", "run a single micro-benchmark: ping-pong, one-way or two-way")
+	config := flag.String("config", "1L-1G", "configuration for -one: 1L-1G, 2L-1G, 2Lu-1G or 1L-10G")
+	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
+	quick := flag.Bool("quick", false, "sweep fewer sizes")
+	doTrace := flag.Bool("trace", false, "with -one: print a frame-level trace summary and timeline")
+	flag.Parse()
+
+	sizes := bench.Sizes
+	if *quick {
+		sizes = []int{4, 1024, 16384, 262144, 1048576}
+	}
+	switch {
+	case *fig == "2a" || *fig == "2b" || *fig == "2c":
+		fmt.Print(bench.RenderFig2((*fig)[1:], sizes))
+	case *netstats:
+		fmt.Print(bench.RenderNetStats(*size))
+	case *msgFlag:
+		fmt.Print(bench.RenderMessaging())
+	case *dsmFlag:
+		fmt.Print(bench.RenderDSM())
+	case *tcpFlag:
+		fmt.Print(bench.RenderTransportComparison())
+	case *blkFlag:
+		ios := 300
+		if *quick {
+			ios = 100
+		}
+		fmt.Print(bench.RenderBlockStore(ios))
+	case *latFlag:
+		count := 2000
+		if *quick {
+			count = 400
+		}
+		fmt.Print(bench.RenderLatencyDist(count))
+	case *ablate:
+		fmt.Print(bench.RenderAblation(*size))
+	case *one != "":
+		cfg, ok := configByName(*config)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "medbench: unknown configuration %q\n", *config)
+			os.Exit(2)
+		}
+		if *doTrace {
+			fmt.Print(bench.RunTracedOneWay(cfg, *size))
+			return
+		}
+		r := bench.RunMicro(*one, cfg, *size)
+		fmt.Println(r.String())
+		fmt.Printf("  net: ooo %.1f%%  extra %.2f%%  acks %d  nacks %d  retrans %d\n",
+			r.Net.Proto.OOOFraction()*100, r.Net.Proto.ExtraTrafficFraction()*100,
+			r.Net.Proto.CtrlAcksSent, r.Net.Proto.CtrlNacksSent, r.Net.Proto.Retransmissions)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func configByName(name string) (cluster.Config, bool) {
+	for _, cfg := range bench.Configs() {
+		if cfg.Name == name {
+			return cfg, true
+		}
+	}
+	return cluster.Config{}, false
+}

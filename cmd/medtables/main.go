@@ -1,0 +1,91 @@
+// Command medtables regenerates every table and figure of the paper's
+// evaluation in one run: Table 1, Figure 2 (a, b, c), the §4 network
+// statistics, Figures 3-6, the design ablations, the future-work
+// experiments and the transport/messaging/DSM benchmarks. Output goes
+// to stdout; with -out DIR each artifact is also written to its own
+// file; with -check DIR each regenerated artifact is compared
+// byte-for-byte against the committed one (the simulation is
+// deterministic, so any difference is a regression).
+//
+// A full run simulates tens of cluster configurations and takes a few
+// minutes; -quick trims the sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"multiedge/internal/apps"
+	"multiedge/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to also write per-artifact files to")
+	check := flag.String("check", "", "directory of committed artifacts to verify against")
+	quick := flag.Bool("quick", false, "trim sweeps (fewer sizes, test-scale apps)")
+	flag.Parse()
+
+	sizes := bench.Sizes
+	appSize := apps.SizeSmall
+	if *quick {
+		sizes = []int{4, 4096, 262144, 1048576}
+		appSize = apps.SizeTest
+	}
+
+	failures := 0
+	emit := func(name, content string) {
+		if *check != "" {
+			want, err := os.ReadFile(filepath.Join(*check, name+".txt"))
+			if err != nil {
+				fmt.Printf("CHECK %-12s MISSING (%v)\n", name, err)
+				failures++
+			} else if string(want) != content {
+				fmt.Printf("CHECK %-12s DIFFERS from committed artifact\n", name)
+				failures++
+			} else {
+				fmt.Printf("CHECK %-12s ok\n", name)
+			}
+			return
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, content)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "medtables:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, name+".txt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "medtables:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	emit("table1", bench.RenderTable1(bench.RunTable1(appSize)))
+	emit("fig2a", bench.RenderFig2("a", sizes))
+	emit("fig2b", bench.RenderFig2("b", sizes))
+	emit("fig2c", bench.RenderFig2("c", sizes))
+	emit("netstats", bench.RenderNetStats(262144))
+	for _, spec := range bench.AppFigures() {
+		pts := bench.RunFigure(spec, appSize)
+		emit("fig"+spec.Figure, bench.RenderAppFigure(spec, pts))
+	}
+	emit("ablations", bench.RenderAblation(262144))
+	emit("messaging", bench.RenderMessaging())
+	emit("dsmprims", bench.RenderDSM())
+	emit("tcpcompare", bench.RenderTransportComparison())
+	emit("blockstore", bench.RenderBlockStore(300))
+	emit("latency", bench.RenderLatencyDist(2000))
+	if !*quick {
+		emit("scaling", bench.RenderScaling(bench.RunScaling(appSize)))
+	}
+	if *check != "" {
+		if failures > 0 {
+			fmt.Printf("medtables: %d artifacts differ\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("medtables: all artifacts reproduce byte-identically")
+	}
+}

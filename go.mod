@@ -1,0 +1,3 @@
+module multiedge
+
+go 1.22

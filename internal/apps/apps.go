@@ -1,0 +1,176 @@
+// Package apps implements the eight SPLASH-2 applications the paper
+// runs on GeNIMA (IPPS'07 Table 1): Barnes(-Spatial), FFT, LU, Radix,
+// Raytrace, Water-Nsquared, Water-Spatial and Water-SpatialFL.
+//
+// Each application performs its real computation on real shared data
+// through the DSM (results are verified against sequential references in
+// the tests) and charges calibrated virtual compute time per unit of
+// work, so that the compute/communication regime — and therefore the
+// speedup shape the paper reports — is preserved at the reduced problem
+// sizes documented in EXPERIMENTS.md.
+package apps
+
+import (
+	"fmt"
+
+	"multiedge/internal/cluster"
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// App is one benchmark application instance, sized and with its shared
+// data allocated. Build one with a New* constructor, initialize with
+// Init, run with Run, and check with Verify.
+type App interface {
+	// Name returns the Table-1 application name.
+	Name() string
+	// Init seeds shared memory (out of band, like SPLASH-2's untimed
+	// initialization phase).
+	Init(sys *dsm.System)
+	// Node is the per-node application body.
+	Node(p *sim.Proc, in *dsm.Instance)
+	// Verify checks the result against a sequential reference after the
+	// run; it returns a description of the first mismatch, or "" if
+	// correct.
+	Verify(sys *dsm.System) string
+	// SharedBytes reports how much shared memory the instance needs.
+	SharedBytes() int
+}
+
+// Result summarizes one application run.
+type Result struct {
+	Name    string
+	Config  string
+	Nodes   int
+	Elapsed sim.Time
+	Bd      []dsm.Breakdown // per node
+	DSM     dsm.Stats       // aggregated
+	Net     cluster.NetReport
+	// ProtoCPUFrac is the protocol CPU time (both CPUs' protocol
+	// shares) as a fraction of nodes x elapsed.
+	ProtoCPUFrac float64
+}
+
+// MeanBreakdown averages the per-node breakdowns.
+func (r Result) MeanBreakdown() dsm.Breakdown {
+	var b dsm.Breakdown
+	for _, x := range r.Bd {
+		b.Add(x)
+	}
+	n := sim.Time(len(r.Bd))
+	if n == 0 {
+		return b
+	}
+	return dsm.Breakdown{
+		Compute: b.Compute / n, Data: b.Data / n, Lock: b.Lock / n,
+		Barrier: b.Barrier / n, Overhead: b.Overhead / n,
+	}
+}
+
+// Run executes the application on a freshly built DSM over the given
+// cluster configuration and returns the measurement plus the DSM (so
+// callers can run the application's Verify against it). The cluster's
+// MemBytes is adjusted to fit the application automatically.
+func Run(cfg cluster.Config, app App) (Result, *dsm.System) {
+	shared := app.SharedBytes()
+	if shared%dsm.PageSize != 0 {
+		shared += dsm.PageSize - shared%dsm.PageSize
+	}
+	// Shared mirror + message areas + slack.
+	cfg.Core.MemBytes = shared + shared/2 + (8 << 20)
+	cl := cluster.New(cfg)
+	conns := cl.FullMesh()
+	sys := dsm.New(cl, conns, dsm.Config{SharedBytes: shared})
+	app.Init(sys)
+
+	prev := cl.Collect()
+	protoSnaps := make([]sim.Utilization, len(cl.Nodes))
+	appSnaps := make([]sim.Utilization, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		protoSnaps[i] = n.CPUs.Proto.Snapshot(cl.Env)
+		appSnaps[i] = n.CPUs.App.Snapshot(cl.Env)
+	}
+	start := cl.Env.Now()
+	var end sim.Time
+	done := 0
+	for _, in := range sys.Insts {
+		in := in
+		cl.Env.Go(fmt.Sprintf("%s-%d", app.Name(), in.Node()), func(p *sim.Proc) {
+			app.Node(p, in)
+			done++
+			if t := cl.Env.Now(); t > end {
+				end = t
+			}
+		})
+	}
+	cl.Env.Run()
+	if done != len(sys.Insts) {
+		panic(fmt.Sprintf("apps: %s finished on %d/%d nodes (deadlock?)", app.Name(), done, len(sys.Insts)))
+	}
+	r := Result{
+		Name: app.Name(), Config: cfg.Name, Nodes: cfg.Nodes,
+		Elapsed: end - start,
+		Net:     cl.Collect().Sub(prev),
+	}
+	var protoTime sim.Time
+	for i, in := range sys.Insts {
+		r.Bd = append(r.Bd, in.B)
+		r.DSM.Add(in.Stats)
+		protoTime += cl.Nodes[i].CPUs.Proto.BusyTime() - protoSnaps[i].Busy
+	}
+	protoTime += r.Net.Proto.AppProtoTime
+	if r.Elapsed > 0 {
+		r.ProtoCPUFrac = float64(protoTime) / float64(int64(r.Elapsed)*int64(cfg.Nodes))
+	}
+	return r, sys
+}
+
+// Speedup computes t1/tp.
+func Speedup(seq, par sim.Time) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}
+
+// splitRange divides [0, n) into nearly equal chunks and returns the
+// half-open slice owned by node `id` of `of`.
+func splitRange(n, id, of int) (lo, hi int) {
+	base := n / of
+	rem := n % of
+	lo = id*base + min(id, rem)
+	hi = lo + base
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rng is a small deterministic generator for app data (xorshift64),
+// independent of math/rand so application inputs never perturb the
+// simulator's random stream.
+type rng uint64
+
+func newRng(seed uint64) *rng {
+	r := rng(seed*2685821657736338717 + 1)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }

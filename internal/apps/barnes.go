@@ -1,0 +1,300 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// Barnes is the SPLASH-2 Barnes-Hut N-body application ("Barnes-Spatial"
+// in the paper's Table 1): an octree-based gravitational simulation.
+// Every step each node reads the full body array, builds the octree
+// locally, computes forces for its own bodies (the dominant, perfectly
+// parallel work) and integrates them. Compute dominates communication,
+// which is why the paper places Barnes in its well-scaling category
+// (speedups 13-14 on 16 nodes).
+type Barnes struct {
+	n, steps int
+	theta    float64
+	dt       float64
+	bodies   uint64 // shared: x,y,z,mass per body (32 B)
+	vel      []vec3 // owner-private velocities
+	init     []vec3
+	mass     []float64
+
+	cBuild sim.Time // per body inserted into the tree
+	cForce sim.Time // per body-cell interaction
+}
+
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) add(b vec3) vec3      { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+func (a vec3) sub(b vec3) vec3      { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) scale(s float64) vec3 { return vec3{a.x * s, a.y * s, a.z * s} }
+func (a vec3) norm2() float64       { return a.x*a.x + a.y*a.y + a.z*a.z }
+
+// NewBarnes sizes the simulation for n bodies and the given step count.
+func NewBarnes(n, steps int) *Barnes {
+	b := &Barnes{
+		n: n, steps: steps, theta: 0.6, dt: 0.005,
+		vel:    make([]vec3, n),
+		cBuild: 140 * sim.Nanosecond,
+		cForce: 220 * sim.Nanosecond,
+	}
+	return b
+}
+
+// Name implements App.
+func (b *Barnes) Name() string { return "Barnes" }
+
+// SharedBytes implements App.
+func (b *Barnes) SharedBytes() int { return 32*b.n + 4*dsm.PageSize }
+
+// Init places bodies uniformly in the unit cube with small random
+// velocities.
+func (b *Barnes) Init(sys *dsm.System) {
+	b.bodies = sys.AllocOwned(32 * b.n)
+	r := newRng(0xBA51)
+	buf := make([]byte, 32*b.n)
+	b.init = make([]vec3, b.n)
+	b.mass = make([]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		p := vec3{r.float(), r.float(), r.float()}
+		b.init[i] = p
+		b.mass[i] = 1.0 / float64(b.n)
+		b.vel[i] = vec3{r.float() - 0.5, r.float() - 0.5, r.float() - 0.5}.scale(0.01)
+		dsm.SetF64(buf, 4*i+0, p.x)
+		dsm.SetF64(buf, 4*i+1, p.y)
+		dsm.SetF64(buf, 4*i+2, p.z)
+		dsm.SetF64(buf, 4*i+3, b.mass[i])
+	}
+	sys.WriteShared(b.bodies, buf)
+}
+
+// Node implements App.
+func (b *Barnes) Node(p *sim.Proc, in *dsm.Instance) {
+	lo, hi := splitRange(b.n, in.Node(), in.N())
+	for s := 0; s < b.steps; s++ {
+		// Read the entire body array and build the octree locally.
+		raw := in.RSlice(p, b.bodies, 32*b.n)
+		pos := make([]vec3, b.n)
+		mass := make([]float64, b.n)
+		for i := 0; i < b.n; i++ {
+			pos[i] = vec3{dsm.F64(raw, 4*i), dsm.F64(raw, 4*i+1), dsm.F64(raw, 4*i+2)}
+			mass[i] = dsm.F64(raw, 4*i+3)
+		}
+		tree := buildOctree(pos, mass)
+		in.Compute(p, sim.Time(b.n)*b.cBuild)
+		// The body array is updated in place and a node's writes to its
+		// own (home) pages are immediately visible to fetchers, so no
+		// node may start writing until every node has finished reading:
+		// SPLASH-2 Barnes has the same read/update phase barrier.
+		in.Barrier(p)
+		// Compute forces and integrate own bodies.
+		if hi > lo {
+			out := in.WSlice(p, b.bodies+uint64(32*lo), 32*(hi-lo))
+			var interactions int
+			for i := lo; i < hi; i++ {
+				acc, cnt := tree.force(pos[i], b.theta)
+				interactions += cnt
+				b.vel[i] = b.vel[i].add(acc.scale(b.dt))
+				np := pos[i].add(b.vel[i].scale(b.dt))
+				j := i - lo
+				dsm.SetF64(out, 4*j+0, np.x)
+				dsm.SetF64(out, 4*j+1, np.y)
+				dsm.SetF64(out, 4*j+2, np.z)
+				dsm.SetF64(out, 4*j+3, mass[i])
+			}
+			in.Compute(p, sim.Time(interactions)*b.cForce)
+		}
+		in.Barrier(p)
+	}
+}
+
+// Verify reruns the identical algorithm sequentially from the saved
+// initial conditions and requires bit-identical final positions (the
+// parallel run computes each body's force with the same tree and the
+// same arithmetic order).
+func (b *Barnes) Verify(sys *dsm.System) string {
+	pos := append([]vec3(nil), b.init...)
+	vel := make([]vec3, b.n)
+	r := newRng(0xBA51)
+	for i := 0; i < b.n; i++ {
+		_ = r.float()
+		_ = r.float()
+		_ = r.float()
+		vel[i] = vec3{r.float() - 0.5, r.float() - 0.5, r.float() - 0.5}.scale(0.01)
+	}
+	for s := 0; s < b.steps; s++ {
+		tree := buildOctree(pos, b.mass)
+		next := make([]vec3, b.n)
+		for i := 0; i < b.n; i++ {
+			acc, _ := tree.force(pos[i], b.theta)
+			vel[i] = vel[i].add(acc.scale(b.dt))
+			next[i] = pos[i].add(vel[i].scale(b.dt))
+		}
+		pos = next
+	}
+	out := sys.ReadShared(b.bodies, 32*b.n)
+	for i := 0; i < b.n; i++ {
+		got := vec3{dsm.F64(out, 4*i), dsm.F64(out, 4*i+1), dsm.F64(out, 4*i+2)}
+		if got != pos[i] {
+			return fmt.Sprintf("Barnes: body %d at %+v, want %+v", i, got, pos[i])
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// Octree.
+// ---------------------------------------------------------------------
+
+type octNode struct {
+	cx, cy, cz, half float64 // cube
+	body             int     // body index if leaf (-1 internal, -2 empty)
+	kids             [8]*octNode
+	mass             float64
+	comX, comY, comZ float64
+}
+
+func buildOctree(pos []vec3, mass []float64) *octNode {
+	min, max := pos[0], pos[0]
+	for _, p := range pos[1:] {
+		min.x = math.Min(min.x, p.x)
+		min.y = math.Min(min.y, p.y)
+		min.z = math.Min(min.z, p.z)
+		max.x = math.Max(max.x, p.x)
+		max.y = math.Max(max.y, p.y)
+		max.z = math.Max(max.z, p.z)
+	}
+	half := math.Max(max.x-min.x, math.Max(max.y-min.y, max.z-min.z))/2 + 1e-9
+	root := &octNode{
+		cx: (min.x + max.x) / 2, cy: (min.y + max.y) / 2, cz: (min.z + max.z) / 2,
+		half: half, body: -2,
+	}
+	for i := range pos {
+		root.insert(i, pos, mass)
+	}
+	root.summarize(pos, mass)
+	return root
+}
+
+func (o *octNode) octant(p vec3) int {
+	k := 0
+	if p.x > o.cx {
+		k |= 1
+	}
+	if p.y > o.cy {
+		k |= 2
+	}
+	if p.z > o.cz {
+		k |= 4
+	}
+	return k
+}
+
+func (o *octNode) child(k int) *octNode {
+	if o.kids[k] == nil {
+		h := o.half / 2
+		c := &octNode{cx: o.cx, cy: o.cy, cz: o.cz, half: h, body: -2}
+		if k&1 != 0 {
+			c.cx += h
+		} else {
+			c.cx -= h
+		}
+		if k&2 != 0 {
+			c.cy += h
+		} else {
+			c.cy -= h
+		}
+		if k&4 != 0 {
+			c.cz += h
+		} else {
+			c.cz -= h
+		}
+		o.kids[k] = c
+	}
+	return o.kids[k]
+}
+
+func (o *octNode) insert(i int, pos []vec3, mass []float64) {
+	switch o.body {
+	case -2: // empty leaf
+		o.body = i
+	case -1: // internal
+		o.child(o.octant(pos[i])).insert(i, pos, mass)
+	default: // occupied leaf: split
+		old := o.body
+		o.body = -1
+		if o.half < 1e-12 {
+			// Degenerate coincident bodies: stack them in child 0.
+			o.child(0).insert(old, pos, mass)
+			o.child(0).insert(i, pos, mass)
+			return
+		}
+		o.child(o.octant(pos[old])).insert(old, pos, mass)
+		o.child(o.octant(pos[i])).insert(i, pos, mass)
+	}
+}
+
+func (o *octNode) summarize(pos []vec3, mass []float64) {
+	if o.body >= 0 {
+		o.mass = mass[o.body]
+		o.comX, o.comY, o.comZ = pos[o.body].x, pos[o.body].y, pos[o.body].z
+		return
+	}
+	if o.body == -2 {
+		return
+	}
+	for _, k := range o.kids {
+		if k == nil {
+			continue
+		}
+		k.summarize(pos, mass)
+		o.mass += k.mass
+		o.comX += k.comX * k.mass
+		o.comY += k.comY * k.mass
+		o.comZ += k.comZ * k.mass
+	}
+	if o.mass > 0 {
+		o.comX /= o.mass
+		o.comY /= o.mass
+		o.comZ /= o.mass
+	}
+}
+
+const softening2 = 1e-4
+
+// force returns the acceleration on a body at p and the number of
+// interactions evaluated.
+func (o *octNode) force(p vec3, theta float64) (vec3, int) {
+	if o.body == -2 || o.mass == 0 {
+		return vec3{}, 0
+	}
+	d := vec3{o.comX - p.x, o.comY - p.y, o.comZ - p.z}
+	r2 := d.norm2()
+	if o.body >= 0 {
+		if r2 < 1e-18 {
+			return vec3{}, 0 // self
+		}
+		inv := 1 / math.Sqrt(r2+softening2)
+		return d.scale(o.mass * inv * inv * inv), 1
+	}
+	if (2*o.half)*(2*o.half) < theta*theta*r2 {
+		inv := 1 / math.Sqrt(r2+softening2)
+		return d.scale(o.mass * inv * inv * inv), 1
+	}
+	var acc vec3
+	cnt := 0
+	for _, k := range o.kids {
+		if k == nil {
+			continue
+		}
+		a, c := k.force(p, theta)
+		acc = acc.add(a)
+		cnt += c
+	}
+	return acc, cnt
+}

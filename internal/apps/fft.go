@@ -1,0 +1,202 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// FFT is the SPLASH-2 1D FFT kernel: the six-step algorithm on an
+// m x m matrix of complex values (n = m^2), with three all-to-all
+// transposes — the communication pattern that makes FFT the paper's
+// canonical poorly-scaling, fetch-dominated application (IPPS'07 §4.1:
+// "remote memory fetches account for roughly 77% of the overhead").
+type FFT struct {
+	logN int
+	n, m int
+	a, b uint64 // shared matrices, 16 bytes per complex element
+	in   []complex128
+
+	// Calibrated virtual compute costs.
+	cButterfly sim.Time // per butterfly in a row FFT
+	cTwiddle   sim.Time // per twiddle multiply
+	cMove      sim.Time // per element moved in a transpose
+}
+
+// NewFFT sizes the kernel for n = 2^logN complex values (logN must be
+// even).
+func NewFFT(logN int) *FFT {
+	if logN%2 != 0 || logN < 4 {
+		panic("apps: FFT logN must be even and >= 4")
+	}
+	f := &FFT{
+		logN: logN, n: 1 << logN, m: 1 << (logN / 2),
+		cButterfly: 30 * sim.Nanosecond,
+		cTwiddle:   22 * sim.Nanosecond,
+		cMove:      8 * sim.Nanosecond,
+	}
+	return f
+}
+
+// Name implements App.
+func (f *FFT) Name() string { return "FFT" }
+
+// SharedBytes implements App.
+func (f *FFT) SharedBytes() int { return 2*16*f.n + 4*dsm.PageSize }
+
+// Init allocates the matrices (rows homed at their owners) and fills A
+// with deterministic pseudo-random complex input.
+func (f *FFT) Init(sys *dsm.System) {
+	f.a = sys.AllocOwned(16 * f.n)
+	f.b = sys.AllocOwned(16 * f.n)
+	r := newRng(0xFF7)
+	f.in = make([]complex128, f.n)
+	buf := make([]byte, 16*f.n)
+	for i := range f.in {
+		f.in[i] = complex(r.float()*2-1, r.float()*2-1)
+		putComplex(buf, i, f.in[i])
+	}
+	sys.WriteShared(f.a, buf)
+}
+
+func putComplex(b []byte, i int, v complex128) {
+	dsm.SetF64(b, 2*i, real(v))
+	dsm.SetF64(b, 2*i+1, imag(v))
+}
+
+func getComplex(b []byte, i int) complex128 {
+	return complex(dsm.F64(b, 2*i), dsm.F64(b, 2*i+1))
+}
+
+// Node implements App: the per-node six-step body.
+func (f *FFT) Node(p *sim.Proc, in *dsm.Instance) {
+	lo, hi := splitRange(f.m, in.Node(), in.N())
+	f.transpose(p, in, f.a, f.b, lo, hi)
+	in.Barrier(p)
+	f.fftRows(p, in, f.b, lo, hi, true)
+	in.Barrier(p)
+	f.transpose(p, in, f.b, f.a, lo, hi)
+	in.Barrier(p)
+	f.fftRows(p, in, f.a, lo, hi, false)
+	in.Barrier(p)
+	f.transpose(p, in, f.a, f.b, lo, hi)
+	in.Barrier(p)
+}
+
+// transpose writes rows [lo,hi) of dst with dst[r][c] = src[c][r]. The
+// reads walk every source row's [lo,hi) sub-range: an all-to-all.
+func (f *FFT) transpose(p *sim.Proc, in *dsm.Instance, src, dst uint64, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	rows := hi - lo
+	// Bulk-prefetch the column strip: one concurrent fetch burst instead
+	// of a page fault per source row.
+	ranges := make([]dsm.Range, 0, f.m)
+	for c := 0; c < f.m; c++ {
+		ranges = append(ranges, dsm.Range{Addr: src + uint64(16*(c*f.m+lo)), Len: 16 * rows})
+	}
+	in.Prefetch(p, ranges)
+	d := in.WSlice(p, dst+uint64(16*lo*f.m), 16*rows*f.m)
+	for c := 0; c < f.m; c++ {
+		s := in.RSlice(p, src+uint64(16*(c*f.m+lo)), 16*rows)
+		for r := 0; r < rows; r++ {
+			copy(d[16*(r*f.m+c):16*(r*f.m+c)+16], s[16*r:16*r+16])
+		}
+	}
+	in.Compute(p, sim.Time(rows*f.m)*f.cMove)
+}
+
+// fftRows runs an in-place m-point FFT on each owned row; when twiddle
+// is set, each element is multiplied by the six-step twiddle factor
+// w^(row*col) first.
+func (f *FFT) fftRows(p *sim.Proc, in *dsm.Instance, arr uint64, lo, hi int, twiddle bool) {
+	if hi <= lo {
+		return
+	}
+	rows := hi - lo
+	b := in.WSlice(p, arr+uint64(16*lo*f.m), 16*rows*f.m)
+	row := make([]complex128, f.m)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < f.m; c++ {
+			row[c] = getComplex(b, r*f.m+c)
+		}
+		fft1d(row)
+		if twiddle {
+			// Six-step twiddle: after the first row FFT, element k1 of
+			// global row g is scaled by w^(g*k1), w = exp(-2*pi*i/n).
+			g := lo + r
+			for c := 0; c < f.m; c++ {
+				ang := -2 * math.Pi * float64(g) * float64(c) / float64(f.n)
+				row[c] *= cmplx.Exp(complex(0, ang))
+			}
+		}
+		for c := 0; c < f.m; c++ {
+			putComplex(b, r*f.m+c, row[c])
+		}
+	}
+	logM := f.logN / 2
+	work := sim.Time(rows) * sim.Time(f.m*logM/2) * f.cButterfly
+	if twiddle {
+		work += sim.Time(rows*f.m) * f.cTwiddle
+	}
+	in.Compute(p, work)
+}
+
+// fft1d is an iterative radix-2 Cooley-Tukey DIT FFT.
+func fft1d(x []complex128) {
+	n := len(x)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for l := 2; l <= n; l <<= 1 {
+		ang := -2 * math.Pi / float64(l)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += l {
+			w := complex(1, 0)
+			for k := 0; k < l/2; k++ {
+				u := x[i+k]
+				v := x[i+k+l/2] * w
+				x[i+k] = u + v
+				x[i+k+l/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Verify spot-checks output bins against a direct DFT of the saved
+// input. The final transpose restores natural order, so bin k of the
+// DFT is element k of B.
+func (f *FFT) Verify(sys *dsm.System) string {
+	out := sys.ReadShared(f.b, 16*f.n)
+	r := newRng(99)
+	bins := 12
+	if f.n < bins {
+		bins = f.n
+	}
+	for t := 0; t < bins; t++ {
+		k := int(r.next() % uint64(f.n))
+		var want complex128
+		for j := 0; j < f.n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(f.n)
+			want += f.in[j] * cmplx.Exp(complex(0, ang))
+		}
+		got := getComplex(out, k)
+		if cmplx.Abs(got-want) > 1e-6*(1+cmplx.Abs(want)) {
+			return fmt.Sprintf("FFT bin %d: got %v want %v", k, got, want)
+		}
+	}
+	return ""
+}

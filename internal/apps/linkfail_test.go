@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"multiedge/internal/cluster"
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// runWithLinkFault replicates Run's harness but injects hard link
+// faults on node 1's rail 1 while the application executes: pulled at
+// failAt, re-plugged at repairAt (never, if 0). The application must
+// still produce the correct answer — the DSM sits on MultiEdge's
+// reliable operations, so a dying rail may only cost time.
+func runWithLinkFault(t *testing.T, name string, nodes int, failAt, repairAt sim.Time) {
+	t.Helper()
+	cfg := cluster.TwoLinkUnordered1G(nodes)
+	app := Build(name, SizeTest, nodes)
+	shared := app.SharedBytes()
+	if shared%dsm.PageSize != 0 {
+		shared += dsm.PageSize - shared%dsm.PageSize
+	}
+	cfg.Core.MemBytes = shared + shared/2 + (8 << 20)
+	cl := cluster.New(cfg)
+	conns := cl.FullMesh()
+	sys := dsm.New(cl, conns, dsm.Config{SharedBytes: shared})
+	app.Init(sys)
+
+	cl.Env.At(failAt, func() { cl.FailLink(1, 1) })
+	if repairAt > 0 {
+		cl.Env.At(repairAt, func() { cl.RestoreLink(1, 1) })
+	}
+
+	done := 0
+	for _, in := range sys.Insts {
+		in := in
+		cl.Env.Go(fmt.Sprintf("%s-%d", app.Name(), in.Node()), func(p *sim.Proc) {
+			app.Node(p, in)
+			done++
+		})
+	}
+	cl.Env.Run()
+	if done != len(sys.Insts) {
+		t.Fatalf("%s: finished on %d/%d nodes (stalled on the dead rail?)", name, done, nodes)
+	}
+	if msg := app.Verify(sys); msg != "" {
+		t.Fatalf("%s with rail fault: %s", name, msg)
+	}
+	if drops := cl.Collect().LinkFailDrops; drops == 0 {
+		t.Fatalf("%s: the fault never bit (0 frames lost); adjust failAt", name)
+	}
+}
+
+// TestAppsSurviveLinkFailure runs a communication-bound and a
+// synchronization-bound application with one rail of one node dead for
+// most of the run.
+func TestAppsSurviveLinkFailure(t *testing.T) {
+	for _, name := range []string{"FFT", "Barnes"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runWithLinkFault(t, name, 4, 500*sim.Microsecond, 0)
+		})
+	}
+}
+
+// TestAppsSurviveLinkFlap pulls and re-plugs the rail mid-run.
+func TestAppsSurviveLinkFlap(t *testing.T) {
+	runWithLinkFault(t, "Radix", 4, 500*sim.Microsecond, 5*sim.Millisecond)
+}

@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// LU is the SPLASH-2 blocked dense LU factorization (without pivoting):
+// an n x n matrix of float64 split into bs x bs blocks, 2D-scattered
+// over a processor grid. Each step factorizes the diagonal block,
+// updates the perimeter, then the interior, with barriers between
+// phases — the paper's "medium speedup" category (IPPS'07 §4.1).
+type LU struct {
+	n, bs, nb int
+	pr, pc    int // processor grid
+	nodes     int
+	blocks    []uint64 // block (I,J) at blocks[I*nb+J], block-major storage
+	orig      []float64
+
+	cFlop sim.Time // per fused multiply-add
+}
+
+// NewLU sizes the kernel (n divisible by bs) for the given node count.
+func NewLU(n, bs, nodes int) *LU {
+	if n%bs != 0 {
+		panic("apps: LU n must be divisible by bs")
+	}
+	l := &LU{
+		n: n, bs: bs, nb: n / bs, nodes: nodes,
+		cFlop: 8 * sim.Nanosecond,
+	}
+	// Near-square processor grid with pr*pc == nodes.
+	l.pr = int(math.Sqrt(float64(nodes)))
+	for nodes%l.pr != 0 {
+		l.pr--
+	}
+	l.pc = nodes / l.pr
+	return l
+}
+
+// owner implements the SPLASH-2 2D scatter ("cookie cutter") block
+// assignment.
+func (l *LU) owner(i, j int) int { return (i%l.pr)*l.pc + (j % l.pc) }
+
+// Name implements App.
+func (l *LU) Name() string { return "LU" }
+
+// SharedBytes implements App.
+func (l *LU) SharedBytes() int {
+	per := (8*l.bs*l.bs + dsm.PageSize - 1) &^ (dsm.PageSize - 1)
+	return l.nb*l.nb*per + 4*dsm.PageSize
+}
+
+// Init allocates every block at its owner and fills the matrix with a
+// random diagonally dominant system.
+func (l *LU) Init(sys *dsm.System) {
+	l.blocks = make([]uint64, l.nb*l.nb)
+	for i := 0; i < l.nb; i++ {
+		for j := 0; j < l.nb; j++ {
+			l.blocks[i*l.nb+j] = sys.AllocAt(8*l.bs*l.bs, l.owner(i, j))
+		}
+	}
+	r := newRng(0x10)
+	l.orig = make([]float64, l.n*l.n)
+	for i := range l.orig {
+		l.orig[i] = r.float()
+	}
+	for i := 0; i < l.n; i++ {
+		l.orig[i*l.n+i] += float64(l.n)
+	}
+	buf := make([]byte, 8*l.bs*l.bs)
+	for bi := 0; bi < l.nb; bi++ {
+		for bj := 0; bj < l.nb; bj++ {
+			for x := 0; x < l.bs; x++ {
+				for y := 0; y < l.bs; y++ {
+					dsm.SetF64(buf, x*l.bs+y, l.orig[(bi*l.bs+x)*l.n+bj*l.bs+y])
+				}
+			}
+			sys.WriteShared(l.blocks[bi*l.nb+bj], buf)
+		}
+	}
+}
+
+func blockF64(b []byte, bs, x, y int) float64       { return dsm.F64(b, x*bs+y) }
+func setBlockF64(b []byte, bs, x, y int, v float64) { dsm.SetF64(b, x*bs+y, v) }
+
+// Node implements App: the owner-computes factorization loop.
+func (l *LU) Node(p *sim.Proc, in *dsm.Instance) {
+	me := in.Node()
+	bs := l.bs
+	bb := 8 * bs * bs
+	for k := 0; k < l.nb; k++ {
+		// Phase 1: factorize diagonal block (k,k).
+		if l.owner(k, k) == me {
+			d := in.WSlice(p, l.blocks[k*l.nb+k], bb)
+			for x := 0; x < bs; x++ {
+				piv := 1.0 / blockF64(d, bs, x, x)
+				for y := x + 1; y < bs; y++ {
+					setBlockF64(d, bs, y, x, blockF64(d, bs, y, x)*piv)
+				}
+				for y := x + 1; y < bs; y++ {
+					lyx := blockF64(d, bs, y, x)
+					for z := x + 1; z < bs; z++ {
+						setBlockF64(d, bs, y, z, blockF64(d, bs, y, z)-lyx*blockF64(d, bs, x, z))
+					}
+				}
+			}
+			in.Compute(p, sim.Time(bs*bs*bs/3)*l.cFlop)
+		}
+		in.Barrier(p)
+		// Phase 2: perimeter updates using the diagonal block.
+		var diag []byte
+		needDiag := false
+		for t := k + 1; t < l.nb; t++ {
+			if l.owner(k, t) == me || l.owner(t, k) == me {
+				needDiag = true
+			}
+		}
+		if needDiag {
+			diag = in.RSlice(p, l.blocks[k*l.nb+k], bb)
+		}
+		for t := k + 1; t < l.nb; t++ {
+			if l.owner(k, t) == me { // U row block: solve L(k,k) * X = A(k,t)
+				u := in.WSlice(p, l.blocks[k*l.nb+t], bb)
+				for x := 1; x < bs; x++ {
+					for z := 0; z < x; z++ {
+						lxz := blockF64(diag, bs, x, z)
+						for y := 0; y < bs; y++ {
+							setBlockF64(u, bs, x, y, blockF64(u, bs, x, y)-lxz*blockF64(u, bs, z, y))
+						}
+					}
+				}
+				in.Compute(p, sim.Time(bs*bs*bs/2)*l.cFlop)
+			}
+			if l.owner(t, k) == me { // L column block: solve X * U(k,k) = A(t,k)
+				lb := in.WSlice(p, l.blocks[t*l.nb+k], bb)
+				for y := 0; y < bs; y++ {
+					piv := 1.0 / blockF64(diag, bs, y, y)
+					for x := 0; x < bs; x++ {
+						v := blockF64(lb, bs, x, y)
+						for z := 0; z < y; z++ {
+							v -= blockF64(lb, bs, x, z) * blockF64(diag, bs, z, y)
+						}
+						setBlockF64(lb, bs, x, y, v*piv)
+					}
+				}
+				in.Compute(p, sim.Time(bs*bs*bs/2)*l.cFlop)
+			}
+		}
+		in.Barrier(p)
+		// Phase 3: interior updates A(i,j) -= L(i,k)*U(k,j).
+		for i := k + 1; i < l.nb; i++ {
+			var lblk []byte
+			for j := k + 1; j < l.nb; j++ {
+				if l.owner(i, j) != me {
+					continue
+				}
+				if lblk == nil {
+					lblk = in.RSlice(p, l.blocks[i*l.nb+k], bb)
+				}
+				ublk := in.RSlice(p, l.blocks[k*l.nb+j], bb)
+				a := in.WSlice(p, l.blocks[i*l.nb+j], bb)
+				for x := 0; x < bs; x++ {
+					for z := 0; z < bs; z++ {
+						lxz := blockF64(lblk, bs, x, z)
+						for y := 0; y < bs; y++ {
+							setBlockF64(a, bs, x, y, blockF64(a, bs, x, y)-lxz*blockF64(ublk, bs, z, y))
+						}
+					}
+				}
+				in.Compute(p, sim.Time(bs*bs*bs)*l.cFlop)
+			}
+		}
+		in.Barrier(p)
+	}
+}
+
+// Verify multiplies the factors back together and compares with the
+// original matrix.
+func (l *LU) Verify(sys *dsm.System) string {
+	bs := l.bs
+	lu := make([]float64, l.n*l.n)
+	for bi := 0; bi < l.nb; bi++ {
+		for bj := 0; bj < l.nb; bj++ {
+			b := sys.ReadShared(l.blocks[bi*l.nb+bj], 8*bs*bs)
+			for x := 0; x < bs; x++ {
+				for y := 0; y < bs; y++ {
+					lu[(bi*bs+x)*l.n+bj*bs+y] = blockF64(b, bs, x, y)
+				}
+			}
+		}
+	}
+	// Spot-check 200 entries of L*U against the original matrix.
+	r := newRng(0x1777)
+	for t := 0; t < 200; t++ {
+		i := int(r.next() % uint64(l.n))
+		j := int(r.next() % uint64(l.n))
+		var sum float64
+		for k := 0; k <= i && k <= j; k++ {
+			li := lu[i*l.n+k]
+			if k == i {
+				li = 1 // unit lower-triangular
+			}
+			if k <= j {
+				sum += li * lu[k*l.n+j]
+			}
+		}
+		want := l.orig[i*l.n+j]
+		if math.Abs(sum-want) > 1e-6*(1+math.Abs(want)) {
+			return fmt.Sprintf("LU: (L*U)[%d][%d] = %g, want %g", i, j, sum, want)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"fmt"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// Radix is the SPLASH-2 integer radix sort: each pass histograms one
+// digit locally, computes global digit offsets from all nodes'
+// histograms, then permutes keys into a destination array with
+// scattered remote writes — the poor-spatial-locality, false-sharing
+// pattern the paper singles out (IPPS'07 §4.1: "Radix has poor spatial
+// locality generating a high amount of traffic and false sharing").
+type Radix struct {
+	n      int
+	digits int // bits per digit
+	passes int
+	nodes  int
+	k0, k1 uint64   // key arrays (ping-pong)
+	hist   []uint64 // per-node histogram pages
+	input  []uint32
+
+	cHist sim.Time // per key histogrammed
+	cScan sim.Time // per histogram bucket scanned
+	cPerm sim.Time // per key permuted
+}
+
+// NewRadix sizes the sort for n uint32 keys over the given node count.
+func NewRadix(n, nodes int) *Radix {
+	r := &Radix{
+		n: n, digits: 8, passes: 4, nodes: nodes,
+		cHist: 5 * sim.Nanosecond,
+		cScan: 4 * sim.Nanosecond,
+		cPerm: 30 * sim.Nanosecond,
+	}
+	return r
+}
+
+// Name implements App.
+func (r *Radix) Name() string { return "Radix" }
+
+// SharedBytes implements App.
+func (r *Radix) SharedBytes() int {
+	return 2*4*r.n + r.nodes*dsm.PageSize + 8*dsm.PageSize
+}
+
+// Init allocates the key and histogram arrays and fills the keys with
+// deterministic pseudo-random values.
+func (r *Radix) Init(sys *dsm.System) {
+	r.k0 = sys.AllocOwned(4 * r.n)
+	r.k1 = sys.AllocOwned(4 * r.n)
+	r.hist = make([]uint64, r.nodes)
+	for p := 0; p < r.nodes; p++ {
+		r.hist[p] = sys.AllocAt(4*(1<<r.digits), p)
+	}
+	g := newRng(0x3AD1)
+	r.input = make([]uint32, r.n)
+	buf := make([]byte, 4*r.n)
+	for i := range r.input {
+		r.input[i] = uint32(g.next())
+		dsm.SetU32(buf, i, r.input[i])
+	}
+	sys.WriteShared(r.k0, buf)
+}
+
+// Node implements App.
+func (r *Radix) Node(p *sim.Proc, in *dsm.Instance) {
+	me := in.Node()
+	lo, hi := splitRange(r.n, me, in.N())
+	mine := hi - lo
+	radix := 1 << r.digits
+	src, dst := r.k0, r.k1
+	for pass := 0; pass < r.passes; pass++ {
+		shift := uint(pass * r.digits)
+		// Phase 1: local histogram of the owned segment.
+		counts := make([]uint32, radix)
+		if mine > 0 {
+			keys := in.RSlice(p, src+uint64(4*lo), 4*mine)
+			for i := 0; i < mine; i++ {
+				counts[(dsm.U32(keys, i)>>shift)&uint32(radix-1)]++
+			}
+			in.Compute(p, sim.Time(mine)*r.cHist)
+		}
+		hb := in.WSlice(p, r.hist[me], 4*radix)
+		for d := 0; d < radix; d++ {
+			dsm.SetU32(hb, d, counts[d])
+		}
+		in.Barrier(p)
+		// Phase 2: read every node's histogram; compute this node's
+		// starting offset for each digit.
+		offsets := make([]uint32, radix)
+		var base uint32
+		all := make([][]byte, in.N())
+		for q := 0; q < in.N(); q++ {
+			all[q] = in.RSlice(p, r.hist[q], 4*radix)
+		}
+		for d := 0; d < radix; d++ {
+			offsets[d] = base
+			for q := 0; q < me; q++ {
+				offsets[d] += dsm.U32(all[q], d)
+			}
+			for q := 0; q < in.N(); q++ {
+				base += dsm.U32(all[q], d)
+			}
+		}
+		in.Compute(p, sim.Time(in.N()*radix)*r.cScan)
+		// Phase 3: permute owned keys to their destinations (scattered
+		// remote writes). The destination regions are known from the
+		// offsets, so bulk-prefetch them first.
+		if mine > 0 {
+			ranges := make([]dsm.Range, 0, radix)
+			for d := 0; d < radix; d++ {
+				cnt := int(counts[d])
+				if cnt > 0 {
+					ranges = append(ranges, dsm.Range{Addr: dst + uint64(4*offsets[d]), Len: 4 * cnt})
+				}
+			}
+			in.Prefetch(p, ranges)
+			keys := in.RSlice(p, src+uint64(4*lo), 4*mine)
+			for i := 0; i < mine; i++ {
+				k := dsm.U32(keys, i)
+				d := (k >> shift) & uint32(radix-1)
+				pos := offsets[d]
+				offsets[d]++
+				db := in.WSlice(p, dst+uint64(4*pos), 4)
+				dsm.SetU32(db, 0, k)
+			}
+			in.Compute(p, sim.Time(mine)*r.cPerm)
+		}
+		in.Barrier(p)
+		src, dst = dst, src
+	}
+}
+
+// Verify checks the output is sorted and is a permutation of the input.
+func (r *Radix) Verify(sys *dsm.System) string {
+	// After an even number of passes the result is back in k0.
+	out := sys.ReadShared(r.k0, 4*r.n)
+	var sumIn, sumOut uint64
+	var xorIn, xorOut uint32
+	prev := uint32(0)
+	for i := 0; i < r.n; i++ {
+		v := dsm.U32(out, i)
+		if v < prev {
+			return fmt.Sprintf("Radix: out[%d]=%d < out[%d]=%d", i, v, i-1, prev)
+		}
+		prev = v
+		sumOut += uint64(v)
+		xorOut ^= v
+		sumIn += uint64(r.input[i])
+		xorIn ^= r.input[i]
+	}
+	if sumIn != sumOut || xorIn != xorOut {
+		return "Radix: output is not a permutation of the input"
+	}
+	return ""
+}

@@ -1,0 +1,214 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// Raytrace is the SPLASH-2 ray tracer on the paper's "balls" scene:
+// reflective spheres over a plane, rendered tile by tile. Tiles are
+// claimed from a shared work counter under a lock (the task-queue
+// traffic), pixels land in a shared image. Rays are embarrassingly
+// parallel and compute-heavy, so Raytrace sits in the paper's
+// well-scaling category.
+type Raytrace struct {
+	w, h    int
+	spheres []sphere // read-only scene, replicated at init
+	img     uint64   // shared: one float64 intensity per pixel
+	next    uint64   // shared tile counter
+	tile    int
+
+	cTest sim.Time // per ray-object intersection test
+	cPix  sim.Time // fixed per-pixel shading cost
+}
+
+type sphere struct {
+	c    vec3
+	r    float64
+	refl float64 // reflectivity 0..1
+}
+
+const rtLock = 11 // lock id protecting the tile counter
+
+// NewRaytrace sizes the renderer.
+func NewRaytrace(w, h, balls int) *Raytrace {
+	rt := &Raytrace{
+		w: w, h: h, tile: 32,
+		cTest: 60 * sim.Nanosecond,
+		cPix:  9 * sim.Microsecond,
+	}
+	r := newRng(0xBA11)
+	for i := 0; i < balls; i++ {
+		rt.spheres = append(rt.spheres, sphere{
+			c:    vec3{r.float()*4 - 2, r.float()*1.5 + 0.3, r.float()*4 - 2},
+			r:    0.15 + r.float()*0.35,
+			refl: 0.3 + r.float()*0.5,
+		})
+	}
+	return rt
+}
+
+// Name implements App.
+func (rt *Raytrace) Name() string { return "Raytrace" }
+
+// SharedBytes implements App.
+func (rt *Raytrace) SharedBytes() int { return 8*rt.w*rt.h + 4*dsm.PageSize }
+
+// Init allocates the image and tile counter.
+func (rt *Raytrace) Init(sys *dsm.System) {
+	rt.img = sys.AllocOwned(8 * rt.w * rt.h)
+	rt.next = sys.AllocPages(8)
+	sys.WriteShared(rt.next, make([]byte, 8))
+}
+
+// Node implements App. Tiles are claimed in interleaved static order —
+// SPLASH-2's distributed queues degenerate to this when tiles are
+// uniform and stealing is rare — and each node updates the shared
+// progress counter under the queue lock as it finishes a tile, so the
+// task-queue lock traffic is still present without serializing renders.
+func (rt *Raytrace) Node(p *sim.Proc, in *dsm.Instance) {
+	tilesX := (rt.w + rt.tile - 1) / rt.tile
+	tilesY := (rt.h + rt.tile - 1) / rt.tile
+	total := tilesX * tilesY
+	for t := in.Node(); t < total; t += in.N() {
+		rt.renderTile(p, in, t%tilesX*rt.tile, t/tilesX*rt.tile)
+		in.Acquire(p, rtLock)
+		cb := in.WSlice(p, rt.next, 8)
+		dsm.SetU64(cb, 0, dsm.U64(cb, 0)+1)
+		in.Release(p, rtLock)
+	}
+	in.Barrier(p)
+}
+
+func (rt *Raytrace) renderTile(p *sim.Proc, in *dsm.Instance, x0, y0 int) {
+	tests := 0
+	pixels := 0
+	for y := y0; y < y0+rt.tile && y < rt.h; y++ {
+		rowAddr := rt.img + uint64(8*(y*rt.w+x0))
+		n := rt.tile
+		if x0+n > rt.w {
+			n = rt.w - x0
+		}
+		row := in.WSlice(p, rowAddr, 8*n)
+		for x := x0; x < x0+n; x++ {
+			v, t := rt.tracePixel(x, y)
+			dsm.SetF64(row, x-x0, v)
+			tests += t
+			pixels++
+		}
+	}
+	in.Compute(p, sim.Time(tests)*rt.cTest+sim.Time(pixels)*rt.cPix)
+}
+
+// tracePixel shoots the primary ray for pixel (x, y) and returns the
+// intensity and the number of intersection tests performed.
+func (rt *Raytrace) tracePixel(x, y int) (float64, int) {
+	origin := vec3{0, 1.2, -4}
+	u := (float64(x)+0.5)/float64(rt.w)*2 - 1
+	v := 1 - (float64(y)+0.5)/float64(rt.h)*2
+	dir := normalize(vec3{u * 1.2, v * 1.2, 1.8})
+	return rt.trace(origin, dir, 2)
+}
+
+var rtLight = normalize(vec3{-0.5, 1, -0.6})
+
+func normalize(v vec3) vec3 {
+	inv := 1 / math.Sqrt(v.norm2())
+	return v.scale(inv)
+}
+
+func dot(a, b vec3) float64 { return a.x*b.x + a.y*b.y + a.z*b.z }
+
+// intersect finds the nearest hit: object index (-1 plane, -2 none).
+func (rt *Raytrace) intersect(o, d vec3) (obj int, tHit float64, tests int) {
+	obj, tHit = -2, math.Inf(1)
+	// Ground plane y = 0.
+	tests++
+	if d.y < -1e-9 {
+		if t := -o.y / d.y; t > 1e-6 && t < tHit {
+			obj, tHit = -1, t
+		}
+	}
+	for i, s := range rt.spheres {
+		tests++
+		oc := o.sub(s.c)
+		b := dot(oc, d)
+		c := oc.norm2() - s.r*s.r
+		disc := b*b - c
+		if disc <= 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		t := -b - sq
+		if t <= 1e-6 {
+			t = -b + sq
+		}
+		if t > 1e-6 && t < tHit {
+			obj, tHit = i, t
+		}
+	}
+	return obj, tHit, tests
+}
+
+// trace returns intensity for a ray with the given remaining bounces.
+func (rt *Raytrace) trace(o, d vec3, depth int) (float64, int) {
+	obj, t, tests := rt.intersect(o, d)
+	if obj == -2 {
+		return 0.12, tests // sky
+	}
+	hit := o.add(d.scale(t))
+	var nrm vec3
+	var base, refl float64
+	if obj == -1 {
+		nrm = vec3{0, 1, 0}
+		// Checkerboard.
+		if (int(math.Floor(hit.x))+int(math.Floor(hit.z)))%2 == 0 {
+			base = 0.85
+		} else {
+			base = 0.25
+		}
+		refl = 0.15
+	} else {
+		s := rt.spheres[obj]
+		nrm = normalize(hit.sub(s.c))
+		base = 0.7
+		refl = s.refl
+	}
+	// Lambertian with a shadow ray.
+	diff := dot(nrm, rtLight)
+	if diff < 0 {
+		diff = 0
+	} else {
+		sObj, _, sTests := rt.intersect(hit.add(nrm.scale(1e-4)), rtLight)
+		tests += sTests
+		if sObj != -2 {
+			diff *= 0.15 // in shadow
+		}
+	}
+	val := base * (0.15 + 0.85*diff)
+	if depth > 0 && refl > 0 {
+		rd := d.sub(nrm.scale(2 * dot(d, nrm)))
+		rv, rTests := rt.trace(hit.add(nrm.scale(1e-4)), rd, depth-1)
+		tests += rTests
+		val = val*(1-refl) + rv*refl
+	}
+	return val, tests
+}
+
+// Verify renders the image sequentially and requires bit-identical
+// pixels (each pixel's computation is independent and deterministic).
+func (rt *Raytrace) Verify(sys *dsm.System) string {
+	out := sys.ReadShared(rt.img, 8*rt.w*rt.h)
+	for y := 0; y < rt.h; y++ {
+		for x := 0; x < rt.w; x++ {
+			want, _ := rt.tracePixel(x, y)
+			if got := dsm.F64(out, y*rt.w+x); got != want {
+				return fmt.Sprintf("Raytrace: pixel (%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+	return ""
+}

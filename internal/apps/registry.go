@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+)
+
+// Size selects a problem scale for the registry constructors.
+type Size int
+
+// Problem scales: Test sizes keep unit tests fast; Small is the default
+// evaluation scale (EXPERIMENTS.md documents the mapping to the paper's
+// Table 1 sizes); Full is the largest scale that still simulates in
+// reasonable wall time.
+const (
+	SizeTest Size = iota
+	SizeSmall
+	SizeFull
+)
+
+// Names lists the Table-1 applications in the paper's order.
+var Names = []string{
+	"Barnes", "FFT", "LU", "Radix", "Raytrace",
+	"Water-Nsquared", "Water-Spatial", "Water-SpatialFL",
+}
+
+// Build constructs the named application at the given scale for a
+// cluster with `nodes` nodes. Shared data is allocated later, by Init.
+func Build(name string, size Size, nodes int) App {
+	switch name {
+	case "Barnes":
+		switch size {
+		case SizeTest:
+			return NewBarnes(256, 2)
+		case SizeFull:
+			return NewBarnes(8192, 3)
+		default:
+			return NewBarnes(4096, 3)
+		}
+	case "FFT":
+		switch size {
+		case SizeTest:
+			return NewFFT(8)
+		case SizeFull:
+			return NewFFT(20)
+		default:
+			return NewFFT(18)
+		}
+	case "LU":
+		switch size {
+		case SizeTest:
+			return NewLU(128, 16, nodes)
+		case SizeFull:
+			return NewLU(768, 32, nodes)
+		default:
+			return NewLU(512, 32, nodes)
+		}
+	case "Radix":
+		switch size {
+		case SizeTest:
+			return NewRadix(4096, nodes)
+		case SizeFull:
+			return NewRadix(1<<19, nodes)
+		default:
+			return NewRadix(1<<18, nodes)
+		}
+	case "Raytrace":
+		switch size {
+		case SizeTest:
+			return NewRaytrace(64, 64, 8)
+		case SizeFull:
+			return NewRaytrace(384, 384, 48)
+		default:
+			return NewRaytrace(256, 256, 32)
+		}
+	case "Water-Nsquared":
+		switch size {
+		case SizeTest:
+			return NewWaterNsq(96, 2, nodes)
+		case SizeFull:
+			return NewWaterNsq(1600, 2, nodes)
+		default:
+			return NewWaterNsq(1024, 2, nodes)
+		}
+	case "Water-Spatial":
+		switch size {
+		case SizeTest:
+			return NewWaterSpatial(512, 8, 2, false)
+		case SizeFull:
+			return NewWaterSpatial(24576, 16, 2, false)
+		default:
+			return NewWaterSpatial(12288, 16, 2, false)
+		}
+	case "Water-SpatialFL":
+		switch size {
+		case SizeTest:
+			return NewWaterSpatial(512, 8, 2, true)
+		case SizeFull:
+			return NewWaterSpatial(24576, 16, 2, true)
+		default:
+			return NewWaterSpatial(12288, 16, 2, true)
+		}
+	}
+	panic(fmt.Sprintf("apps: unknown application %q", name))
+}

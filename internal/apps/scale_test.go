@@ -1,0 +1,21 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"multiedge/internal/cluster"
+)
+
+func TestScaleProbe(t *testing.T) {
+	for _, name := range Names {
+		for _, nodes := range []int{1, 16} {
+			app := Build(name, SizeSmall, nodes)
+			t0 := time.Now()
+			res, _ := Run(cluster.OneLink1G(nodes), app)
+			fmt.Printf("%-16s n=%-2d  virt=%-12v wall=%-10v frames=%d\n",
+				name, nodes, res.Elapsed, time.Since(t0).Round(time.Millisecond), res.Net.Proto.DataFramesSent)
+		}
+	}
+}

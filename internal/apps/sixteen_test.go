@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"testing"
+
+	"multiedge/internal/cluster"
+)
+
+func TestAppsCorrectSixteenNodesSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-node small-scale verification skipped in -short")
+	}
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app := Build(name, SizeSmall, 16)
+			_, sys := Run(cluster.OneLink1G(16), app)
+			if msg := app.Verify(sys); msg != "" {
+				t.Fatal(msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// WaterNsq is the SPLASH-2 Water-Nsquared application: an O(n^2)
+// molecular dynamics simulation. Each node computes its share of the
+// pairwise interactions, accumulating partial forces in a node-local
+// shared array; after a barrier each molecule's owner sums the partials
+// and integrates. The potential energy is reduced into shared memory
+// under a global lock. Interactions dominate: the paper's best-scaling
+// category.
+type WaterNsq struct {
+	n, steps int
+	dt       float64
+	nodes    int
+	pos      uint64   // shared: x,y,z per molecule (24 B)
+	partials []uint64 // per node: partial force array, 24 B per molecule
+	pe       uint64   // shared potential energy accumulator
+	vel      []vec3
+	initPos  []vec3
+
+	cPair sim.Time // per pair interaction
+}
+
+const wnLock = 5
+
+// wnSoft2 is Water-Nsquared's force softening (squared length).
+const wnSoft2 = 0.05
+
+// NewWaterNsq sizes the simulation for n molecules.
+func NewWaterNsq(n, steps, nodes int) *WaterNsq {
+	w := &WaterNsq{
+		n: n, steps: steps, dt: 1e-4,
+		vel:   make([]vec3, n),
+		cPair: 1500 * sim.Nanosecond,
+	}
+	w.nodes = nodes
+	return w
+}
+
+// Name implements App.
+func (w *WaterNsq) Name() string { return "Water-Nsquared" }
+
+// SharedBytes implements App.
+func (w *WaterNsq) SharedBytes() int {
+	return 24*w.n*(1+w.nodes) + (4+2*w.nodes)*dsm.PageSize
+}
+
+// Init scatters molecules in a cube sized for liquid-like density.
+func (w *WaterNsq) Init(sys *dsm.System) {
+	w.pos = sys.AllocOwned(24 * w.n)
+	w.partials = nil
+	for p := 0; p < w.nodes; p++ {
+		w.partials = append(w.partials, sys.AllocAt(24*w.n, p))
+	}
+	w.pe = sys.AllocPages(8)
+	r := newRng(0x3A7E4)
+	side := math.Cbrt(float64(w.n))
+	buf := make([]byte, 24*w.n)
+	w.initPos = make([]vec3, w.n)
+	for i := 0; i < w.n; i++ {
+		p := vec3{r.float() * side, r.float() * side, r.float() * side}
+		w.initPos[i] = p
+		dsm.SetF64(buf, 3*i+0, p.x)
+		dsm.SetF64(buf, 3*i+1, p.y)
+		dsm.SetF64(buf, 3*i+2, p.z)
+	}
+	sys.WriteShared(w.pos, buf)
+	sys.WriteShared(w.pe, make([]byte, 8))
+}
+
+// pairOwner deterministically assigns pair (i<j) to the owner of i or j,
+// alternating for balance.
+func pairOwner(i, j int) int {
+	if (i+j)%2 == 0 {
+		return i
+	}
+	return j
+}
+
+// ljForce returns the (softened) Lennard-Jones force of j on i and the
+// pair potential. soft2 bounds the force when random placement puts two
+// molecules arbitrarily close, keeping the short synthetic runs
+// numerically stable.
+func ljForce(pi, pj vec3, soft2 float64) (vec3, float64) {
+	d := pi.sub(pj)
+	r2 := d.norm2() + soft2
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	f := 24 * (2*inv6*inv6 - inv6) * inv2
+	return d.scale(f), 4 * (inv6*inv6 - inv6)
+}
+
+// Node implements App.
+func (w *WaterNsq) Node(p *sim.Proc, in *dsm.Instance) {
+	me := in.Node()
+	nn := in.N()
+	lo, hi := splitRange(w.n, me, nn)
+	owner := func(i int) int {
+		for q := 0; q < nn; q++ {
+			qlo, qhi := splitRange(w.n, q, nn)
+			if i >= qlo && i < qhi {
+				return q
+			}
+		}
+		return nn - 1
+	}
+	for s := 0; s < w.steps; s++ {
+		raw := in.RSlice(p, w.pos, 24*w.n)
+		pos := make([]vec3, w.n)
+		for i := range pos {
+			pos[i] = vec3{dsm.F64(raw, 3*i), dsm.F64(raw, 3*i+1), dsm.F64(raw, 3*i+2)}
+		}
+		// Compute this node's share of pairwise interactions into a
+		// private accumulator.
+		acc := make([]vec3, w.n)
+		var pe float64
+		pairs := 0
+		for i := 0; i < w.n; i++ {
+			for j := i + 1; j < w.n; j++ {
+				if owner(pairOwner(i, j)) != me {
+					continue
+				}
+				f, e := ljForce(pos[i], pos[j], wnSoft2)
+				acc[i] = acc[i].add(f)
+				acc[j] = acc[j].sub(f)
+				pe += e
+				pairs++
+			}
+		}
+		in.Compute(p, sim.Time(pairs)*w.cPair)
+		// Publish the partial forces.
+		pb := in.WSlice(p, w.partials[me], 24*w.n)
+		for i := 0; i < w.n; i++ {
+			dsm.SetF64(pb, 3*i+0, acc[i].x)
+			dsm.SetF64(pb, 3*i+1, acc[i].y)
+			dsm.SetF64(pb, 3*i+2, acc[i].z)
+		}
+		// Reduce the potential energy under the global lock.
+		in.Acquire(p, wnLock)
+		eb := in.WSlice(p, w.pe, 8)
+		dsm.SetF64(eb, 0, dsm.F64(eb, 0)+pe)
+		in.Release(p, wnLock)
+		in.Barrier(p)
+		// Sum partials for owned molecules and integrate.
+		if hi > lo {
+			out := in.WSlice(p, w.pos+uint64(24*lo), 24*(hi-lo))
+			span := 24 * (hi - lo)
+			for i := lo; i < hi; i++ {
+				var f vec3
+				for q := 0; q < nn; q++ {
+					qb := in.RSlice(p, w.partials[q]+uint64(24*lo), span)
+					k := i - lo
+					f = f.add(vec3{dsm.F64(qb, 3*k), dsm.F64(qb, 3*k+1), dsm.F64(qb, 3*k+2)})
+				}
+				w.vel[i] = w.vel[i].add(f.scale(w.dt))
+				np := pos[i].add(w.vel[i].scale(w.dt))
+				k := i - lo
+				dsm.SetF64(out, 3*k+0, np.x)
+				dsm.SetF64(out, 3*k+1, np.y)
+				dsm.SetF64(out, 3*k+2, np.z)
+			}
+		}
+		in.Barrier(p)
+	}
+}
+
+// Verify replays the run sequentially with the same partial-sum
+// structure (same node count, same pair assignment, same summation
+// order) and requires bit-identical positions.
+func (w *WaterNsq) Verify(sys *dsm.System) string {
+	nn := len(w.partials)
+	pos := append([]vec3(nil), w.initPos...)
+	vel := make([]vec3, w.n)
+	owner := func(i int) int {
+		for q := 0; q < nn; q++ {
+			qlo, qhi := splitRange(w.n, q, nn)
+			if i >= qlo && i < qhi {
+				return q
+			}
+		}
+		return nn - 1
+	}
+	for s := 0; s < w.steps; s++ {
+		parts := make([][]vec3, nn)
+		for q := range parts {
+			parts[q] = make([]vec3, w.n)
+		}
+		for i := 0; i < w.n; i++ {
+			for j := i + 1; j < w.n; j++ {
+				q := owner(pairOwner(i, j))
+				f, _ := ljForce(pos[i], pos[j], wnSoft2)
+				parts[q][i] = parts[q][i].add(f)
+				parts[q][j] = parts[q][j].sub(f)
+			}
+		}
+		next := make([]vec3, w.n)
+		for i := 0; i < w.n; i++ {
+			var f vec3
+			for q := 0; q < nn; q++ {
+				f = f.add(parts[q][i])
+			}
+			vel[i] = vel[i].add(f.scale(w.dt))
+			next[i] = pos[i].add(vel[i].scale(w.dt))
+		}
+		pos = next
+	}
+	out := sys.ReadShared(w.pos, 24*w.n)
+	for i := 0; i < w.n; i++ {
+		got := vec3{dsm.F64(out, 3*i), dsm.F64(out, 3*i+1), dsm.F64(out, 3*i+2)}
+		if d := got.sub(pos[i]); math.Abs(d.x)+math.Abs(d.y)+math.Abs(d.z) > 1e-9 {
+			return fmt.Sprintf("Water-Nsquared: molecule %d at %+v, want %+v", i, got, pos[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,357 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"multiedge/internal/dsm"
+	"multiedge/internal/sim"
+)
+
+// WaterSpatial is the SPLASH-2 Water-Spatial application: the same
+// molecular dynamics as Water-Nsquared but with an O(n) cell-list
+// algorithm. The box is divided into c^3 cells (cell edge >= cutoff);
+// cell planes are assigned to nodes in contiguous x-axis slabs so each
+// node communicates only with slab neighbours — the paper's "medium
+// speedup" category.
+//
+// The FL variant (the paper's Water-SpatialFL) exploits Newton's third
+// law: each pair is computed exactly once, by the molecule with the
+// higher (cell, slot) order; reaction forces destined for the lower
+// neighbour slab are accumulated into a shared ghost array under a
+// per-plane lock. Less pair computation, more fine-grained lock and
+// accumulation traffic — the paper reports nearly identical overall
+// performance for the two variants.
+type WaterSpatial struct {
+	fl       bool
+	n, steps int
+	c        int // cells per dimension
+	cap      int // molecule slots per cell
+	dt       float64
+	box      float64
+
+	cellPos uint64 // shared: per cell, cap molecules x 24 B
+	ghost   uint64 // FL only: reaction-force slots, same layout
+	pe      uint64
+	vel     []vec3 // indexed cell*cap+slot
+	counts  []int  // molecules per cell (fixed: no migration in short runs)
+	initPos []vec3 // cell*cap+slot -> initial position
+
+	cPair sim.Time
+}
+
+const (
+	wsPeLock   = 19
+	wsLockBase = 20 // per-plane ghost locks: wsLockBase + plane
+)
+
+// NewWaterSpatial sizes the simulation: n molecules in a c^3 cell grid.
+func NewWaterSpatial(n, c, steps int, fl bool) *WaterSpatial {
+	w := &WaterSpatial{
+		fl: fl, n: n, steps: steps, c: c, cap: 2*(n/(c*c*c)) + 4,
+		dt: 5e-5, box: 1.0,
+		// The FL variant evaluates each pair once (Newton's third law)
+		// but does roughly twice the work per evaluated pair, so the
+		// two variants have near-identical sequential times — exactly
+		// the relationship in the paper's Table 1.
+		cPair: 1500 * sim.Nanosecond,
+	}
+	if fl {
+		w.cPair = 3000 * sim.Nanosecond
+	}
+	w.vel = make([]vec3, c*c*c*w.cap)
+	return w
+}
+
+func (w *WaterSpatial) cellIndex(x, y, z int) int { return (x*w.c+y)*w.c + z }
+
+// Name implements App.
+func (w *WaterSpatial) Name() string {
+	if w.fl {
+		return "Water-SpatialFL"
+	}
+	return "Water-Spatial"
+}
+
+// SharedBytes implements App.
+func (w *WaterSpatial) SharedBytes() int {
+	cells := w.c * w.c * w.c
+	b := 24*w.cap*cells + 8*dsm.PageSize
+	if w.fl {
+		b += 24*w.cap*cells + dsm.PageSize
+	}
+	return b
+}
+
+// Init places molecules round-robin across cells, jittered around cell
+// centers so they stay in their cells during the short runs.
+func (w *WaterSpatial) Init(sys *dsm.System) {
+	c := w.c
+	cells := c * c * c
+	// Cell planes are contiguous in memory, so AllocOwned's contiguous
+	// page shares align homes with the slab owners.
+	w.cellPos = sys.AllocOwned(24 * w.cap * cells)
+	w.pe = sys.AllocPages(8)
+	if w.fl {
+		w.ghost = sys.AllocOwned(24 * w.cap * cells)
+	}
+	r := newRng(0x3A7E5)
+	w.counts = make([]int, cells)
+	w.initPos = make([]vec3, cells*w.cap)
+	posBuf := make([]byte, 24*w.cap*cells)
+	edge := w.box / float64(c)
+	for i := 0; i < w.n; i++ {
+		cell := i % cells
+		slot := w.counts[cell]
+		if slot >= w.cap {
+			panic("apps: water-spatial cell overflow")
+		}
+		w.counts[cell]++
+		cx, cy, cz := cell/(c*c), (cell/c)%c, cell%c
+		p := vec3{
+			(float64(cx) + 0.5 + 0.6*(r.float()-0.5)) * edge,
+			(float64(cy) + 0.5 + 0.6*(r.float()-0.5)) * edge,
+			(float64(cz) + 0.5 + 0.6*(r.float()-0.5)) * edge,
+		}
+		k := cell*w.cap + slot
+		w.initPos[k] = p
+		dsm.SetF64(posBuf, 3*k+0, p.x)
+		dsm.SetF64(posBuf, 3*k+1, p.y)
+		dsm.SetF64(posBuf, 3*k+2, p.z)
+	}
+	sys.WriteShared(w.cellPos, posBuf)
+	sys.WriteShared(w.pe, make([]byte, 8))
+	if w.fl {
+		sys.WriteShared(w.ghost, make([]byte, 24*w.cap*cells))
+	}
+}
+
+// Node implements App.
+func (w *WaterSpatial) Node(p *sim.Proc, in *dsm.Instance) {
+	me := in.Node()
+	nn := in.N()
+	xlo, xhi := splitRange(w.c, me, nn)
+	c := w.c
+	cutoff2 := (w.box / float64(c)) * (w.box / float64(c))
+	soft2 := 0.04 * cutoff2
+	planeBytes := 24 * w.cap * c * c
+	planeSlots := w.cap * c * c
+	for s := 0; s < w.steps; s++ {
+		if xhi <= xlo {
+			// No planes owned: participate in the step's barriers only.
+			in.Barrier(p)
+			in.Barrier(p)
+			continue
+		}
+		// Read own slab plus one neighbour plane on each side.
+		rlo, rhi := xlo-1, xhi+1
+		if rlo < 0 {
+			rlo = 0
+		}
+		if rhi > c {
+			rhi = c
+		}
+		raw := in.RSlice(p, w.cellPos+uint64(rlo*planeBytes), (rhi-rlo)*planeBytes)
+		readPos := func(cell, slot int) vec3 {
+			k := (cell*w.cap + slot) - rlo*planeSlots
+			return vec3{dsm.F64(raw, 3*k), dsm.F64(raw, 3*k+1), dsm.F64(raw, 3*k+2)}
+		}
+		acc := make([]vec3, (xhi-xlo)*planeSlots) // own slots only
+		ownIdx := func(cell, slot int) int { return cell*w.cap + slot - xlo*planeSlots }
+		var ghostAcc []vec3 // FL: reactions for plane xlo-1
+		if w.fl && xlo > 0 {
+			ghostAcc = make([]vec3, planeSlots)
+		}
+		var pe float64
+		pairs := 0
+		for x := xlo; x < xhi; x++ {
+			for y := 0; y < c; y++ {
+				for z := 0; z < c; z++ {
+					ci := w.cellIndex(x, y, z)
+					for si := 0; si < w.counts[ci]; si++ {
+						pi := readPos(ci, si)
+						for dx := -1; dx <= 1; dx++ {
+							nx := x + dx
+							if nx < 0 || nx >= c {
+								continue
+							}
+							for dy := -1; dy <= 1; dy++ {
+								ny := y + dy
+								if ny < 0 || ny >= c {
+									continue
+								}
+								for dz := -1; dz <= 1; dz++ {
+									nz := z + dz
+									if nz < 0 || nz >= c {
+										continue
+									}
+									cj := w.cellIndex(nx, ny, nz)
+									for sj := 0; sj < w.counts[cj]; sj++ {
+										if cj == ci && sj == si {
+											continue
+										}
+										if w.fl && (cj > ci || (cj == ci && sj > si)) {
+											continue // the higher-ordered molecule computes the pair
+										}
+										pj := readPos(cj, sj)
+										d := pi.sub(pj)
+										if d.norm2() > cutoff2 {
+											continue
+										}
+										f, e := ljForce(pi, pj, soft2)
+										acc[ownIdx(ci, si)] = acc[ownIdx(ci, si)].add(f)
+										pairs++
+										if w.fl {
+											pe += e
+											if nx >= xlo {
+												acc[ownIdx(cj, sj)] = acc[ownIdx(cj, sj)].sub(f)
+											} else {
+												ghostAcc[cj*w.cap+sj-(xlo-1)*planeSlots] =
+													ghostAcc[cj*w.cap+sj-(xlo-1)*planeSlots].sub(f)
+											}
+										} else {
+											pe += e / 2 // the partner's owner adds the other half
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		in.Compute(p, sim.Time(pairs)*w.cPair)
+		if !w.fl {
+			// Positions are updated in place below; no node may start
+			// integrating until every node has read the neighbour
+			// planes it needs (the FL variant's ghost barrier already
+			// provides this separation).
+			in.Barrier(p)
+		}
+		if w.fl {
+			// Publish reaction forces for the lower neighbour plane
+			// under that plane's lock, then synchronize and fold in the
+			// reactions the upper neighbour left for us.
+			if xlo > 0 {
+				in.Acquire(p, wsLockBase+xlo-1)
+				gb := in.WSlice(p, w.ghost+uint64((xlo-1)*planeBytes), planeBytes)
+				for k, g := range ghostAcc {
+					if g == (vec3{}) {
+						continue
+					}
+					dsm.SetF64(gb, 3*k+0, dsm.F64(gb, 3*k+0)+g.x)
+					dsm.SetF64(gb, 3*k+1, dsm.F64(gb, 3*k+1)+g.y)
+					dsm.SetF64(gb, 3*k+2, dsm.F64(gb, 3*k+2)+g.z)
+				}
+				in.Release(p, wsLockBase+xlo-1)
+			}
+			in.Barrier(p)
+			gb := in.RSlice(p, w.ghost+uint64(xlo*planeBytes), (xhi-xlo)*planeBytes)
+			for k := 0; k < (xhi-xlo)*planeSlots; k++ {
+				g := vec3{dsm.F64(gb, 3*k), dsm.F64(gb, 3*k+1), dsm.F64(gb, 3*k+2)}
+				acc[k] = acc[k].add(g)
+			}
+			// Zero our ghost region for the next step; the reset
+			// propagates with this node's next barrier notices.
+			wb := in.WSlice(p, w.ghost+uint64(xlo*planeBytes), (xhi-xlo)*planeBytes)
+			for i := range wb {
+				wb[i] = 0
+			}
+		}
+		// Potential-energy reduction under the global lock.
+		in.Acquire(p, wsPeLock)
+		eb := in.WSlice(p, w.pe, 8)
+		dsm.SetF64(eb, 0, dsm.F64(eb, 0)+pe)
+		in.Release(p, wsPeLock)
+		// Integrate own slab.
+		out := in.WSlice(p, w.cellPos+uint64(xlo*planeBytes), (xhi-xlo)*planeBytes)
+		for x := xlo; x < xhi; x++ {
+			for y := 0; y < c; y++ {
+				for z := 0; z < c; z++ {
+					ci := w.cellIndex(x, y, z)
+					for si := 0; si < w.counts[ci]; si++ {
+						g := ci*w.cap + si
+						w.vel[g] = w.vel[g].add(acc[ownIdx(ci, si)].scale(w.dt))
+						pp := readPos(ci, si).add(w.vel[g].scale(w.dt))
+						k := g - xlo*planeSlots
+						dsm.SetF64(out, 3*k+0, pp.x)
+						dsm.SetF64(out, 3*k+1, pp.y)
+						dsm.SetF64(out, 3*k+2, pp.z)
+					}
+				}
+			}
+		}
+		in.Barrier(p)
+	}
+}
+
+// Verify replays the dynamics sequentially with the plain (recompute)
+// pair rule and compares positions with a tolerance (the FL variant's
+// force-summation order differs).
+func (w *WaterSpatial) Verify(sys *dsm.System) string {
+	c := w.c
+	cells := c * c * c
+	cutoff2 := (w.box / float64(c)) * (w.box / float64(c))
+	soft2 := 0.04 * cutoff2
+	pos := append([]vec3(nil), w.initPos...)
+	vel := make([]vec3, cells*w.cap)
+	for s := 0; s < w.steps; s++ {
+		acc := make([]vec3, cells*w.cap)
+		for x := 0; x < c; x++ {
+			for y := 0; y < c; y++ {
+				for z := 0; z < c; z++ {
+					ci := w.cellIndex(x, y, z)
+					for si := 0; si < w.counts[ci]; si++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx := x + dx
+							if nx < 0 || nx >= c {
+								continue
+							}
+							for dy := -1; dy <= 1; dy++ {
+								ny := y + dy
+								if ny < 0 || ny >= c {
+									continue
+								}
+								for dz := -1; dz <= 1; dz++ {
+									nz := z + dz
+									if nz < 0 || nz >= c {
+										continue
+									}
+									cj := w.cellIndex(nx, ny, nz)
+									for sj := 0; sj < w.counts[cj]; sj++ {
+										if cj == ci && sj == si {
+											continue
+										}
+										d := pos[ci*w.cap+si].sub(pos[cj*w.cap+sj])
+										if d.norm2() > cutoff2 {
+											continue
+										}
+										f, _ := ljForce(pos[ci*w.cap+si], pos[cj*w.cap+sj], soft2)
+										acc[ci*w.cap+si] = acc[ci*w.cap+si].add(f)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		for g := range pos {
+			vel[g] = vel[g].add(acc[g].scale(w.dt))
+			pos[g] = pos[g].add(vel[g].scale(w.dt))
+		}
+	}
+	out := sys.ReadShared(w.cellPos, 24*w.cap*cells)
+	for cell := 0; cell < cells; cell++ {
+		for s := 0; s < w.counts[cell]; s++ {
+			k := cell*w.cap + s
+			got := vec3{dsm.F64(out, 3*k), dsm.F64(out, 3*k+1), dsm.F64(out, 3*k+2)}
+			want := pos[k]
+			scale := 1 + math.Abs(want.x) + math.Abs(want.y) + math.Abs(want.z)
+			if d := got.sub(want); math.Abs(d.x)+math.Abs(d.y)+math.Abs(d.z) > 1e-7*scale {
+				return fmt.Sprintf("%s: cell %d slot %d at %+v, want %+v", w.Name(), cell, s, got, want)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,565 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"multiedge/internal/apps"
+	"multiedge/internal/cluster"
+	"multiedge/internal/frame"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+)
+
+// These tests pin the reproduction to the paper's headline results
+// (IPPS'07 abstract and §4). They are the regression suite for the
+// calibration recorded in EXPERIMENTS.md.
+
+func TestShape1GOneWayNearNominal(t *testing.T) {
+	r := RunOneWay(cluster.OneLink1G(2), 1<<20)
+	// Paper: >95% of nominal with 1-GBit/s links. Our 56-byte header
+	// caps goodput at 117 MB/s of the 125 nominal; require >90%.
+	if r.ThroughputMBs < 112 {
+		t.Errorf("1L-1G one-way = %.1f MB/s, want > 112", r.ThroughputMBs)
+	}
+}
+
+func TestShape2LDoublesThroughput(t *testing.T) {
+	one := RunOneWay(cluster.OneLink1G(2), 1<<20)
+	two := RunOneWay(cluster.TwoLink1G(2), 1<<20)
+	if two.ThroughputMBs < 1.85*one.ThroughputMBs {
+		t.Errorf("2L-1G %.1f MB/s not ~2x 1L-1G %.1f MB/s",
+			two.ThroughputMBs, one.ThroughputMBs)
+	}
+}
+
+func TestShape10GOneWayCeiling(t *testing.T) {
+	r := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	// Paper: ~1100 of 1250 MB/s (88%), sender-side limited.
+	if r.ThroughputMBs < 1000 || r.ThroughputMBs > 1200 {
+		t.Errorf("1L-10G one-way = %.1f MB/s, want ~1100 (paper: 88%% of nominal)", r.ThroughputMBs)
+	}
+}
+
+func TestShape10GMinLatency(t *testing.T) {
+	r := RunPingPong(cluster.OneLink10G(2), 4)
+	// Paper: minimum latency about 30 us.
+	if r.LatencyUs < 20 || r.LatencyUs > 42 {
+		t.Errorf("1L-10G 4B one-way latency = %.1f us, want ~30", r.LatencyUs)
+	}
+}
+
+func TestShapeHostOverhead(t *testing.T) {
+	r := RunOneWay(cluster.OneLink1G(2), 4)
+	// Paper: minimum host overhead about 2 us.
+	if r.LatencyUs < 1 || r.LatencyUs > 3.5 {
+		t.Errorf("initiation overhead = %.2f us, want ~2", r.LatencyUs)
+	}
+}
+
+func TestShapePingPongBelowOneWay10G(t *testing.T) {
+	pp := RunPingPong(cluster.OneLink10G(2), 1<<20)
+	ow := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	// Paper: ping-pong ~710 vs one-way ~1100 MB/s.
+	if pp.ThroughputMBs >= ow.ThroughputMBs {
+		t.Errorf("ping-pong %.1f >= one-way %.1f on 10G", pp.ThroughputMBs, ow.ThroughputMBs)
+	}
+	if pp.ThroughputMBs < 550 || pp.ThroughputMBs > 950 {
+		t.Errorf("10G ping-pong = %.1f MB/s, want ~710", pp.ThroughputMBs)
+	}
+}
+
+func TestShapeTwoWayAboveOneWay10G(t *testing.T) {
+	tw := RunTwoWay(cluster.OneLink10G(2), 1<<20)
+	ow := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	// Paper: two-way ~1500 vs one-way ~1100 MB/s (1.2-1.5x).
+	ratio := tw.ThroughputMBs / ow.ThroughputMBs
+	if ratio < 1.1 || ratio > 1.7 {
+		t.Errorf("two-way/one-way ratio = %.2f, want 1.2-1.5", ratio)
+	}
+}
+
+func TestShapeOOOFractions(t *testing.T) {
+	one := RunOneWay(cluster.OneLink1G(2), 1<<19)
+	if f := one.Net.Proto.OOOFraction(); f != 0 {
+		t.Errorf("single-link OOO fraction = %.2f, want 0", f)
+	}
+	two := RunOneWay(cluster.TwoLink1G(2), 1<<19)
+	// Paper: 45-50% under two-link round-robin.
+	if f := two.Net.Proto.OOOFraction(); f < 0.25 || f > 0.55 {
+		t.Errorf("dual-link OOO fraction = %.2f, want ~0.45-0.50", f)
+	}
+}
+
+func TestShapeExtraTrafficSmall(t *testing.T) {
+	for _, cfg := range Configs() {
+		r := RunOneWay(cfg, 1<<20)
+		// Paper: at most 5.5% extra frames in micro-benchmarks.
+		if f := r.Net.Proto.ExtraTrafficFraction(); f > 0.055 {
+			t.Errorf("%s: extra traffic %.3f, paper reports <= 0.055", cfg.Name, f)
+		}
+	}
+}
+
+func TestShapeCPUUtilization10G(t *testing.T) {
+	ow := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	pp := RunPingPong(cluster.OneLink10G(2), 1<<20)
+	// Paper: one-way ~95%, ping-pong ~75% of 200%. Our accounting
+	// includes the full initiation copy on the app CPU, so allow a
+	// wider band but preserve the ordering.
+	if ow.CPUPct <= pp.CPUPct {
+		t.Errorf("10G one-way CPU %.0f%% <= ping-pong %.0f%%", ow.CPUPct, pp.CPUPct)
+	}
+	if pp.CPUPct < 50 || pp.CPUPct > 110 {
+		t.Errorf("10G ping-pong CPU = %.0f%%, want ~75%%", pp.CPUPct)
+	}
+}
+
+func TestMicroDeterministic(t *testing.T) {
+	a := RunOneWay(cluster.TwoLink1G(2), 65536)
+	b := RunOneWay(cluster.TwoLink1G(2), 65536)
+	if a.ThroughputMBs != b.ThroughputMBs || a.Net.Proto != b.Net.Proto {
+		t.Error("identical runs produced different results")
+	}
+}
+
+func TestRunMicroUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark name did not panic")
+		}
+	}()
+	RunMicro("bogus", cluster.OneLink1G(2), 4)
+}
+
+func TestAblationByteStripingSlower(t *testing.T) {
+	frame := RunOneWay(cluster.TwoLinkUnordered1G(2), 1<<19)
+	cfg := cluster.TwoLinkUnordered1G(2)
+	cfg.Core.ByteStripe = true
+	byteS := RunOneWay(cfg, 1<<19)
+	// Byte-level parallelism halves the payload per frame: more header
+	// overhead and per-frame CPU, hence lower throughput (§1's argument
+	// for decoupled frame striping).
+	if byteS.ThroughputMBs >= frame.ThroughputMBs {
+		t.Errorf("byte striping %.1f MB/s >= frame striping %.1f MB/s",
+			byteS.ThroughputMBs, frame.ThroughputMBs)
+	}
+}
+
+func TestAblationGoBackNWastefulUnderLoss(t *testing.T) {
+	base := cluster.TwoLinkUnordered1G(2)
+	base.Link.LossProb = 0.005
+	base.Seed = 5
+	sr := RunOneWay(base, 1<<19)
+	gbn := base
+	gbn.Core.GoBackN = true
+	gb := RunOneWay(gbn, 1<<19)
+	if gb.Net.Proto.Retransmissions <= sr.Net.Proto.Retransmissions {
+		t.Errorf("go-back-N retransmitted %d <= selective repeat %d under loss",
+			gb.Net.Proto.Retransmissions, sr.Net.Proto.Retransmissions)
+	}
+}
+
+func TestFigureSpecsCoverPaper(t *testing.T) {
+	figs := AppFigures()
+	if len(figs) != 4 {
+		t.Fatalf("%d app figures, want 4 (Figures 3-6)", len(figs))
+	}
+	want := map[string]string{"3": "1L-1G", "4": "1L-10G", "5": "2L-1G", "6": "2Lu-1G"}
+	for _, f := range figs {
+		if got := f.Config(2).Name; got != want[f.Figure] {
+			t.Errorf("figure %s uses %s, want %s", f.Figure, got, want[f.Figure])
+		}
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke skipped in -short")
+	}
+	spec := FigureSpec{Figure: "5", Config: cluster.TwoLink1G, NodeCounts: []int{4}}
+	pts := RunFigure(spec, apps.SizeTest)
+	if len(pts) != len(apps.Names) {
+		t.Fatalf("%d points, want %d", len(pts), len(apps.Names))
+	}
+	for _, p := range pts {
+		if p.Elapsed <= 0 || p.SeqTime <= 0 {
+			t.Errorf("%s: empty measurement", p.Name)
+		}
+	}
+	out := RenderAppFigure(spec, pts)
+	for _, name := range apps.Names {
+		if !strings.Contains(out, name) {
+			t.Errorf("rendered figure missing %s", name)
+		}
+	}
+	if s := RenderFigureSummary(pts, 4); !strings.Contains(s, "Barnes") {
+		t.Error("summary missing Barnes")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rows := RunTable1(apps.SizeTest)
+	if len(rows) != len(apps.Names) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	out := RenderTable1(rows)
+	for _, r := range rows {
+		if r.SeqExec <= 0 {
+			t.Errorf("%s: no sequential time", r.Name)
+		}
+		if !strings.Contains(out, r.Name) {
+			t.Errorf("table missing %s", r.Name)
+		}
+	}
+}
+
+func TestRenderFig2Smoke(t *testing.T) {
+	out := RenderFig2("b", []int{1024})
+	for _, cfg := range Configs() {
+		if !strings.Contains(out, cfg.Name) {
+			t.Errorf("fig2 output missing %s", cfg.Name)
+		}
+	}
+	if !strings.Contains(out, "ping-pong") || !strings.Contains(out, "two-way") {
+		t.Error("fig2 output missing benchmarks")
+	}
+}
+
+func TestRenderNetStatsSmoke(t *testing.T) {
+	out := RenderNetStats(16384)
+	if !strings.Contains(out, "1L-10G") || !strings.Contains(out, "ooo%") {
+		t.Error("netstats output malformed")
+	}
+}
+
+func TestFutureWorkOffload(t *testing.T) {
+	// §6(b): offloading per-frame protocol work to the NIC must free
+	// the host CPUs and lift the sender-limited 10-GbE ceiling toward
+	// wire rate.
+	edge := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	off := RunOneWay(cluster.OneLink10GOffload(2), 1<<20)
+	if off.ThroughputMBs <= edge.ThroughputMBs {
+		t.Errorf("offload %.1f MB/s <= edge %.1f MB/s", off.ThroughputMBs, edge.ThroughputMBs)
+	}
+	if off.ThroughputMBs < 1100 {
+		t.Errorf("offload one-way = %.1f MB/s, want near wire rate (~1170)", off.ThroughputMBs)
+	}
+	if off.CPUPct >= edge.CPUPct/2 {
+		t.Errorf("offload host CPU %.0f%% not well below edge %.0f%%", off.CPUPct, edge.CPUPct)
+	}
+}
+
+func TestFutureWorkTreeFabric(t *testing.T) {
+	// §6(a): a 4:1 oversubscribed two-level tree must still deliver the
+	// micro-benchmarks; a pair within one edge switch performs like the
+	// flat fabric.
+	flat := RunOneWay(cluster.OneLink1G(2), 1<<19)
+	tree := RunOneWay(cluster.TreeOneLink1G(2, 4, 1), 1<<19)
+	if d := tree.ThroughputMBs / flat.ThroughputMBs; d < 0.95 {
+		t.Errorf("intra-edge tree throughput %.1f far below flat %.1f",
+			tree.ThroughputMBs, flat.ThroughputMBs)
+	}
+}
+
+func TestMessagingBench(t *testing.T) {
+	pp := RunMsgPingPong(cluster.OneLink1G(2), 1024, 20)
+	if pp.LatencyUs <= 0 || pp.BWMBs <= 0 {
+		t.Fatalf("msg ping-pong empty: %+v", pp)
+	}
+	raw := RunPingPong(cluster.OneLink1G(2), 1024)
+	// The messaging layer adds matching and ring management on top of
+	// raw remote writes: latency must be higher but within ~3x.
+	if pp.LatencyUs <= raw.LatencyUs {
+		t.Errorf("msg latency %.1f <= raw %.1f", pp.LatencyUs, raw.LatencyUs)
+	}
+	if pp.LatencyUs > 3*raw.LatencyUs {
+		t.Errorf("msg latency %.1f more than 3x raw %.1f", pp.LatencyUs, raw.LatencyUs)
+	}
+	bar := RunCollective("barrier", 8, 0, 10)
+	if bar.LatencyUs <= 0 {
+		t.Fatal("barrier collective empty")
+	}
+	// Dissemination barrier is logarithmic: 16 ranks should cost less
+	// than 2x of 4 ranks.
+	b4 := RunCollective("barrier", 4, 0, 10)
+	b16 := RunCollective("barrier", 16, 0, 10)
+	if b16.LatencyUs > 3*b4.LatencyUs {
+		t.Errorf("barrier scaling poor: 4 ranks %.1f us, 16 ranks %.1f us", b4.LatencyUs, b16.LatencyUs)
+	}
+	for _, c := range []string{"bcast", "allreduce", "alltoall"} {
+		r := RunCollective(c, 5, 512, 5)
+		if r.LatencyUs <= 0 {
+			t.Errorf("%s collective empty", c)
+		}
+	}
+}
+
+func TestDSMPrimitives(t *testing.T) {
+	pf := RunPageFetch(cluster.OneLink1G(2))
+	// A cold 4 KB fetch is a read RTT plus ~3 frames of wire time:
+	// several tens of microseconds on 1-GbE.
+	if pf.LatencyUs < 40 || pf.LatencyUs > 200 {
+		t.Errorf("page fetch = %.1f us, want ~60-120", pf.LatencyUs)
+	}
+	lh := RunLockHandoff(cluster.OneLink1G(3))
+	if lh.LatencyUs <= 0 || lh.LatencyUs > 500 {
+		t.Errorf("lock handoff = %.1f us", lh.LatencyUs)
+	}
+	b2 := RunDSMBarrier(cluster.OneLink1G(2), 2)
+	b16 := RunDSMBarrier(cluster.OneLink1G(16), 16)
+	if b16.LatencyUs <= b2.LatencyUs {
+		t.Errorf("barrier not growing with nodes: %v vs %v", b2.LatencyUs, b16.LatencyUs)
+	}
+	if b16.LatencyUs > 6*b2.LatencyUs {
+		t.Errorf("16-node barrier %.1f us too far above 2-node %.1f us", b16.LatencyUs, b2.LatencyUs)
+	}
+}
+
+func TestScalingShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiment skipped in -short")
+	}
+	pts := RunScaling(apps.SizeSmall)
+	get := func(app, fab string, n int) float64 {
+		for _, p := range pts {
+			if p.App == app && p.Fabric == fab && p.Nodes == n {
+				return p.Speedup
+			}
+		}
+		t.Fatalf("missing point %s/%s/%d", app, fab, n)
+		return 0
+	}
+	// Flat fabric keeps scaling 16 -> 32 for the well-scaling apps.
+	for _, app := range []string{"Barnes", "Water-Nsquared", "Raytrace"} {
+		if get(app, "flat", 32) <= get(app, "flat", 16) {
+			t.Errorf("%s: no gain from 16 to 32 nodes on flat fabric", app)
+		}
+	}
+	// The oversubscribed tree hurts the all-to-all reader (Barnes reads
+	// every body from every home each step) far more than the
+	// neighbor-pattern apps.
+	barnesLoss := get("Barnes", "flat", 32) / get("Barnes", "tree8x2", 32)
+	rayLoss := get("Raytrace", "flat", 32) / get("Raytrace", "tree8x2", 32)
+	if barnesLoss < 1.2 {
+		t.Errorf("Barnes tree penalty %.2fx, expected substantial", barnesLoss)
+	}
+	if rayLoss > barnesLoss {
+		t.Errorf("Raytrace penalty %.2fx exceeds Barnes %.2fx", rayLoss, barnesLoss)
+	}
+}
+
+func TestTransportComparisonShapes(t *testing.T) {
+	// §5: TCP/IP imposes significant overheads relative to edge-based
+	// protocols. On 1-GbE both saturate the wire but TCP burns several
+	// times the CPU; on 10-GbE TCP is CPU-bound well below wire rate.
+	me1 := RunOneWay(cluster.OneLink1G(2), 1<<20)
+	tcp1 := RunTCPOneWay(phys.Gigabit(), phys.DefaultNICParams(), 24<<20)
+	if tcp1.ThroughputMBs < 0.9*me1.ThroughputMBs {
+		t.Errorf("1-GbE TCP %.1f MB/s far below MultiEdge %.1f", tcp1.ThroughputMBs, me1.ThroughputMBs)
+	}
+	if tcp1.CPUPct < 2.5*me1.CPUPct {
+		t.Errorf("1-GbE TCP CPU %.0f%% not well above MultiEdge %.0f%%", tcp1.CPUPct, me1.CPUPct)
+	}
+	me10 := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	tcp10 := RunTCPOneWay(phys.TenGigabit(), phys.Myri10GNICParams(), 24<<20)
+	if tcp10.ThroughputMBs > 0.7*me10.ThroughputMBs {
+		t.Errorf("10-GbE TCP %.1f MB/s not well below MultiEdge %.1f", tcp10.ThroughputMBs, me10.ThroughputMBs)
+	}
+	meL := RunPingPong(cluster.OneLink1G(2), 64)
+	tcpL := RunTCPPingPong(phys.Gigabit(), phys.DefaultNICParams(), 64, 40)
+	if tcpL.LatencyUs <= meL.LatencyUs {
+		t.Errorf("TCP latency %.1f us <= MultiEdge %.1f us", tcpL.LatencyUs, meL.LatencyUs)
+	}
+}
+
+func TestAblationLinkFailureShapes(t *testing.T) {
+	// Losing one of two rails with dead-link detection degrades to
+	// roughly single-rail speed (~110 of 117 MB/s); without it every
+	// window keeps bleeding half its frames onto the dead rail and
+	// throughput roughly halves again; a repaired rail is re-admitted
+	// and lifts the run back above single-rail speed.
+	on := RunLinkFailure(true, 8<<20, 2*sim.Millisecond, 0)
+	off := RunLinkFailure(false, 8<<20, 2*sim.Millisecond, 0)
+	rep := RunLinkFailure(true, 8<<20, 2*sim.Millisecond, 30*sim.Millisecond)
+	if on.ThroughputMBs < 90 {
+		t.Errorf("detection on: %.1f MB/s, want near single-rail (>90)", on.ThroughputMBs)
+	}
+	if off.ThroughputMBs > 0.75*on.ThroughputMBs {
+		t.Errorf("detection off %.1f MB/s not clearly below detection on %.1f MB/s",
+			off.ThroughputMBs, on.ThroughputMBs)
+	}
+	if rep.ThroughputMBs <= on.ThroughputMBs {
+		t.Errorf("repaired run %.1f MB/s <= permanently dead run %.1f MB/s",
+			rep.ThroughputMBs, on.ThroughputMBs)
+	}
+	if on.DeadEvents != 1 || on.Restores != 0 {
+		t.Errorf("detection on: dead=%d restores=%d, want 1/0", on.DeadEvents, on.Restores)
+	}
+	if rep.DeadEvents != 1 || rep.Restores != 1 {
+		t.Errorf("repaired: dead=%d restores=%d, want 1/1", rep.DeadEvents, rep.Restores)
+	}
+	if off.DeadEvents != 0 {
+		t.Errorf("detection off still declared %d links dead", off.DeadEvents)
+	}
+	// Detection caps the bleed: two orders of magnitude fewer frames
+	// burned on the dead rail.
+	if on.FailDrops*10 > off.FailDrops {
+		t.Errorf("detection on burned %d frames vs %d off; expected a >10x reduction",
+			on.FailDrops, off.FailDrops)
+	}
+}
+
+func TestShapeEdgeScalingLinear(t *testing.T) {
+	// §1's design goal: adding rails scales throughput linearly while
+	// extra traffic stays flat. The paper shows ×2 on two rails; the
+	// model must hold the line through four.
+	base := 0.0
+	for rails := 1; rails <= 4; rails++ {
+		cfg := cluster.TwoLinkUnordered1G(2)
+		cfg.LinksPerNode = rails
+		cfg.Name = "xL-1G"
+		r := RunOneWay(cfg, 1<<20)
+		if rails == 1 {
+			base = r.ThroughputMBs
+			continue
+		}
+		want := base * float64(rails)
+		if r.ThroughputMBs < 0.90*want {
+			t.Errorf("%d rails: %.1f MB/s, want >= 90%% of linear (%.1f)",
+				rails, r.ThroughputMBs, want)
+		}
+		if extra := r.Net.Proto.ExtraTrafficFraction(); extra > 0.05 {
+			t.Errorf("%d rails: extra traffic %.1f%% > 5%%", rails, extra*100)
+		}
+	}
+}
+
+func TestShapeBlockStore(t *testing.T) {
+	// The storage domain inherits the transport's latency structure:
+	// 10-GbE roughly halves 4 KiB access latency; solicited commits
+	// make QD1 writes symmetric with reads (within 25%) instead of
+	// delayed-ACK-bound (~500us slower); and the passive host serves
+	// multiple clients concurrently.
+	g1 := RunBlk(cluster.OneLink1G(0), 1, 4096, 150)
+	g10 := RunBlk(cluster.OneLink10G(0), 1, 4096, 150)
+	if g10.ReadLatUs >= g1.ReadLatUs*0.8 {
+		t.Errorf("10-GbE read latency %.1fus not clearly below 1-GbE %.1fus",
+			g10.ReadLatUs, g1.ReadLatUs)
+	}
+	if g1.WriteLatUs > g1.ReadLatUs*1.25 {
+		t.Errorf("QD1 write latency %.1fus >> read %.1fus: solicited ACK not effective",
+			g1.WriteLatUs, g1.ReadLatUs)
+	}
+	one := RunBlk(cluster.TwoLinkUnordered1G(0), 1, 4096, 150)
+	eight := RunBlk(cluster.TwoLinkUnordered1G(0), 8, 4096, 150)
+	if eight.ReadIOPS < 3*one.ReadIOPS {
+		t.Errorf("8 clients reach %.0f read IOPS, want >= 3x single client (%.0f)",
+			eight.ReadIOPS, one.ReadIOPS)
+	}
+}
+
+func TestShapeLatencyTail(t *testing.T) {
+	// Clean configurations have tight distributions; two unordered
+	// rails widen the body by the rail skew; and with loss, a
+	// single-outstanding-op round trip can only be repaired by the
+	// coarse RTO (no later frames reveal the gap to the NACK logic), so
+	// the p99 tail sits at RTO scale (2 ms) while the median is
+	// untouched.
+	clean := RunLatencyDist(cluster.OneLink1G(2), 64, 400)
+	if p99 := clean.Percentile(99); p99 > 150*sim.Microsecond {
+		t.Errorf("clean p99 = %v, want < 150us", p99)
+	}
+	dual := RunLatencyDist(cluster.TwoLinkUnordered1G(2), 64, 400)
+	if dual.Percentile(90) <= clean.Percentile(90) {
+		t.Errorf("dual-rail p90 %v not above single-rail %v (rail skew should widen it)",
+			dual.Percentile(90), clean.Percentile(90))
+	}
+	lossy := cluster.TwoLinkUnordered1G(2)
+	lossy.Link.LossProb = 0.005
+	lossy.Seed = 3
+	dist := RunLatencyDist(lossy, 64, 1500)
+	if p99 := dist.Percentile(99); p99 < 1500*sim.Microsecond {
+		t.Errorf("lossy p99 = %v, want RTO-scale (>= 1.5ms)", p99)
+	}
+	if p50 := dist.Percentile(50); p50 > 150*sim.Microsecond {
+		t.Errorf("lossy p50 = %v; the median must stay clean", p50)
+	}
+}
+
+func TestShapeHybridRailsAdaptive(t *testing.T) {
+	// Heterogeneous rails (1-GbE + 10-GbE): round-robin gives each rail
+	// equal frame counts, so throughput caps near 2x the slow rail
+	// (~234 MB/s); least-backlog striping approaches the combined rate;
+	// and on homogeneous rails adaptive must not regress round-robin.
+	hyb := cluster.HybridRails(2)
+	rr := hyb
+	rr.Core.AdaptiveStripe = false
+	adaptive := RunOneWay(hyb, 1<<20)
+	robin := RunOneWay(rr, 1<<20)
+	if adaptive.ThroughputMBs < 1000 {
+		t.Errorf("hybrid adaptive: %.1f MB/s, want near combined rate (>1000)", adaptive.ThroughputMBs)
+	}
+	if robin.ThroughputMBs > 300 {
+		t.Errorf("hybrid round-robin: %.1f MB/s, should be slow-rail-paced (<300)", robin.ThroughputMBs)
+	}
+	homRR := RunOneWay(cluster.TwoLinkUnordered1G(2), 1<<20)
+	homAd := cluster.TwoLinkUnordered1G(2)
+	homAd.Core.AdaptiveStripe = true
+	homA := RunOneWay(homAd, 1<<20)
+	if homA.ThroughputMBs < 0.95*homRR.ThroughputMBs {
+		t.Errorf("homogeneous adaptive %.1f MB/s regresses round-robin %.1f MB/s",
+			homA.ThroughputMBs, homRR.ThroughputMBs)
+	}
+}
+
+func TestHybridRailsSurviveFastRailFailure(t *testing.T) {
+	// Killing the 10-GbE rail mid-transfer must degrade a hybrid
+	// adaptive transfer to the 1-GbE rail, not stall it.
+	cfg := cluster.HybridRails(2)
+	cfg.Core.MemBytes = 64 << 20
+	cl := cluster.New(cfg)
+	c01, _ := cl.Pair()
+	ep0, ep1 := cl.Nodes[0].EP, cl.Nodes[1].EP
+	const n = 16 << 20
+	src := ep0.Alloc(n)
+	dst := ep1.Alloc(n)
+	cl.Env.At(2*sim.Millisecond, func() { cl.FailLink(0, 1) })
+	done := false
+	cl.Env.Go("xfer", func(p *sim.Proc) {
+		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		done = true
+	})
+	cl.Env.RunUntil(10 * sim.Second)
+	if !done {
+		t.Fatal("transfer stalled after losing the fast rail")
+	}
+	if cl.Nodes[0].EP.Stats.LinkDeadEvents == 0 {
+		t.Error("fast rail never declared dead")
+	}
+}
+
+func TestShapeInterruptAvoidance(t *testing.T) {
+	// The §2.6 masking scheme is what keeps 10-GbE receive-side
+	// processing off the interrupt path: with receive interrupts
+	// unmaskable, per-frame interrupt entry swamps the protocol CPU and
+	// one-way throughput collapses. At 1-GbE frames arrive slower than
+	// they are processed, so the thread sleeps between frames and
+	// masking changes nothing.
+	on10 := RunOneWay(cluster.OneLink10G(2), 1<<20)
+	off := cluster.OneLink10G(2)
+	off.NIC.RxIntrUnmaskable = true
+	off10 := RunOneWay(off, 1<<20)
+	if off10.ThroughputMBs > 0.6*on10.ThroughputMBs {
+		t.Errorf("10G without masking: %.1f MB/s, expected well below %.1f",
+			off10.ThroughputMBs, on10.ThroughputMBs)
+	}
+	on1 := RunOneWay(cluster.OneLink1G(2), 1<<20)
+	off1cfg := cluster.OneLink1G(2)
+	off1cfg.NIC.RxIntrUnmaskable = true
+	off1 := RunOneWay(off1cfg, 1<<20)
+	if off1.ThroughputMBs < 0.98*on1.ThroughputMBs {
+		t.Errorf("1G without masking: %.1f MB/s, expected unchanged from %.1f",
+			off1.ThroughputMBs, on1.ThroughputMBs)
+	}
+}

@@ -1,0 +1,150 @@
+package blk
+
+import (
+	"fmt"
+
+	"multiedge/internal/core"
+	"multiedge/internal/frame"
+	"multiedge/internal/sim"
+)
+
+// Mirror is client-side RAID-1 over two volumes on different hosts:
+// writes go to both legs concurrently (each with its own fenced,
+// solicited commit), reads go to the preferred leg with a deadline and
+// fail over to the other. MultiEdge never loses data, so the deadline
+// is not about loss — it is how a client survives a whole *host* (or
+// its last rail) becoming unreachable, which the transport can only
+// express as an operation that never completes.
+type Mirror struct {
+	legs     [2]*Client
+	down     [2]bool
+	deadline sim.Time
+
+	// Stats.
+	Failovers uint64 // reads that timed out on one leg and switched
+	Rebuilt   uint64 // blocks copied by Rebuild
+}
+
+// DefaultMirrorDeadline is how long a read may stay unanswered before
+// the mirror declares the leg down: several RTOs, so ordinary loss
+// repair (one RTO) never trips it.
+const DefaultMirrorDeadline = 10 * sim.Millisecond
+
+// OpenMirror pairs two clients into a mirror. The legs must serve the
+// same geometry.
+func OpenMirror(a, b *Client) *Mirror {
+	if a.v.Blocks != b.v.Blocks || a.v.BlockSize != b.v.BlockSize {
+		panic("blk: mirror legs have different geometry")
+	}
+	if a.v.Host == b.v.Host {
+		panic("blk: mirror legs on the same host protect nothing")
+	}
+	return &Mirror{legs: [2]*Client{a, b}, deadline: DefaultMirrorDeadline}
+}
+
+// SetDeadline overrides the failover deadline.
+func (m *Mirror) SetDeadline(d sim.Time) { m.deadline = d }
+
+// Down reports which legs are currently marked down.
+func (m *Mirror) Down() (a, b bool) { return m.down[0], m.down[1] }
+
+// writeAsync issues one leg's data write plus its fenced solicited
+// commit without waiting, returning the commit handle.
+func (c *Client) writeAsync(p *sim.Proc, block int, data []byte) *core.Handle {
+	mem := c.ep.Mem()
+	copy(mem[c.stage:c.stage+uint64(c.v.BlockSize)], data)
+	c.c.RDMAOperation(p, c.blockAddr(block), c.stage, c.v.BlockSize, frame.OpWrite, 0)
+	c.seq++
+	putCommit(mem[c.rec:], c.seq, block)
+	c.Stats.Writes++
+	c.Stats.Commits++
+	c.Stats.BytesWrite += uint64(c.v.BlockSize)
+	return c.c.RDMAOperation(p, c.commitAddr(), c.rec, CommitRecordSize,
+		frame.OpWrite, frame.FenceBefore|frame.Solicit)
+}
+
+// Write stores the block on every healthy leg, concurrently, and
+// returns when all their commits are acknowledged. With a leg down it
+// degrades to single-leg writes (Rebuild copies the backlog later).
+func (m *Mirror) Write(p *sim.Proc, block int, data []byte) {
+	var hs [2]*core.Handle
+	for i, leg := range m.legs {
+		if !m.down[i] {
+			hs[i] = leg.writeAsync(p, block, data)
+		}
+	}
+	if hs[0] == nil && hs[1] == nil {
+		panic("blk: mirror write with both legs down")
+	}
+	for _, h := range hs {
+		if h != nil {
+			h.Wait(p)
+		}
+	}
+}
+
+// waitDeadline waits for h with a deadline; false means it timed out
+// (the operation itself remains outstanding — MultiEdge has no
+// cancellation, exactly like a posted RDMA op on real hardware).
+func (m *Mirror) waitDeadline(p *sim.Proc, h *core.Handle) bool {
+	limit := p.Env().Now() + m.deadline
+	for !h.Test() {
+		if p.Env().Now() >= limit {
+			return false
+		}
+		p.Sleep(m.deadline / 64)
+	}
+	return true
+}
+
+// Read fetches the block from the preferred (lowest-index healthy)
+// leg; if the read outlives the deadline, the leg is marked down and
+// the other leg serves it. Reading with both legs down panics.
+func (m *Mirror) Read(p *sim.Proc, block int, buf []byte) {
+	for i, leg := range m.legs {
+		if m.down[i] {
+			continue
+		}
+		h := leg.ReadAsync(p, block)
+		if m.waitDeadline(p, h) {
+			copy(buf, leg.Stage())
+			leg.Stats.Reads++
+			leg.Stats.BytesRead += uint64(leg.v.BlockSize)
+			return
+		}
+		// The leg is unreachable. Its staging buffer stays owned by the
+		// abandoned read; mark the leg down so nothing reuses it until
+		// Rebuild has verified the leg answers again.
+		m.down[i] = true
+		m.Failovers++
+	}
+	panic(fmt.Sprintf("blk: mirror read of block %d with no healthy leg", block))
+}
+
+// Rebuild brings a recovered leg back: it first verifies the leg
+// answers (a deadline read of block 0), then copies every block from
+// the healthy leg and finally clears the down mark. Returns false if
+// the leg still does not answer.
+func (m *Mirror) Rebuild(p *sim.Proc) bool {
+	var from, to int
+	switch {
+	case m.down[0] && !m.down[1]:
+		from, to = 1, 0
+	case m.down[1] && !m.down[0]:
+		from, to = 0, 1
+	default:
+		return !m.down[0] && !m.down[1] // nothing to do, or nothing to copy from
+	}
+	probe := m.legs[to].ReadAsync(p, 0)
+	if !m.waitDeadline(p, probe) {
+		return false // still dead; keep serving degraded
+	}
+	buf := make([]byte, m.legs[from].v.BlockSize)
+	for b := 0; b < m.legs[from].v.Blocks; b++ {
+		m.legs[from].Read(p, b, buf)
+		m.legs[to].Write(p, b, buf)
+		m.Rebuilt++
+	}
+	m.down[to] = false
+	return true
+}

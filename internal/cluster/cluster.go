@@ -1,0 +1,388 @@
+// Package cluster assembles simulated MultiEdge clusters: nodes (two
+// CPUs, one or two NICs, an endpoint) attached to one switch per link
+// index, exactly like the evaluation setups of IPPS'07 §3.
+//
+// The four paper configurations are provided as presets:
+//
+//	1L-1G : 16 nodes, one 1-GBit/s link each, one switch
+//	2L-1G : 16 nodes, two 1-GBit/s links and switches, strict ordering
+//	2Lu-1G: as 2L-1G but frames may be delivered out of order
+//	1L-10G: 4 nodes, one 10-GBit/s link each
+package cluster
+
+import (
+	"fmt"
+
+	"multiedge/internal/core"
+	"multiedge/internal/frame"
+	"multiedge/internal/hostmodel"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	Name         string
+	Nodes        int
+	LinksPerNode int
+	Link         phys.LinkParams
+	NIC          phys.NICParams
+	Switch       phys.SwitchParams
+	Core         core.Config
+	Costs        hostmodel.Costs
+	Seed         int64
+
+	// EdgeGroup switches each rail from one flat switch to a two-level
+	// tree (IPPS'07 §6 future work (a): "communication paths that
+	// consist of multiple switches"): nodes attach to edge switches of
+	// EdgeGroup ports each, which connect to one core switch through a
+	// trunk of TrunkLinks aggregated links. Oversubscription is
+	// EdgeGroup/TrunkLinks. Zero keeps the paper's flat fabric.
+	EdgeGroup  int
+	TrunkLinks int
+
+	// RailLinks, when non-nil, overrides Link per rail (len must equal
+	// LinksPerNode): heterogeneous installations mix link generations,
+	// e.g. a 1-GbE rail next to a 10-GbE rail. Pair it with
+	// Core.AdaptiveStripe — round-robin striping is limited by the
+	// slowest rail.
+	RailLinks []phys.LinkParams
+}
+
+// railLink returns rail l's link parameters.
+func (c *Config) railLink(l int) phys.LinkParams {
+	if c.RailLinks != nil {
+		return c.RailLinks[l]
+	}
+	return c.Link
+}
+
+// OneLink1G returns the paper's 1L-1G configuration with the given node
+// count.
+func OneLink1G(nodes int) Config {
+	return Config{
+		Name: "1L-1G", Nodes: nodes, LinksPerNode: 1,
+		Link: phys.Gigabit(), NIC: phys.DefaultNICParams(),
+		Switch: phys.DefaultSwitchParams(),
+		Core:   core.DefaultConfig(), Costs: hostmodel.Default(), Seed: 1,
+	}
+}
+
+// TwoLink1G returns the paper's 2L-1G configuration: two links per node,
+// two switches, and all operations strictly ordered.
+func TwoLink1G(nodes int) Config {
+	c := OneLink1G(nodes)
+	c.Name = "2L-1G"
+	c.LinksPerNode = 2
+	c.Core.Strict = true
+	return c
+}
+
+// TwoLinkUnordered1G returns the paper's 2Lu-1G configuration: two links
+// per node with out-of-order delivery permitted where fences allow.
+func TwoLinkUnordered1G(nodes int) Config {
+	c := TwoLink1G(nodes)
+	c.Name = "2Lu-1G"
+	c.Core.Strict = false
+	return c
+}
+
+// OneLink10G returns the paper's 1L-10G configuration: 10-GBit/s links
+// and Myricom-style NICs whose transmit interrupts cannot be masked.
+func OneLink10G(nodes int) Config {
+	c := OneLink1G(nodes)
+	c.Name = "1L-10G"
+	c.Link = phys.TenGigabit()
+	c.NIC = phys.Myri10GNICParams()
+	return c
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID   int
+	CPUs hostmodel.CPUs
+	NICs []*phys.NIC
+	EP   *core.Endpoint
+}
+
+// OneLink10GOffload returns the future-work hybrid of IPPS'07 §6(b):
+// the 10-GBit/s setup with per-frame protocol processing offloaded to
+// the NIC and direct user-memory DMA.
+func OneLink10GOffload(nodes int) Config {
+	c := OneLink10G(nodes)
+	c.Name = "1L-10G-off"
+	c.Core.Offload = true
+	return c
+}
+
+// HybridRails returns a heterogeneous two-rail configuration — one
+// 1-GBit/s rail next to one 10-GBit/s rail, the incremental-upgrade
+// scenario edge-based scaling invites — with adaptive (least-backlog)
+// striping enabled. Clear Core.AdaptiveStripe for the round-robin
+// baseline, which is limited to twice the slowest rail.
+func HybridRails(nodes int) Config {
+	c := TwoLinkUnordered1G(nodes)
+	c.Name = "1G+10G"
+	c.RailLinks = []phys.LinkParams{phys.Gigabit(), phys.TenGigabit()}
+	c.Core.AdaptiveStripe = true
+	return c
+}
+
+// TreeOneLink1G returns the future-work configuration the paper's §6
+// sketches: one 1-GBit/s rail arranged as a two-level switch tree with
+// `group` nodes per edge switch and `trunks`-wide aggregated uplinks.
+func TreeOneLink1G(nodes, group, trunks int) Config {
+	c := OneLink1G(nodes)
+	c.Name = "1L-1G-tree"
+	c.EdgeGroup = group
+	c.TrunkLinks = trunks
+	return c
+}
+
+// Cluster is a built simulation universe.
+type Cluster struct {
+	Env      *sim.Env
+	Cfg      Config
+	Switches []*phys.Switch  // all switches (edge and core)
+	Trunks   []*phys.OutPort // inter-switch trunk ports (tree fabrics)
+	Nodes    []*Node
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 || cfg.LinksPerNode < 1 {
+		panic("cluster: need at least one node and one link")
+	}
+	env := sim.NewEnv(cfg.Seed)
+	cl := &Cluster{Env: env, Cfg: cfg}
+	// Real multi-rail installations are never symmetric: the two
+	// switches differ in model/firmware/cabling, so the rails have
+	// slightly different base latencies. The skew (plus per-switch
+	// jitter) is what reorders round-robin-striped frames in practice;
+	// with one link it vanishes.
+	const railSkew = 5 * sim.Microsecond
+	// Build the station switch for each (rail, node) pair: flat fabrics
+	// use one switch per rail; tree fabrics use per-group edge switches
+	// behind one core switch per rail.
+	stationSw := make([][]*phys.Switch, cfg.LinksPerNode) // [rail][node]
+	for l := 0; l < cfg.LinksPerNode; l++ {
+		sp := cfg.Switch
+		sp.Latency += railSkew * sim.Time(cfg.LinksPerNode-1-l)
+		stationSw[l] = make([]*phys.Switch, cfg.Nodes)
+		if cfg.EdgeGroup <= 0 {
+			sw := phys.NewSwitch(env, fmt.Sprintf("sw%d", l), sp)
+			cl.Switches = append(cl.Switches, sw)
+			for i := range stationSw[l] {
+				stationSw[l][i] = sw
+			}
+			continue
+		}
+		trunks := cfg.TrunkLinks
+		if trunks <= 0 {
+			trunks = 1
+		}
+		trunkLP := cfg.railLink(l)
+		trunkLP.PsPerByte /= int64(trunks) // a LAG of k links ~ one k-times-faster link
+		coreSw := phys.NewSwitch(env, fmt.Sprintf("core%d", l), sp)
+		cl.Switches = append(cl.Switches, coreSw)
+		groups := (cfg.Nodes + cfg.EdgeGroup - 1) / cfg.EdgeGroup
+		for g := 0; g < groups; g++ {
+			edge := phys.NewSwitch(env, fmt.Sprintf("edge%d.%d", l, g), sp)
+			cl.Switches = append(cl.Switches, edge)
+			up := edge.ConnectSwitch(coreSw, trunkLP, cfg.Switch.QueueCap)
+			down := coreSw.ConnectSwitch(edge, trunkLP, cfg.Switch.QueueCap)
+			cl.Trunks = append(cl.Trunks, up, down)
+			edge.SetDefaultRoute(up)
+			for i := g * cfg.EdgeGroup; i < (g+1)*cfg.EdgeGroup && i < cfg.Nodes; i++ {
+				stationSw[l][i] = edge
+				coreSw.Route(frame.NewAddr(i, l), down)
+			}
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{ID: i, CPUs: hostmodel.NewCPUs(fmt.Sprintf("n%d", i))}
+		for l := 0; l < cfg.LinksPerNode; l++ {
+			addr := frame.NewAddr(i, l)
+			nic := phys.NewNIC(env, fmt.Sprintf("n%d/nic%d", i, l), addr, cfg.NIC)
+			up := stationSw[l][i].AttachStation(addr, nic, cfg.railLink(l), cfg.Switch.QueueCap)
+			nic.AttachUplink(up)
+			n.NICs = append(n.NICs, nic)
+		}
+		n.EP = core.NewEndpoint(env, i, cfg.Core, cfg.Costs, n.CPUs, n.NICs)
+		cl.Nodes = append(cl.Nodes, n)
+	}
+	return cl
+}
+
+// linkPorts returns both transmit directions of node's rail link: the
+// NIC's uplink port (node → switch) and the station port on whichever
+// switch serves that address (switch → node).
+func (cl *Cluster) linkPorts(node, link int) []*phys.OutPort {
+	ports := []*phys.OutPort{cl.Nodes[node].NICs[link].OutPort()}
+	addr := frame.NewAddr(node, link)
+	for _, sw := range cl.Switches {
+		if p := sw.OutPortFor(addr); p != nil {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+// FailLink hard-fails both directions of node's rail `link` (a pulled
+// cable): every frame crossing it from now on is silently lost until
+// RestoreLink. The protocol's dead-link detection reroutes traffic to
+// the surviving rails.
+func (cl *Cluster) FailLink(node, link int) {
+	for _, p := range cl.linkPorts(node, link) {
+		p.Fail()
+	}
+}
+
+// RestoreLink repairs a link failed with FailLink. Senders re-admit the
+// rail after their next successful probe.
+func (cl *Cluster) RestoreLink(node, link int) {
+	for _, p := range cl.linkPorts(node, link) {
+		p.Restore()
+	}
+}
+
+// Pair establishes a single connection between nodes 0 and 1 and returns
+// both ends. It runs the simulation until the handshake completes, so it
+// must be called before any other activity is scheduled.
+func (cl *Cluster) Pair() (c01, c10 *core.Conn) {
+	cl.Env.Go("dial", func(p *sim.Proc) { c01 = cl.Nodes[0].EP.Dial(p, 1, 0) })
+	cl.Env.Go("accept", func(p *sim.Proc) { c10 = cl.Nodes[1].EP.Accept(p) })
+	cl.Env.Run()
+	if c01 == nil || c10 == nil {
+		panic("cluster: pair handshake did not complete")
+	}
+	return c01, c10
+}
+
+// FullMesh establishes a connection between every node pair and returns
+// conns[i][j], the connection node i uses to talk to node j (nil when
+// i == j). It runs the simulation until all handshakes complete.
+func (cl *Cluster) FullMesh() [][]*core.Conn {
+	n := cl.Cfg.Nodes
+	conns := make([][]*core.Conn, n)
+	for i := range conns {
+		conns[i] = make([]*core.Conn, n)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		cl.Env.Go(fmt.Sprintf("dial%d", i), func(p *sim.Proc) {
+			for j := i + 1; j < n; j++ {
+				conns[i][j] = cl.Nodes[i].EP.Dial(p, j, 0)
+			}
+		})
+		cl.Env.Go(fmt.Sprintf("accept%d", i), func(p *sim.Proc) {
+			for k := 0; k < i; k++ {
+				c := cl.Nodes[i].EP.Accept(p)
+				conns[i][c.RemoteNode()] = c
+			}
+		})
+	}
+	cl.Env.Run()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && conns[i][j] == nil {
+				panic(fmt.Sprintf("cluster: mesh handshake %d-%d incomplete", i, j))
+			}
+		}
+	}
+	return conns
+}
+
+// NetReport aggregates protocol- and substrate-level counters across the
+// cluster, the raw material for the paper's §4 network statistics.
+type NetReport struct {
+	Proto core.Stats
+
+	WireFrames    uint64 // frames leaving all NICs
+	WireBytes     uint64
+	SwitchDrops   uint64 // congestion (drop-tail) losses
+	LinkErrDrops  uint64 // transient-error losses
+	LinkFailDrops uint64 // frames lost to hard link failures (FailLink)
+	Interrupts    uint64 // interrupts delivered to hosts
+	RxIntr        uint64
+	TxIntr        uint64
+	NICRxFrames   uint64
+}
+
+// Collect gathers a NetReport snapshot.
+func (cl *Cluster) Collect() NetReport {
+	var r NetReport
+	for _, n := range cl.Nodes {
+		st := n.EP.Stats
+		r.Proto.Add(&st)
+		for _, nic := range n.NICs {
+			r.WireFrames += nic.TxFrames
+			r.WireBytes += nic.TxBytes
+			r.Interrupts += nic.Interrupts
+			r.RxIntr += nic.RxIntr
+			r.TxIntr += nic.TxIntr
+			r.NICRxFrames += nic.RxFrames
+			r.LinkErrDrops += nic.OutPort().DropsErr
+			r.LinkFailDrops += nic.OutPort().DropsFailed
+		}
+	}
+	for _, sw := range cl.Switches {
+		for i := 0; i < cl.Cfg.Nodes; i++ {
+			for l := 0; l < cl.Cfg.LinksPerNode; l++ {
+				if p := sw.OutPortFor(frame.NewAddr(i, l)); p != nil {
+					r.SwitchDrops += p.DropsFull
+					r.LinkErrDrops += p.DropsErr
+					r.LinkFailDrops += p.DropsFailed
+				}
+			}
+		}
+	}
+	for _, tp := range cl.Trunks {
+		r.SwitchDrops += tp.DropsFull
+		r.LinkErrDrops += tp.DropsErr
+	}
+	return r
+}
+
+// Sub returns the difference of two reports (window measurement).
+func (r NetReport) Sub(prev NetReport) NetReport {
+	out := r
+	var p core.Stats
+	p = prev.Proto
+	// Stats.Add has no Sub; do it field-wise via negation-free diff.
+	out.Proto = diffStats(r.Proto, p)
+	out.WireFrames -= prev.WireFrames
+	out.WireBytes -= prev.WireBytes
+	out.SwitchDrops -= prev.SwitchDrops
+	out.LinkErrDrops -= prev.LinkErrDrops
+	out.LinkFailDrops -= prev.LinkFailDrops
+	out.Interrupts -= prev.Interrupts
+	out.RxIntr -= prev.RxIntr
+	out.TxIntr -= prev.TxIntr
+	out.NICRxFrames -= prev.NICRxFrames
+	return out
+}
+
+func diffStats(a, b core.Stats) core.Stats {
+	a.OpsStarted -= b.OpsStarted
+	a.OpsCompleted -= b.OpsCompleted
+	a.ReadsServed -= b.ReadsServed
+	a.Notifies -= b.Notifies
+	a.DataFramesSent -= b.DataFramesSent
+	a.DataBytesSent -= b.DataBytesSent
+	a.CtrlAcksSent -= b.CtrlAcksSent
+	a.CtrlNacksSent -= b.CtrlNacksSent
+	a.Retransmissions -= b.Retransmissions
+	a.LinkDeadEvents -= b.LinkDeadEvents
+	a.LinkRestores -= b.LinkRestores
+	a.DataFramesRecv -= b.DataFramesRecv
+	a.DataBytesRecv -= b.DataBytesRecv
+	a.CtrlRecv -= b.CtrlRecv
+	a.Duplicates -= b.Duplicates
+	a.GbnDropped -= b.GbnDropped
+	a.Arrivals -= b.Arrivals
+	a.OOOArrivals -= b.OOOArrivals
+	a.HeldFrames -= b.HeldFrames
+	a.AppProtoTime -= b.AppProtoTime
+	return a
+}

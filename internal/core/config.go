@@ -1,0 +1,118 @@
+// Package core implements MultiEdge itself: the connection-oriented,
+// edge-based communication protocol of IPPS'07 §2. It provides
+// RDMA-style remote read and write into a peer's address space,
+// end-to-end sliding-window flow control with piggy-backed and delayed
+// acknowledgements, NACK-based retransmission, transparent striping of
+// frames across multiple physical links (spatial parallelism), and the
+// paper's backward/forward fence ordering API.
+//
+// The engine is event-driven and runs against the modelled substrate in
+// internal/phys, charging its work to the modelled CPUs of
+// internal/hostmodel. Applications interact through Endpoint and Conn
+// from simulated processes (sim.Proc).
+package core
+
+import "multiedge/internal/sim"
+
+// Config holds the protocol parameters. The paper fixes the flow-control
+// window at compile time (§2.4); here it is a field so experiments can
+// sweep it.
+type Config struct {
+	// Window is the sliding-window size in frames per connection
+	// direction.
+	Window int
+	// AckEvery is the delayed-acknowledgement threshold: an explicit
+	// ACK is sent after this many unacknowledged data frames when no
+	// reverse traffic piggy-backs one (§2.4).
+	AckEvery int
+	// AckDelay bounds how long an acknowledgement may be deferred.
+	AckDelay sim.Time
+	// NackDelay is the loss-detection timescale: a missing sequence
+	// number is NACKed once it has been absent for NackDelay/4 while
+	// later frames keep arriving, or NackDelay/8 when prodded by a
+	// duplicate or timer. It must comfortably exceed the few-microsecond
+	// reordering that multi-link round-robin introduces, or spurious
+	// retransmissions defeat spatial parallelism.
+	NackDelay sim.Time
+	// RTO is the coarse retransmission timeout of §2.4: if no positive
+	// acknowledgement progress happens for this long while frames are
+	// outstanding, the sender retransmits the last transmitted frame.
+	RTO sim.Time
+	// ConnRetry is the connection-setup retransmission interval.
+	ConnRetry sim.Time
+	// Strict applies every frame in exact sequence order at the
+	// receiver, buffering out-of-order arrivals (the paper's 2L-1G
+	// configuration, where all operations are strictly ordered).
+	Strict bool
+	// ByteStripe enables the byte-level-parallelism baseline: each
+	// MTU's worth of payload is sliced across all links as smaller
+	// coupled sub-frames instead of whole frames alternating links
+	// (§1 discusses why this scales poorly).
+	ByteStripe bool
+	// GoBackN replaces selective repeat + NACK with a go-back-N ARQ
+	// baseline: the receiver accepts only in-order frames and the
+	// sender retransmits everything outstanding on timeout.
+	GoBackN bool
+	// AdaptiveStripe replaces round-robin link selection with
+	// least-backlog selection: each frame goes to the eligible link
+	// whose transmit wire will free up first. Equivalent to round-robin
+	// on homogeneous rails, but on heterogeneous ones (a 1-GbE rail
+	// next to a 10-GbE rail) it delivers the combined rate where
+	// round-robin is limited to 2x the slowest rail (an extension
+	// beyond IPPS'07, which evaluates identical rails).
+	AdaptiveStripe bool
+	// MemBytes is the size of each endpoint's remotely accessible
+	// address space.
+	MemBytes int
+	// Offload models the paper's §6 future-work hybrid: per-frame
+	// protocol processing runs on a NIC engine instead of the host
+	// protocol CPU (each unit of work costs OffloadFactor more on the
+	// slower embedded cores, but the host is freed), and payload moves
+	// by direct DMA between user memory and the wire (no host copies
+	// are charged).
+	Offload bool
+	// OffloadFactor scales per-frame work on the NIC engine (default 2).
+	OffloadFactor int
+	// DeadLinkThreshold is the number of repair events (frames NACKed or
+	// timed out) attributed to one link without an intervening
+	// acknowledged frame on it, after which the sender declares the link
+	// dead and stops striping new frames onto it. 0 disables detection.
+	// Dead links are probed with a single in-flight frame every
+	// LinkProbeInterval and re-admitted as soon as any frame sent on
+	// them is acknowledged, so a repaired cable heals transparently.
+	DeadLinkThreshold int
+	// LinkProbeInterval is how often a dead link is risked one data
+	// frame to discover that it has come back.
+	LinkProbeInterval sim.Time
+	// LinkStaleAge is the receive-side counterpart of failure handling:
+	// the per-link FIFO loss-detection rule normally refuses to NACK a
+	// sequence number until every link has delivered a later frame, but
+	// a hard-failed link never delivers anything and would veto loss
+	// detection forever. A link that has been silent for LinkStaleAge
+	// while gaps exist is presumed empty or dead and stops vetoing.
+	// It must comfortably exceed the worst cross-link queue skew.
+	LinkStaleAge sim.Time
+	// EnforceRegistration makes operation initiation require the local
+	// buffer to lie within a region registered with RegisterMemory
+	// (IPPS'07 §2.2 provides registration primitives; receive buffers
+	// never need registration). Off by default for the paper's
+	// transparent mode.
+	EnforceRegistration bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// reproduction runs.
+func DefaultConfig() Config {
+	return Config{
+		Window:            128,
+		AckEvery:          32,
+		AckDelay:          500 * sim.Microsecond,
+		NackDelay:         200 * sim.Microsecond,
+		RTO:               2 * sim.Millisecond,
+		ConnRetry:         5 * sim.Millisecond,
+		MemBytes:          16 << 20,
+		DeadLinkThreshold: 16,
+		LinkProbeInterval: 10 * sim.Millisecond,
+		LinkStaleAge:      1600 * sim.Microsecond,
+	}
+}

@@ -1,0 +1,1181 @@
+package core
+
+import (
+	"fmt"
+
+	"multiedge/internal/frame"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+	"multiedge/internal/trace"
+)
+
+// Conn is one end of a MultiEdge point-to-point connection. All
+// communication is fully asynchronous remote memory access (IPPS'07
+// §2.2): RDMAOperation initiates a remote read or write and returns a
+// Handle; completion and remote notifications are delivered through the
+// simulation's signal and mailbox primitives.
+//
+// Sequence numbers are 32-bit and assumed not to wrap within one
+// simulation (2^32 frames ≈ 6 TB of traffic, far above any experiment).
+type Conn struct {
+	ep         *Endpoint
+	localID    uint32
+	remoteID   uint32
+	remoteNode int
+	links      int
+
+	established sim.Signal
+	connTimer   *sim.Timer
+	closed      bool
+	closedSig   sim.Signal
+	closeTimer  *sim.Timer
+
+	// Transmit side.
+	nextOpID     uint64
+	txOps        []*txOp // FIFO: head is being fragmented
+	sndUna       uint32  // oldest unacknowledged sequence number
+	sndNxt       uint32  // next sequence number to assign
+	retrans      map[uint32]*txFrame
+	retransQ     []uint32 // sequence numbers queued for retransmission
+	txFenced     []uint64 // sorted ids of forward-fenced ops not yet fully acked
+	rr           int      // round-robin link cursor
+	rtoTimer     *sim.Timer
+	pendingReads map[uint64]*Handle
+
+	// Transmit side: link-failure handling. A link accumulating repair
+	// events (NACKed or timed-out frames last sent on it) without any
+	// acknowledged frame in between is declared dead and excluded from
+	// round-robin striping; a probe frame is risked on it periodically
+	// and an acknowledgement of any frame sent on it re-admits it.
+	linkFails  []int      // repair events since the last acked frame, per link
+	linkDead   []bool     // links currently excluded from striping
+	linkDeadAt []sim.Time // when each link was last declared dead
+	deadLinks  int        // count of true entries in linkDead
+	probeTimer *sim.Timer
+
+	// Receive side: ARQ.
+	rcvNxt       uint32 // cumulative acknowledgement point
+	rcvSeen      map[uint32]bool
+	maxSeenPlus1 uint32 // 1 + highest sequence number accepted
+	missingSince map[uint32]sim.Time
+	nackedAt     map[uint32]sim.Time // last NACK per missing seq (repair in flight)
+	lastNack     sim.Time
+	// linkHigh[l] is 1 + the highest data sequence number that arrived
+	// on link l (0 = nothing yet). Because each physical path preserves
+	// FIFO order, a missing sequence number s can only have been LOST —
+	// rather than queued behind other frames on its path — once every
+	// link has delivered some frame beyond s. This makes loss detection
+	// immune to cross-link queue skew (deep transmit queues on one rail
+	// delay its frames by hundreds of microseconds without any loss).
+	linkHigh []uint32
+	// linkLast[l] is the arrival time of the most recent frame on link
+	// l. A link silent for cfg.LinkStaleAge while gaps exist stops
+	// vetoing loss detection (see Config.LinkStaleAge).
+	linkLast  []sim.Time
+	unackedRx int
+	ackTimer  *sim.Timer
+	nackTimer *sim.Timer
+	ackDue    bool
+	nackDue   []uint32
+
+	// Receive side: ordering and delivery.
+	applyNxt  uint32 // strict mode: next sequence number to apply
+	strictBuf map[uint32]heldFrame
+	rxOps     map[uint64]*rxOp
+	frontier  uint64   // all receive ops with id < frontier are complete
+	fenced    []uint64 // sorted ids of incomplete forward-fenced ops
+	held      []heldFrame
+	notifyQ   sim.Mailbox[Notification]
+}
+
+// txOp is an operation on the send side: the kernel-buffer snapshot of
+// its data plus fragmentation and acknowledgement progress.
+type txOp struct {
+	id        uint64
+	opType    frame.OpType
+	flags     frame.OpFlags
+	remote    uint64
+	local     uint64
+	data      []byte
+	total     uint32
+	sent      uint32
+	sentAll   bool
+	unacked   int
+	completed bool
+	probe     bool // internal dead-link probe, not a user operation
+	h         *Handle
+}
+
+// txFrame is one transmitted-but-unacknowledged frame.
+type txFrame struct {
+	op      *txOp
+	seq     uint32
+	offset  uint32
+	payload []byte
+	inQ     bool     // queued for retransmission
+	link    int      // link of the most recent transmission (failure attribution)
+	txAt    sim.Time // time of the most recent transmission
+}
+
+// rxOp tracks one operation at the receive side for ordering, fences,
+// completion and notification.
+type rxOp struct {
+	id       uint64
+	opType   frame.OpType
+	flags    frame.OpFlags
+	total    uint32
+	applied  uint32
+	remote   uint64 // destination address of the operation
+	local    uint64 // ReadReply: the requester's read operation id
+	complete bool
+	isFenced bool
+}
+
+// heldFrame is a frame buffered at the receiver awaiting ordering.
+type heldFrame struct {
+	h       frame.Header
+	payload []byte
+}
+
+// Notification is delivered to the receiving process when a remote write
+// flagged with frame.Notify has been performed (IPPS'07 §2.2).
+type Notification struct {
+	From int    // peer node id
+	OpID uint64 // the writer's operation id
+	Addr uint64 // destination address that was written
+	Len  int    // bytes written
+}
+
+// Handle tracks the progress of one issued operation (IPPS'07 §2.2:
+// "each operation can also, when initiated, return a handle ... the
+// programmer can query the progress of each issued operation").
+type Handle struct {
+	c     *Conn
+	opID  uint64
+	size  int
+	acked int // bytes acknowledged so far (writes) or received (reads)
+	done  sim.Signal
+}
+
+// Progress returns how many of the operation's bytes have been
+// acknowledged end-to-end (writes) or landed locally (reads), and the
+// operation's total size.
+func (h *Handle) Progress() (done, total int) { return h.acked, h.size }
+
+// Wait blocks the process until the operation completes: for writes,
+// until every frame is acknowledged end-to-end; for reads, until the
+// reply data has been written to local memory.
+func (h *Handle) Wait(p *sim.Proc) { p.Wait(&h.done) }
+
+// Test polls completion without blocking.
+func (h *Handle) Test() bool { return h.done.Fired() }
+
+// Done exposes the completion signal for event-driven waiting.
+func (h *Handle) Done() *sim.Signal { return &h.done }
+
+// OpID returns the operation's connection-local id.
+func (h *Handle) OpID() uint64 { return h.opID }
+
+func newConn(ep *Endpoint, localID uint32, remoteNode, links int) *Conn {
+	return &Conn{
+		ep: ep, localID: localID, remoteNode: remoteNode, links: links,
+		retrans:      make(map[uint32]*txFrame),
+		pendingReads: make(map[uint64]*Handle),
+		rcvSeen:      make(map[uint32]bool),
+		missingSince: make(map[uint32]sim.Time),
+		nackedAt:     make(map[uint32]sim.Time),
+		linkHigh:     make([]uint32, links),
+		linkLast:     make([]sim.Time, links),
+		linkFails:    make([]int, links),
+		linkDead:     make([]bool, links),
+		linkDeadAt:   make([]sim.Time, links),
+		strictBuf:    make(map[uint32]heldFrame),
+		rxOps:        make(map[uint64]*rxOp),
+	}
+}
+
+// RemoteNode returns the peer's node id.
+func (c *Conn) RemoteNode() int { return c.remoteNode }
+
+// Links returns how many physical links the connection stripes over.
+func (c *Conn) Links() int { return c.links }
+
+// Endpoint returns the owning endpoint.
+func (c *Conn) Endpoint() *Endpoint { return c.ep }
+
+// Established reports whether the connection handshake has completed.
+func (c *Conn) Established() bool { return c.established.Fired() }
+
+// Inflight returns the number of unacknowledged frames outstanding
+// (always ≤ the configured window).
+func (c *Conn) Inflight() int { return c.inflight() }
+
+// Closed reports whether the connection has been torn down (locally
+// initiated or by the peer).
+func (c *Conn) Closed() bool { return c.closed }
+
+// Close tears the connection down gracefully: it blocks until every
+// locally issued operation has completed, then exchanges a close
+// handshake with the peer (retried under loss). Initiating operations
+// on a closed connection panics; late frames for it are discarded.
+func (c *Conn) Close(p *sim.Proc) {
+	if c.closed {
+		return
+	}
+	// Drain: all issued operations fully acknowledged.
+	for len(c.txOps) > 0 || c.inflight() > 0 || len(c.pendingReads) > 0 {
+		p.Sleep(50 * sim.Microsecond)
+	}
+	c.closed = true
+	if c.probeTimer != nil {
+		c.probeTimer.Stop()
+	}
+	ep := c.ep
+	var retry func()
+	send := func() {
+		h := frame.Header{Type: frame.TypeConnClose, ConnID: c.remoteID, OpID: uint64(c.localID)}
+		dst := frame.NewAddr(c.remoteNode, 0)
+		buf := frame.Encode(dst, ep.nics[0].Addr(), &h, nil)
+		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: ep.nics[0].Addr()})
+	}
+	retry = func() {
+		if c.closedSig.Fired() {
+			return
+		}
+		send()
+		c.closeTimer = ep.env.After(ep.cfg.ConnRetry, retry)
+	}
+	ep.env.After(0, retry)
+	p.Wait(&c.closedSig)
+}
+
+// ---------------------------------------------------------------------
+// Operation initiation (the paper's RDMA_operation primitive).
+// ---------------------------------------------------------------------
+
+// RDMAOperation initiates a remote memory operation on the connection,
+// mirroring the paper's primitive:
+//
+//	int RDMA_operation(connection, remote_va, local_va,
+//	                   transfer_size, operation, flags);
+//
+// op must be frame.OpWrite (copy [local, local+size) into the peer's
+// memory at remote) or frame.OpRead (fetch [remote, remote+size) from
+// the peer into local memory). flags combines frame.FenceBefore,
+// frame.FenceAfter and frame.Notify. A zero-size write is legal and
+// useful as a pure notification. The calling process is charged the
+// initiation cost (syscall, descriptor, and for writes the user→kernel
+// copy) on its CPU; everything after is asynchronous.
+func (c *Conn) RDMAOperation(p *sim.Proc, remote, local uint64, size int, op frame.OpType, flags frame.OpFlags) *Handle {
+	return c.RDMAOn(p, c.ep.cpus.App, remote, local, size, op, flags)
+}
+
+// RDMAOn is RDMAOperation with an explicit CPU to charge the initiation
+// to. User-level callers run in syscall context on the application CPU
+// (use RDMAOperation); handler-style callers — e.g. a DSM protocol
+// handler servicing remote requests — run on the protocol CPU, like the
+// kernel thread they model.
+func (c *Conn) RDMAOn(p *sim.Proc, cpu *sim.Resource, remote, local uint64, size int, op frame.OpType, flags frame.OpFlags) *Handle {
+	if !c.established.Fired() {
+		panic("core: RDMAOperation on unestablished connection")
+	}
+	if c.closed {
+		panic("core: RDMAOperation on closed connection")
+	}
+	if c.ep.cfg.EnforceRegistration && !c.ep.registered(local, size) {
+		panic(fmt.Sprintf("core: local buffer [%d,%d) not registered", local, local+uint64(size)))
+	}
+	if size < 0 {
+		panic("core: negative size")
+	}
+	ep := c.ep
+	var data []byte
+	switch op {
+	case frame.OpWrite:
+		if local+uint64(size) > uint64(len(ep.mem)) {
+			panic(fmt.Sprintf("core: write source [%d,%d) outside memory", local, local+uint64(size)))
+		}
+		data = append([]byte(nil), ep.mem[local:local+uint64(size)]...)
+	case frame.OpRead:
+		if local+uint64(size) > uint64(len(ep.mem)) {
+			panic(fmt.Sprintf("core: read destination [%d,%d) outside memory", local, local+uint64(size)))
+		}
+	default:
+		panic("core: RDMAOperation: op must be OpWrite or OpRead")
+	}
+	copyBytes := 0
+	if op == frame.OpWrite && !ep.cfg.Offload {
+		// Offloading NICs gather payload straight from user memory, so
+		// only the host path pays the user->kernel copy.
+		copyBytes = size
+	}
+	cost := ep.costs.Initiation(copyBytes)
+	if cpu == ep.cpus.App {
+		ep.Stats.AppProtoTime += cost
+	}
+	p.Exec(cpu, cost)
+
+	t := &txOp{
+		id: c.nextOpID, opType: op, flags: flags,
+		remote: remote, local: local, data: data, total: uint32(size),
+	}
+	c.nextOpID++
+	t.h = &Handle{c: c, opID: t.id, size: size}
+	if op == frame.OpRead {
+		c.pendingReads[t.id] = t.h
+	}
+	if flags&frame.FenceAfter != 0 {
+		// Forward fence, sender side: operations issued after t must
+		// not be transmitted until t is fully acknowledged. Otherwise a
+		// later op's frames could be performed at a receiver that has
+		// not yet seen any frame of t and so cannot know to hold them.
+		c.txFenced = append(c.txFenced, t.id)
+	}
+	c.txOps = append(c.txOps, t)
+	ep.Stats.OpsStarted++
+	ep.wakeThread()
+	return t.h
+}
+
+// WaitNotify blocks until a notification arrives on the connection.
+func (c *Conn) WaitNotify(p *sim.Proc) Notification { return c.notifyQ.Recv(p) }
+
+// PollNotify returns a pending notification without blocking.
+func (c *Conn) PollNotify() (Notification, bool) { return c.notifyQ.TryRecv() }
+
+// ---------------------------------------------------------------------
+// Transmit path.
+// ---------------------------------------------------------------------
+
+func (c *Conn) inflight() int { return int(c.sndNxt - c.sndUna) }
+
+// maxFramePayload returns the per-frame payload limit: the full MTU
+// payload normally, or an even slice per link in the byte-striping
+// baseline.
+func (c *Conn) maxFramePayload() int {
+	if c.ep.cfg.ByteStripe && c.links > 1 {
+		return frame.MaxPayload / c.links
+	}
+	return frame.MaxPayload
+}
+
+// curOp returns the operation currently being fragmented; nil if there
+// is none, or if the head operation is stalled behind an unacknowledged
+// forward-fenced operation (sender side of §2.5's forward fence).
+func (c *Conn) curOp() *txOp {
+	for len(c.txOps) > 0 && c.txOps[0].sentAll {
+		c.txOps = c.txOps[1:]
+	}
+	if len(c.txOps) == 0 {
+		return nil
+	}
+	head := c.txOps[0]
+	if len(c.txFenced) > 0 && c.txFenced[0] < head.id {
+		return nil
+	}
+	return head
+}
+
+// sendable reports whether the connection has data-path work for the
+// protocol thread.
+func (c *Conn) sendable() bool {
+	if c.closed {
+		return false
+	}
+	if len(c.retransQ) > 0 {
+		return true
+	}
+	return c.inflight() < c.ep.cfg.Window && c.curOp() != nil
+}
+
+// ctrlPending reports whether an explicit ACK or NACK is due.
+func (c *Conn) ctrlPending() bool {
+	return !c.closed && (c.ackDue || len(c.nackDue) > 0)
+}
+
+// sendNextDataFrame emits one data frame: a queued retransmission first,
+// otherwise the next fragment of the current operation.
+func (c *Conn) sendNextDataFrame() {
+	for len(c.retransQ) > 0 {
+		seq := c.retransQ[0]
+		c.retransQ = c.retransQ[1:]
+		tf := c.retrans[seq]
+		if tf == nil {
+			continue // acknowledged since it was queued
+		}
+		tf.inQ = false
+		c.transmit(tf, true)
+		return
+	}
+	op := c.curOp()
+	if op == nil || c.inflight() >= c.ep.cfg.Window {
+		return // conditions changed since sendable()
+	}
+	pay := uint32(c.maxFramePayload())
+	if rem := op.total - op.sent; rem < pay {
+		pay = rem
+	}
+	tf := &txFrame{op: op, seq: c.sndNxt, offset: op.sent}
+	if op.opType == frame.OpRead {
+		// A read request is a single header-only frame describing the
+		// whole transfer; the data flows back as a ReadReply operation.
+		pay = op.total
+	} else if pay > 0 {
+		tf.payload = op.data[op.sent : op.sent+pay]
+	}
+	c.sndNxt++
+	op.sent += pay
+	if op.sent >= op.total {
+		op.sentAll = true
+	}
+	op.unacked++
+	c.retrans[tf.seq] = tf
+	c.ep.Stats.DataFramesSent++
+	c.ep.Stats.DataBytesSent += uint64(len(tf.payload))
+	c.transmit(tf, false)
+}
+
+// transmit encodes and hands one frame to the next link in round-robin
+// order (IPPS'07 §2.5), with the current cumulative acknowledgement
+// piggy-backed.
+func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
+	op := tf.op
+	typ := frame.TypeData
+	if op.opType == frame.OpRead {
+		typ = frame.TypeReadReq
+	}
+	h := frame.Header{
+		Type: typ, ConnID: c.remoteID,
+		Seq: tf.seq, Ack: c.rcvNxt, HasAck: true,
+		OpID: op.id, OpType: op.opType, OpFlags: op.flags,
+		Remote: op.remote, Local: op.local,
+		Offset: tf.offset, Total: op.total,
+	}
+	if isRetrans {
+		c.ep.Stats.Retransmissions++
+		c.ep.trc(c.localID, trace.TxRetransmit, tf.seq, len(tf.payload))
+	} else {
+		c.ep.trc(c.localID, trace.TxData, tf.seq, len(tf.payload))
+	}
+	li := -1 // normal round-robin pick
+	if tf.op.probe && !isRetrans {
+		li = tf.link // the probe's first copy is forced onto the dead link
+	}
+	tf.link = c.sendFrameOn(&h, tf.payload, li)
+	tf.txAt = c.ep.env.Now()
+	// Only user traffic keeps probing alive: a probe transmission must
+	// not re-arm the timer, or an idle connection with a dead link would
+	// sustain a probe → loss → RTO-repair → probe loop forever.
+	if c.deadLinks > 0 && !tf.op.probe {
+		c.armProbeTimer()
+	}
+	c.armRTO()
+}
+
+// pickLink chooses the transmit link among those not currently declared
+// dead (all links when every one is dead — the last survivors must keep
+// carrying traffic): round-robin by default (the paper's §2.5), or the
+// least-backlog link under Config.AdaptiveStripe.
+func (c *Conn) pickLink() int {
+	if c.ep.cfg.AdaptiveStripe {
+		best := -1
+		var bestBacklog sim.Time
+		for i := 0; i < c.links; i++ {
+			li := (c.rr + i) % c.links
+			if c.deadLinks > 0 && c.deadLinks < c.links && c.linkDead[li] {
+				continue
+			}
+			bl := c.ep.nics[li].OutPort().Backlog()
+			if best < 0 || bl < bestBacklog {
+				best, bestBacklog = li, bl
+			}
+		}
+		if best >= 0 {
+			c.rr = (best + 1) % c.links
+			return best
+		}
+	}
+	for i := 0; i < c.links; i++ {
+		li := c.rr
+		c.rr = (c.rr + 1) % c.links
+		if c.deadLinks == 0 || c.deadLinks >= c.links || !c.linkDead[li] {
+			return li
+		}
+	}
+	return c.rr // unreachable: some link is always eligible
+}
+
+// sendFrame encodes a payload-less control frame (ACK/NACK) and
+// transmits it on a link that is both not declared dead and fresh on
+// the receive side: control frames are never acknowledged, so the
+// sender-side detector cannot protect them — but a cable cut kills both
+// directions, so a rail that stopped delivering to us has most likely
+// also stopped carrying our control traffic. Losing ACKs merely delays
+// the sender; losing NACKs doubles every repair round-trip. Any frame
+// that leaves carries our cumulative ACK, so delayed-ACK state resets
+// (piggy-backing, §2.4).
+func (c *Conn) sendFrame(h *frame.Header, payload []byte) {
+	if stale := c.ep.cfg.LinkStaleAge; stale > 0 && c.links > 1 {
+		now := c.ep.env.Now()
+		for i := 0; i < c.links; i++ {
+			li := c.rr
+			c.rr = (c.rr + 1) % c.links
+			if !c.linkDead[li] && now-c.linkLast[li] <= stale {
+				c.sendFrameOn(h, payload, li)
+				return
+			}
+		}
+		// No rail is receive-fresh (idle period or total outage): fall
+		// through to the plain round-robin pick.
+	}
+	c.sendFrameOn(h, payload, -1)
+}
+
+// sendFrameOn is sendFrame with an optional forced link (-1 = pick),
+// returning the link used.
+func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
+	if li < 0 {
+		li = c.pickLink()
+	}
+	nic := c.ep.nics[li]
+	dst := frame.NewAddr(c.remoteNode, li)
+	buf := frame.Encode(dst, nic.Addr(), h, payload)
+	nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
+	if h.HasAck {
+		c.unackedRx = 0
+		c.ackDue = false
+		if c.ackTimer != nil {
+			c.ackTimer.Stop()
+		}
+	}
+	return li
+}
+
+// sendCtrl emits one pending explicit ACK or NACK frame.
+func (c *Conn) sendCtrl() {
+	if len(c.nackDue) > 0 {
+		h := frame.Header{Type: frame.TypeNack, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
+		pl := frame.EncodeNackPayload(c.nackDue)
+		c.nackDue = nil
+		c.ep.Stats.CtrlNacksSent++
+		c.ep.trc(c.localID, trace.TxNack, c.rcvNxt, len(pl))
+		c.sendFrame(&h, pl)
+		return
+	}
+	if c.ackDue {
+		h := frame.Header{Type: frame.TypeAck, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
+		c.ep.Stats.CtrlAcksSent++
+		c.ep.trc(c.localID, trace.TxAck, c.rcvNxt, 0)
+		c.sendFrame(&h, nil)
+	}
+}
+
+// queueRetrans schedules seq for retransmission if it is still
+// outstanding and not already queued. Each repair event is attributed
+// to the link the frame was last transmitted on, feeding dead-link
+// detection.
+func (c *Conn) queueRetrans(seq uint32) {
+	tf := c.retrans[seq]
+	if tf == nil || tf.inQ {
+		return
+	}
+	tf.inQ = true
+	c.retransQ = append(c.retransQ, seq)
+	c.noteLinkRepair(tf.link)
+}
+
+// noteLinkRepair charges one repair event to link li. A link
+// accumulating DeadLinkThreshold repairs without any acknowledged frame
+// in between (see handleAck) is declared dead — unless it is the last
+// link standing, which must keep carrying traffic regardless. The
+// go-back-N baseline retransmits whole windows by design, so its
+// repairs say nothing about link health and are not counted.
+func (c *Conn) noteLinkRepair(li int) {
+	th := c.ep.cfg.DeadLinkThreshold
+	if th <= 0 || c.ep.cfg.GoBackN || li < 0 || li >= c.links || c.linkDead[li] {
+		return
+	}
+	c.linkFails[li]++
+	if c.linkFails[li] >= th && c.deadLinks < c.links-1 {
+		c.linkDead[li] = true
+		c.linkDeadAt[li] = c.ep.env.Now()
+		c.deadLinks++
+		c.ep.Stats.LinkDeadEvents++
+		c.ep.trc(c.localID, trace.LinkDead, uint32(li), 0)
+		c.armProbeTimer()
+	}
+}
+
+// clearLinkFault resets link li's health after a frame sent on it at
+// sentAt was acknowledged end-to-end. A dead link is re-admitted only
+// when the acked transmission happened after the death declaration —
+// late acknowledgements of frames that crossed the link before it
+// failed prove nothing about its present state.
+func (c *Conn) clearLinkFault(li int, sentAt sim.Time) {
+	if li < 0 || li >= c.links {
+		return
+	}
+	c.linkFails[li] = 0
+	if c.linkDead[li] && sentAt > c.linkDeadAt[li] {
+		c.linkDead[li] = false
+		c.deadLinks--
+		c.ep.Stats.LinkRestores++
+		c.ep.trc(c.localID, trace.LinkRestore, uint32(li), 0)
+	}
+}
+
+// armProbeTimer schedules the next dead-link probe. The timer is armed
+// from transmissions (and from the moment of death) rather than
+// re-arming itself unconditionally, so an idle connection with a dead
+// link quiesces instead of keeping the simulation alive forever.
+func (c *Conn) armProbeTimer() {
+	if c.closed || (c.probeTimer != nil && c.probeTimer.Pending()) {
+		return
+	}
+	c.probeTimer = c.ep.env.After(c.ep.cfg.LinkProbeInterval, func() {
+		if c.closed || c.deadLinks == 0 {
+			return
+		}
+		for li := 0; li < c.links; li++ {
+			if c.linkDead[li] {
+				c.sendProbe(li)
+			}
+		}
+	})
+}
+
+// sendProbe transmits a fresh zero-size write frame whose FIRST copy is
+// forced onto dead link li. Freshness is what makes the probe's
+// acknowledgement unambiguous: no other copy of this sequence number
+// exists anywhere, so a cumulative ACK covering it before any
+// retransmission proves a frame crossed the dead link (handleAck then
+// restores it via the txAt > linkDeadAt test). A lost probe is repaired
+// like any data frame — NACKed or timed out and retransmitted, by then
+// on a live link, which re-attributes the frame before its ACK can
+// arrive.
+func (c *Conn) sendProbe(li int) {
+	op := &txOp{id: c.nextOpID, opType: frame.OpWrite, sentAll: true, unacked: 1, probe: true}
+	c.nextOpID++
+	tf := &txFrame{op: op, seq: c.sndNxt, link: li}
+	c.sndNxt++
+	c.retrans[tf.seq] = tf
+	c.ep.Stats.DataFramesSent++
+	c.transmit(tf, false)
+}
+
+// armRTO (re)starts the coarse retransmission timer (§2.4).
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	c.rtoTimer = c.ep.env.After(c.ep.cfg.RTO, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	if c.inflight() == 0 {
+		return
+	}
+	if c.ep.cfg.GoBackN {
+		// Go-back-N baseline: resend everything outstanding.
+		for s := c.sndUna; s != c.sndNxt; s++ {
+			c.queueRetrans(s)
+		}
+	} else {
+		// The paper's rule: retransmit the last transmitted frame; the
+		// receiver then sees the gap and NACKs anything else missing.
+		seq := c.sndNxt - 1
+		if c.retrans[seq] == nil {
+			seq = c.sndUna
+		}
+		c.queueRetrans(seq)
+	}
+	c.armRTO()
+	c.ep.wakeThread()
+}
+
+// handleAck processes a cumulative acknowledgement (piggy-backed or
+// explicit): it releases retransmit buffers, advances the window and
+// completes operations whose every frame is acknowledged.
+func (c *Conn) handleAck(ack uint32) {
+	if int32(ack-c.sndUna) <= 0 {
+		return // stale
+	}
+	if int32(ack-c.sndNxt) > 0 {
+		ack = c.sndNxt // defensive: never ack beyond what was sent
+	}
+	for s := c.sndUna; s != ack; s++ {
+		tf := c.retrans[s]
+		delete(c.retrans, s)
+		if tf != nil {
+			tf.op.unacked--
+			if tf.op.h != nil && tf.op.opType == frame.OpWrite {
+				tf.op.h.acked += len(tf.payload)
+			}
+			c.clearLinkFault(tf.link, tf.txAt)
+			c.checkTxOpDone(tf.op)
+		}
+	}
+	c.sndUna = ack
+	if c.inflight() > 0 {
+		c.armRTO()
+	} else if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	c.ep.wakeThread() // the window may have opened
+}
+
+// handleNack retransmits the frames a NACK reports missing (selective
+// repeat; the go-back-N baseline never receives NACKs).
+func (c *Conn) handleNack(missing []uint32) {
+	for _, s := range missing {
+		c.queueRetrans(s)
+	}
+	c.ep.wakeThread()
+}
+
+// checkTxOpDone completes a send-side operation once fully fragmented
+// and fully acknowledged. Writes complete here; reads complete when the
+// reply data lands (completeRead).
+func (c *Conn) checkTxOpDone(op *txOp) {
+	if op.completed || !op.sentAll || op.unacked != 0 {
+		return
+	}
+	op.completed = true
+	op.data = nil
+	if op.probe {
+		return // internal probe: no user-visible completion
+	}
+	c.ep.Stats.OpsCompleted++
+	if op.flags&frame.FenceAfter != 0 {
+		for i, f := range c.txFenced {
+			if f == op.id {
+				c.txFenced = append(c.txFenced[:i], c.txFenced[i+1:]...)
+				break
+			}
+		}
+		c.ep.wakeThread() // stalled operations may proceed now
+	}
+	if op.opType == frame.OpRead {
+		return // handle fires when the reply arrives
+	}
+	if op.h != nil {
+		h := op.h
+		// Waking the user process costs CPU only if someone is blocked
+		// on the handle; a poll-later handle just flips state.
+		if h.done.HasWaiters() {
+			c.ep.cpus.Proto.Submit(c.ep.env, c.ep.costs.UserWake, func() { h.done.Fire(c.ep.env) })
+		} else {
+			h.done.Fire(c.ep.env)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Receive path: ARQ.
+// ---------------------------------------------------------------------
+
+// handleData runs the ARQ acceptance logic for a data or read-request
+// frame, updates acknowledgement state, and hands accepted frames to the
+// ordering engine. link is the arrival NIC index.
+func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
+	ep := c.ep
+	if h.HasAck {
+		c.handleAck(h.Ack)
+	}
+	seq := h.Seq
+	if link < len(c.linkHigh) {
+		if int32(seq+1-c.linkHigh[link]) > 0 {
+			c.linkHigh[link] = seq + 1
+		}
+		c.linkLast[link] = ep.env.Now()
+	}
+	if ep.cfg.GoBackN {
+		if seq != c.rcvNxt {
+			ep.Stats.GbnDropped++
+			c.forceAck()
+			return
+		}
+		c.rcvNxt++
+		ep.Stats.Arrivals++
+		c.acceptData(h, payload)
+		c.ackPolicy()
+		return
+	}
+	// Selective repeat.
+	if int32(seq-c.rcvNxt) < 0 || c.rcvSeen[seq] {
+		ep.Stats.Duplicates++
+		ep.trc(c.localID, trace.RxDuplicate, seq, len(payload))
+		// The sender is resending: our ACKs — and possibly our NACKs —
+		// were lost. Re-advertise both promptly so repair converges.
+		if len(c.missingSince) > 0 {
+			c.queueNack(true)
+		}
+		c.forceAck()
+		return
+	}
+	c.rcvSeen[seq] = true
+	delete(c.missingSince, seq)
+	delete(c.nackedAt, seq)
+	ep.Stats.Arrivals++
+	if int32(c.maxSeenPlus1-seq) > 0 {
+		ep.Stats.OOOArrivals++
+		ep.trc(c.localID, trace.RxOutOfOrder, seq, len(payload))
+	} else {
+		// In-order extension: any sequence numbers it skips over become
+		// missing as of now.
+		for s := c.maxSeenPlus1; s != seq; s++ {
+			if !c.rcvSeen[s] && int32(s-c.rcvNxt) >= 0 {
+				c.missingSince[s] = ep.env.Now()
+			}
+		}
+		c.maxSeenPlus1 = seq + 1
+	}
+	for c.rcvSeen[c.rcvNxt] {
+		delete(c.rcvSeen, c.rcvNxt)
+		c.rcvNxt++
+	}
+	// Gap / NACK logic (§2.4: negative acknowledgements report lost or
+	// damaged frames). Multi-link round-robin reorders frames by a few
+	// microseconds as a matter of course, so a sequence number is only
+	// NACKed once it has been missing for a loss-scale age; younger
+	// gaps are reordering, not loss.
+	if len(c.missingSince) > 0 {
+		c.queueNack(false)
+		c.armNackTimer()
+	} else if c.nackTimer != nil {
+		c.nackTimer.Stop()
+	}
+	c.acceptData(h, payload)
+	c.ackPolicy()
+}
+
+// nackAge is the age a gap must reach before an arrival-triggered NACK;
+// the timer path uses the full NackDelay.
+func (c *Conn) nackAge() sim.Time { return c.ep.cfg.NackDelay / 4 }
+
+// armNackTimer keeps a gap-age check pending while anything is missing,
+// so NACKs are re-sent if they (or the retransmissions) are lost.
+func (c *Conn) armNackTimer() {
+	if c.nackTimer != nil && c.nackTimer.Pending() {
+		return
+	}
+	c.nackTimer = c.ep.env.After(c.ep.cfg.NackDelay, func() {
+		if len(c.missingSince) == 0 {
+			return
+		}
+		c.queueNack(true)
+		c.armNackTimer()
+	})
+}
+
+// queueNack schedules an explicit NACK for sequence numbers that have
+// been missing long enough to be presumed lost. A short cooldown
+// prevents repeated NACKs for the same loss within one repair
+// round-trip; force bypasses the age filter half-way (timer path).
+func (c *Conn) queueNack(force bool) {
+	const maxNack = 64
+	now := c.ep.env.Now()
+	minAge := c.nackAge()
+	if force {
+		minAge = c.nackAge() / 2
+	}
+	if now-c.lastNack < c.nackAge() {
+		return
+	}
+	var missing []uint32
+	for s := c.rcvNxt; int32(c.maxSeenPlus1-s) > 0 && len(missing) < maxNack; s++ {
+		if c.rcvSeen[s] {
+			continue
+		}
+		since, ok := c.missingSince[s]
+		if !ok {
+			c.missingSince[s] = now
+			continue
+		}
+		if now-since < minAge {
+			continue
+		}
+		// Don't re-request a sequence number whose repair should still
+		// be in flight (one NACK per round trip, roughly).
+		if at, ok := c.nackedAt[s]; ok && now-at < 4*c.nackAge() {
+			continue
+		}
+		// Per-link FIFO: s can only be lost once every physical path
+		// has delivered a frame beyond it; otherwise it may simply be
+		// queued behind other frames on its path. A link silent for
+		// LinkStaleAge cannot be hiding s in a draining queue (the
+		// drain itself would have delivered something), so it is
+		// presumed empty or dead and loses its veto — otherwise a
+		// hard-failed link would suppress loss detection forever.
+		stale := c.ep.cfg.LinkStaleAge
+		passed := true
+		for li, hi := range c.linkHigh {
+			if int32(hi-s) <= 0 {
+				if stale > 0 && now-c.linkLast[li] > stale {
+					continue
+				}
+				passed = false
+				break
+			}
+		}
+		if passed {
+			missing = append(missing, s)
+			c.nackedAt[s] = now
+		}
+	}
+	if len(missing) > 0 {
+		c.lastNack = now
+		c.nackDue = missing
+		c.ep.wakeThread()
+	}
+}
+
+// ackPolicy implements delayed acknowledgements (§2.4): explicit ACKs
+// only after AckEvery frames or AckDelay without reverse traffic.
+func (c *Conn) ackPolicy() {
+	c.unackedRx++
+	if c.unackedRx >= c.ep.cfg.AckEvery {
+		c.ackDue = true
+		c.ep.wakeThread()
+		return
+	}
+	if c.ackTimer == nil || !c.ackTimer.Pending() {
+		c.ackTimer = c.ep.env.After(c.ep.cfg.AckDelay, func() {
+			if c.unackedRx > 0 {
+				c.ackDue = true
+				c.ep.wakeThread()
+			}
+		})
+	}
+}
+
+// forceAck schedules an immediate explicit acknowledgement (duplicate
+// seen or go-back-N discard: the sender needs our state now).
+func (c *Conn) forceAck() {
+	c.ackDue = true
+	c.ep.wakeThread()
+}
+
+// ---------------------------------------------------------------------
+// Receive path: ordering, fences, delivery (IPPS'07 §2.5).
+// ---------------------------------------------------------------------
+
+// acceptData routes an ARQ-accepted frame to delivery. In strict mode
+// frames apply in exact sequence order; otherwise frames apply on
+// arrival unless fence semantics hold them back.
+func (c *Conn) acceptData(h frame.Header, payload []byte) {
+	ep := c.ep
+	ep.Stats.DataFramesRecv++
+	ep.Stats.DataBytesRecv += uint64(len(payload))
+	ep.trc(c.localID, trace.RxData, h.Seq, len(payload))
+	if ep.cfg.Strict {
+		if h.Seq == c.applyNxt {
+			c.applyFrame(h, payload)
+			c.applyNxt++
+			for {
+				hf, ok := c.strictBuf[c.applyNxt]
+				if !ok {
+					break
+				}
+				delete(c.strictBuf, c.applyNxt)
+				c.applyFrame(hf.h, hf.payload)
+				c.applyNxt++
+			}
+		} else {
+			c.strictBuf[h.Seq] = heldFrame{h: h, payload: payload}
+			ep.Stats.HeldFrames++
+			ep.trc(c.localID, trace.RxHeld, h.Seq, len(payload))
+			if n := len(c.strictBuf); n > ep.Stats.HoldMax {
+				ep.Stats.HoldMax = n
+			}
+		}
+		return
+	}
+	op := c.getRxOp(h)
+	if c.canApply(op) {
+		c.applyFrame(h, payload)
+		c.drainHeld()
+	} else {
+		c.held = append(c.held, heldFrame{h: h, payload: payload})
+		ep.Stats.HeldFrames++
+		ep.trc(c.localID, trace.RxHeld, h.Seq, len(payload))
+		if n := len(c.held); n > ep.Stats.HoldMax {
+			ep.Stats.HoldMax = n
+		}
+	}
+}
+
+// getRxOp finds or creates the receive-side operation record for a
+// frame.
+func (c *Conn) getRxOp(h frame.Header) *rxOp {
+	op, ok := c.rxOps[h.OpID]
+	if !ok {
+		op = &rxOp{
+			id: h.OpID, opType: h.OpType, flags: h.OpFlags,
+			total: h.Total, remote: h.Remote, local: h.Local,
+		}
+		if h.OpID < c.frontier {
+			// A duplicate of an op already completed and garbage
+			// collected cannot occur (ARQ dedupes), but guard anyway.
+			op.complete = true
+		}
+		c.rxOps[h.OpID] = op
+		if op.flags&frame.FenceAfter != 0 && !op.complete {
+			op.isFenced = true
+			c.insertFenced(op.id)
+		}
+	}
+	return op
+}
+
+func (c *Conn) insertFenced(id uint64) {
+	i := len(c.fenced)
+	for i > 0 && c.fenced[i-1] > id {
+		i--
+	}
+	c.fenced = append(c.fenced, 0)
+	copy(c.fenced[i+1:], c.fenced[i:])
+	c.fenced[i] = id
+}
+
+func (c *Conn) removeFenced(id uint64) {
+	for i, f := range c.fenced {
+		if f == id {
+			c.fenced = append(c.fenced[:i], c.fenced[i+1:]...)
+			return
+		}
+	}
+}
+
+// canApply implements the fence semantics of §2.5: a frame may be
+// performed unless an earlier forward-fenced operation is incomplete, or
+// its own operation carries a backward fence and any earlier operation
+// is incomplete.
+func (c *Conn) canApply(op *rxOp) bool {
+	if len(c.fenced) > 0 && c.fenced[0] < op.id {
+		return false
+	}
+	if op.flags&frame.FenceBefore != 0 && c.frontier < op.id {
+		return false
+	}
+	return true
+}
+
+// drainHeld re-examines held frames until no more become applicable.
+func (c *Conn) drainHeld() {
+	for {
+		progressed := false
+		kept := c.held[:0]
+		for _, hf := range c.held {
+			op := c.getRxOp(hf.h)
+			if c.canApply(op) {
+				c.applyFrame(hf.h, hf.payload)
+				progressed = true
+			} else {
+				kept = append(kept, hf)
+			}
+		}
+		c.held = kept
+		if !progressed {
+			return
+		}
+	}
+}
+
+// applyFrame performs one frame: copies write/reply payload into memory
+// or services a read request, then advances operation completion.
+func (c *Conn) applyFrame(h frame.Header, payload []byte) {
+	ep := c.ep
+	op := c.getRxOp(h)
+	switch h.Type {
+	case frame.TypeReadReq:
+		c.serveRead(h)
+		c.completeRxOp(op)
+		return
+	case frame.TypeData:
+		if len(payload) > 0 {
+			end := h.Remote + uint64(h.Offset) + uint64(len(payload))
+			if end > uint64(len(ep.mem)) {
+				panic(fmt.Sprintf("core: node %d remote write [%d,%d) outside memory",
+					ep.node, h.Remote+uint64(h.Offset), end))
+			}
+			copy(ep.mem[h.Remote+uint64(h.Offset):end], payload)
+		}
+		op.applied += uint32(len(payload))
+		if op.applied >= op.total {
+			c.completeRxOp(op)
+		}
+	}
+}
+
+// completeRxOp marks a receive-side operation performed: fences lift,
+// the frontier advances, notifications fire, read replies complete their
+// read handles.
+func (c *Conn) completeRxOp(op *rxOp) {
+	if op.complete {
+		return
+	}
+	op.complete = true
+	ep := c.ep
+	if op.isFenced {
+		c.removeFenced(op.id)
+	}
+	for {
+		f, ok := c.rxOps[c.frontier]
+		if !ok || !f.complete {
+			break
+		}
+		delete(c.rxOps, c.frontier)
+		c.frontier++
+	}
+	if op.flags&frame.Solicit != 0 {
+		// Solicited acknowledgement: bypass the delayed-ACK policy so
+		// the initiator's completion takes one round trip, not an
+		// AckDelay. The ACK is still cumulative — if unrelated earlier
+		// frames are missing it cannot complete the operation early.
+		c.forceAck()
+	}
+	if op.flags&frame.Notify != 0 && op.opType == frame.OpWrite {
+		ep.Stats.Notifies++
+		n := Notification{From: c.remoteNode, OpID: op.id, Addr: op.remote, Len: int(op.total)}
+		q := &c.notifyQ
+		if ep.notifyAll != nil {
+			q = ep.notifyAll
+		}
+		ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { q.Send(ep.env, n) })
+	}
+	if op.opType == frame.OpReadReply {
+		if h, ok := c.pendingReads[op.local]; ok {
+			delete(c.pendingReads, op.local)
+			h.acked = int(op.applied)
+			if h.done.HasWaiters() {
+				ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { h.done.Fire(ep.env) })
+			} else {
+				h.done.Fire(ep.env)
+			}
+		}
+	}
+}
+
+// serveRead services a remote read request: snapshot the requested
+// memory and send it back as a ReadReply operation whose Remote is the
+// requester's destination address and whose Local carries the
+// requester's read operation id (IPPS'07 §2.2-2.3).
+func (c *Conn) serveRead(h frame.Header) {
+	ep := c.ep
+	end := h.Remote + uint64(h.Total)
+	if end > uint64(len(ep.mem)) {
+		panic(fmt.Sprintf("core: node %d read source [%d,%d) outside memory", ep.node, h.Remote, end))
+	}
+	ep.Stats.ReadsServed++
+	t := &txOp{
+		id: c.nextOpID, opType: frame.OpReadReply,
+		remote: h.Local, local: h.OpID,
+		data:  append([]byte(nil), ep.mem[h.Remote:end]...),
+		total: h.Total,
+	}
+	c.nextOpID++
+	c.txOps = append(c.txOps, t)
+	ep.Stats.OpsStarted++
+	ep.wakeThread()
+}

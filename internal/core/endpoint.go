@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+
+	"multiedge/internal/frame"
+	"multiedge/internal/hostmodel"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+	"multiedge/internal/trace"
+)
+
+// Endpoint is one node's instance of the MultiEdge protocol layer: the
+// kernel character device of IPPS'07 §2.1, owning the node's NICs, its
+// remotely accessible memory, and all connections.
+type Endpoint struct {
+	env   *sim.Env
+	node  int
+	cfg   Config
+	costs hostmodel.Costs
+	cpus  hostmodel.CPUs
+	nics  []*phys.NIC
+
+	mem    []byte
+	memBrk uint64
+
+	conns      map[uint32]*Conn  // by local connection id
+	connOrder  []*Conn           // stable iteration order for fairness
+	byPeer     map[peerKey]*Conn // handshake dedupe
+	nextConnID uint32
+	acceptAll  bool
+	accepted   sim.Mailbox[*Conn]
+
+	threadActive bool
+	txRR         int // round-robin cursor over connections for send work
+	rxPrefer     int // NIC to poll first (the one that interrupted, NAPI-style)
+
+	notifyAll *sim.Mailbox[Notification]
+
+	regions []memRegion // registered memory (EnforceRegistration)
+
+	engine *sim.Resource // NIC protocol engine (Config.Offload)
+
+	tracer *trace.Trace // optional frame-level event trace
+
+	Stats Stats
+}
+
+// memRegion is one registered local buffer.
+type memRegion struct {
+	addr uint64
+	size int
+}
+
+type peerKey struct {
+	node   int
+	connID uint32
+}
+
+// NewEndpoint creates the protocol layer for a node. The endpoint
+// installs itself as the interrupt host of every NIC.
+func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus hostmodel.CPUs, nics []*phys.NIC) *Endpoint {
+	if cfg.Window <= 0 || cfg.AckEvery <= 0 || cfg.MemBytes <= 0 {
+		panic("core: invalid Config")
+	}
+	ep := &Endpoint{
+		env: env, node: node, cfg: cfg, costs: costs, cpus: cpus, nics: nics,
+		mem:        make([]byte, cfg.MemBytes),
+		conns:      make(map[uint32]*Conn),
+		byPeer:     make(map[peerKey]*Conn),
+		nextConnID: 1,
+		acceptAll:  true,
+	}
+	for _, n := range nics {
+		n.SetHost(ep)
+	}
+	if cfg.Offload {
+		if ep.cfg.OffloadFactor <= 0 {
+			ep.cfg.OffloadFactor = 1 // pipelined NIC engine at host parity
+		}
+		ep.engine = sim.NewResource(fmt.Sprintf("n%d/nic-engine", node))
+	}
+	return ep
+}
+
+// protoRes returns the resource protocol work runs on: the host
+// protocol CPU, or the NIC engine in offload mode.
+func (ep *Endpoint) protoRes() *sim.Resource {
+	if ep.engine != nil {
+		return ep.engine
+	}
+	return ep.cpus.Proto
+}
+
+// protoCost scales a unit of per-frame protocol work for the executing
+// engine (embedded NIC cores are slower than the host CPU).
+func (ep *Endpoint) protoCost(t sim.Time) sim.Time {
+	if ep.engine != nil {
+		return t * sim.Time(ep.cfg.OffloadFactor)
+	}
+	return t
+}
+
+// Engine exposes the NIC protocol engine (nil unless offloading), for
+// utilization reporting.
+func (ep *Endpoint) Engine() *sim.Resource { return ep.engine }
+
+// SetTrace attaches a frame-level event trace (nil disables). Tracing
+// records transmit/receive/reorder/retransmission events for the
+// paper-style network-traffic analysis.
+func (ep *Endpoint) SetTrace(t *trace.Trace) { ep.tracer = t }
+
+// trc records one trace event if tracing is enabled.
+func (ep *Endpoint) trc(conn uint32, k trace.Kind, seq uint32, n int) {
+	if ep.tracer != nil {
+		ep.tracer.Add(ep.node, conn, k, seq, n)
+	}
+}
+
+// Node returns the node id this endpoint runs on.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// Env returns the simulation environment.
+func (ep *Endpoint) Env() *sim.Env { return ep.env }
+
+// CPUs returns the node's modelled processors.
+func (ep *Endpoint) CPUs() hostmodel.CPUs { return ep.cpus }
+
+// NICs returns the node's network interfaces.
+func (ep *Endpoint) NICs() []*phys.NIC { return ep.nics }
+
+// Config returns the protocol configuration.
+func (ep *Endpoint) Config() Config { return ep.cfg }
+
+// Mem exposes the endpoint's remotely accessible address space. The
+// local application reads and writes it directly (it is the process'
+// own memory); remote nodes access it through RDMA operations.
+func (ep *Endpoint) Mem() []byte { return ep.mem }
+
+// RegisterMemory registers [addr, addr+size) as a valid local buffer
+// for operation initiation — the paper's registration primitive. Only
+// consulted when Config.EnforceRegistration is set; receive buffers
+// never need registration (data is delivered directly into the virtual
+// address space, IPPS'07 §2.2).
+func (ep *Endpoint) RegisterMemory(addr uint64, size int) {
+	if size <= 0 || addr+uint64(size) > uint64(len(ep.mem)) {
+		panic("core: RegisterMemory: region outside address space")
+	}
+	ep.regions = append(ep.regions, memRegion{addr: addr, size: size})
+}
+
+// DeregisterMemory removes a previously registered region (exact match).
+func (ep *Endpoint) DeregisterMemory(addr uint64) {
+	for i, r := range ep.regions {
+		if r.addr == addr {
+			ep.regions = append(ep.regions[:i], ep.regions[i+1:]...)
+			return
+		}
+	}
+}
+
+// registered reports whether [addr, addr+size) lies inside one
+// registered region. Zero-size buffers are always permitted.
+func (ep *Endpoint) registered(addr uint64, size int) bool {
+	if size == 0 {
+		return true
+	}
+	for _, r := range ep.regions {
+		if addr >= r.addr && addr+uint64(size) <= r.addr+uint64(r.size) {
+			return true
+		}
+	}
+	return false
+}
+
+// Alloc reserves size bytes in the address space and returns the base
+// address. Allocations are 64-byte aligned and never freed (arena
+// style); it panics when the address space is exhausted.
+func (ep *Endpoint) Alloc(size int) uint64 {
+	const align = 64
+	base := (ep.memBrk + align - 1) &^ (align - 1)
+	if base+uint64(size) > uint64(len(ep.mem)) {
+		panic(fmt.Sprintf("core: node %d out of memory: need %d at %d of %d",
+			ep.node, size, base, len(ep.mem)))
+	}
+	ep.memBrk = base + uint64(size)
+	return base
+}
+
+// ---------------------------------------------------------------------
+// Interrupts and the protocol kernel thread (IPPS'07 §2.6).
+//
+// The interrupt handler masks the NIC and wakes the protocol thread.
+// The thread polls every NIC for received frames and transmit
+// completions, performs all per-frame work on the protocol CPU, and
+// re-enables interrupts only when no work remains.
+// ---------------------------------------------------------------------
+
+// Interrupt implements phys.Host.
+func (ep *Endpoint) Interrupt(n *phys.NIC) {
+	n.Mask()
+	for i, nn := range ep.nics {
+		if nn == n {
+			ep.rxPrefer = i // service the interrupting NIC first
+			break
+		}
+	}
+	intr := ep.costs.Interrupt
+	if ep.engine != nil {
+		// On-NIC event dispatch, not a host interrupt.
+		intr = 100 * sim.Nanosecond
+	}
+	ep.protoRes().Submit(ep.env, ep.protoCost(intr), nil)
+	ep.wakeThread()
+}
+
+// wakeThread starts the protocol thread if it is idle. It also serves as
+// the doorbell rung by operation initiation.
+func (ep *Endpoint) wakeThread() {
+	if ep.threadActive {
+		return
+	}
+	ep.threadActive = true
+	wake := ep.costs.Wakeup
+	if ep.engine != nil {
+		// The NIC engine polls; no kernel-thread wakeup is paid.
+		wake = 100 * sim.Nanosecond
+	}
+	ep.protoRes().Submit(ep.env, ep.protoCost(wake), ep.threadStep)
+}
+
+// threadStep performs one unit of protocol work and reschedules itself
+// until no work remains, then unmasks interrupts and sleeps.
+func (ep *Endpoint) threadStep() {
+	// 1. Retire transmit completions (cheap, batched).
+	var txDone int
+	for _, n := range ep.nics {
+		txDone += n.TakeTxDone()
+	}
+	if txDone > 0 {
+		ep.protoRes().Submit(ep.env, ep.protoCost(sim.Time(txDone)*ep.costs.TxDone), ep.threadStep)
+		return
+	}
+	// 2. Receive one frame, starting with the NIC that interrupted and
+	// sticking with it until its ring drains (NAPI-style batching).
+	for i := 0; i < len(ep.nics); i++ {
+		idx := (ep.rxPrefer + i) % len(ep.nics)
+		if fr := ep.nics[idx].PollRxOne(); fr != nil {
+			ep.rxPrefer = idx
+			ep.processRxFrame(fr, idx)
+			return
+		}
+	}
+	// 3. Send pending control frames (ACK/NACK), round-robin.
+	for i := 0; i < len(ep.connOrder); i++ {
+		c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
+		if c.ctrlPending() {
+			ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
+			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
+				c.sendCtrl()
+				ep.threadStep()
+			})
+			return
+		}
+	}
+	// 4. Send one data frame from a connection with window space.
+	for i := 0; i < len(ep.connOrder); i++ {
+		c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
+		if c.sendable() {
+			ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
+			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
+				c.sendNextDataFrame()
+				ep.threadStep()
+			})
+			return
+		}
+	}
+	// No work: sleep and unmask (re-raises if anything slipped in).
+	ep.threadActive = false
+	for _, n := range ep.nics {
+		n.Unmask()
+	}
+}
+
+// processRxFrame charges the receive cost of one frame, then applies its
+// protocol effects and continues the thread loop. link is the index of
+// the NIC the frame arrived on.
+func (ep *Endpoint) processRxFrame(fr *phys.Frame, link int) {
+	_, src, h, payload, err := frame.Decode(fr.Buf)
+	if err != nil {
+		// Damaged frame that slipped past the FCS model: treat as loss.
+		ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameRx), ep.threadStep)
+		return
+	}
+	var cost sim.Time
+	switch h.Type {
+	case frame.TypeData, frame.TypeReadReq:
+		cost = ep.protoCost(ep.costs.FrameRx)
+		if ep.engine == nil {
+			// Host path pays the kernel->user copy; an offloading NIC
+			// DMAs payload directly into user memory.
+			cost += ep.costs.Copy(len(payload))
+		}
+	default:
+		cost = ep.protoCost(ep.costs.AckProc)
+	}
+	ep.protoRes().Submit(ep.env, cost, func() {
+		ep.dispatchFrame(src, h, payload, link)
+		ep.threadStep()
+	})
+}
+
+// dispatchFrame routes a decoded frame to connection handling.
+func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte, link int) {
+	switch h.Type {
+	case frame.TypeConnReq:
+		ep.handleConnReq(src, h)
+		return
+	case frame.TypeConnAck:
+		ep.handleConnAck(src, h)
+		return
+	}
+	c, ok := ep.conns[h.ConnID]
+	if !ok {
+		return // stale frame for a connection we do not know
+	}
+	if h.Type == frame.TypeConnClose {
+		// Peer-initiated teardown: acknowledge (idempotently — the
+		// close may be retransmitted) and mark closed.
+		c.closed = true
+		ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID)}
+		buf := frame.Encode(src, ep.nics[0].Addr(), &ah, nil)
+		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
+		return
+	}
+	if h.Type == frame.TypeConnCloseAck {
+		if !c.closedSig.Fired() {
+			if c.closeTimer != nil {
+				c.closeTimer.Stop()
+			}
+			c.closedSig.Fire(ep.env)
+		}
+		return
+	}
+	if c.closed {
+		return // late frames for a torn-down connection
+	}
+	switch h.Type {
+	case frame.TypeData, frame.TypeReadReq:
+		c.handleData(h, payload, link)
+	case frame.TypeAck:
+		ep.Stats.CtrlRecv++
+		c.handleAck(h.Ack)
+	case frame.TypeNack:
+		ep.Stats.CtrlRecv++
+		c.handleAck(h.Ack)
+		if missing, err := frame.DecodeNackPayload(payload); err == nil {
+			c.handleNack(missing)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Connection setup.
+// ---------------------------------------------------------------------
+
+// Dial establishes a connection to remoteNode, blocking the calling
+// process until the handshake completes. The connection stripes frames
+// over min(local NICs, links) physical links; links selects how many of
+// the node's NICs to use (0 = all).
+func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
+	if remoteNode == ep.node {
+		panic("core: dial to self")
+	}
+	if links <= 0 || links > len(ep.nics) {
+		links = len(ep.nics)
+	}
+	c := ep.newConn(remoteNode, links)
+	var retry func()
+	send := func() {
+		h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID, OpID: uint64(links)}
+		buf := frame.Encode(frame.NewAddr(remoteNode, 0), ep.nics[0].Addr(), &h, nil)
+		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: frame.NewAddr(remoteNode, 0), Src: ep.nics[0].Addr()})
+	}
+	retry = func() {
+		if c.established.Fired() {
+			return
+		}
+		send()
+		c.connTimer = ep.env.After(ep.cfg.ConnRetry, retry)
+	}
+	ep.env.After(0, retry)
+	p.Wait(&c.established)
+	return c
+}
+
+// GlobalNotify switches notification delivery from per-connection
+// queues to a single endpoint-wide queue and returns it. A service
+// process can then demultiplex notifications from every peer; the
+// Notification's From field identifies the sender. Call before any
+// notification traffic.
+func (ep *Endpoint) GlobalNotify() *sim.Mailbox[Notification] {
+	if ep.notifyAll == nil {
+		ep.notifyAll = &sim.Mailbox[Notification]{}
+	}
+	return ep.notifyAll
+}
+
+// Accept blocks until a peer-initiated connection is established and
+// returns it.
+func (ep *Endpoint) Accept(p *sim.Proc) *Conn {
+	return ep.accepted.Recv(p)
+}
+
+func (ep *Endpoint) newConn(remoteNode, links int) *Conn {
+	c := newConn(ep, ep.nextConnID, remoteNode, links)
+	ep.nextConnID++
+	ep.conns[c.localID] = c
+	ep.connOrder = append(ep.connOrder, c)
+	return c
+}
+
+func (ep *Endpoint) handleConnReq(src frame.Addr, h frame.Header) {
+	if !ep.acceptAll {
+		return
+	}
+	key := peerKey{node: src.Node(), connID: h.ConnID}
+	c, ok := ep.byPeer[key]
+	if !ok {
+		links := int(h.OpID)
+		if links <= 0 || links > len(ep.nics) {
+			links = len(ep.nics)
+		}
+		c = ep.newConn(src.Node(), links)
+		c.remoteID = h.ConnID
+		ep.byPeer[key] = c
+		c.established.Fire(ep.env)
+		ep.accepted.Send(ep.env, c)
+	}
+	// Always (re-)send the ConnAck: the previous one may have been lost.
+	ah := frame.Header{Type: frame.TypeConnAck, ConnID: h.ConnID, OpID: uint64(c.localID)}
+	buf := frame.Encode(src, ep.nics[0].Addr(), &ah, nil)
+	ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
+}
+
+func (ep *Endpoint) handleConnAck(_ frame.Addr, h frame.Header) {
+	c, ok := ep.conns[h.ConnID]
+	if !ok || c.established.Fired() {
+		return
+	}
+	c.remoteID = uint32(h.OpID)
+	if c.connTimer != nil {
+		c.connTimer.Stop()
+	}
+	c.established.Fire(ep.env)
+}

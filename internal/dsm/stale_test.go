@@ -1,0 +1,50 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+
+	"multiedge/internal/cluster"
+	"multiedge/internal/sim"
+)
+
+// TestInPlaceUpdateVisibility pins the coherence contract for in-place
+// updated arrays: when an application separates its read phase from its
+// write phase with a barrier (as SPLASH-2 Barnes does), every node sees
+// exactly the previous step's values — never a mix. Writes to home pages
+// are immediately visible to fetchers, so WITHOUT that barrier the race
+// is the application's, not the DSM's.
+func TestInPlaceUpdateVisibility(t *testing.T) {
+	cfg := cluster.OneLink1G(16)
+	cfg.Core.MemBytes = 16 << 20
+	cl := cluster.New(cfg)
+	sys := New(cl, cl.FullMesh(), Config{SharedBytes: 1 << 20})
+	const pages = 32
+	addr := sys.AllocOwned(pages * PageSize)
+	const steps = 4
+	bad := 0
+	for _, in := range sys.Insts {
+		in := in
+		cl.Env.Go(fmt.Sprintf("app%d", in.Node()), func(p *sim.Proc) {
+			me := in.Node()
+			for s := 0; s < steps; s++ {
+				full := in.RSlice(p, addr, pages*PageSize)
+				for pg := 0; pg < pages; pg++ {
+					if got := full[pg*PageSize]; int(got) != s {
+						bad++
+					}
+				}
+				in.Barrier(p) // read phase complete everywhere
+				w := in.WSlice(p, addr+uint64(me*2*PageSize), 2*PageSize)
+				for i := range w {
+					w[i] = byte(s + 1)
+				}
+				in.Barrier(p) // write phase complete everywhere
+			}
+		})
+	}
+	cl.Env.RunUntil(60 * sim.Second)
+	if bad != 0 {
+		t.Fatalf("%d stale or torn page observations", bad)
+	}
+}

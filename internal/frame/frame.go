@@ -1,0 +1,326 @@
+// Package frame defines the MultiEdge wire format: raw Ethernet-style
+// frames carrying the MultiEdge protocol header and payload.
+//
+// MultiEdge (IPPS'07 §2) runs directly on Ethernet frames, below IP. A
+// frame is laid out as
+//
+//	[Ethernet header 14B][MultiEdge header 56B][payload ≤ MaxPayload][FCS]
+//
+// The Ethernet FCS, preamble and inter-frame gap are not stored in the
+// buffer but are accounted in wire timing via WireLen. The MultiEdge
+// header carries ARQ state (frame sequence number, piggy-backed
+// cumulative acknowledgement), the remote-memory operation the frame
+// belongs to (id, type, fence flags, remote address, offset, total
+// length), and a CRC-32 covering header and payload.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Addr is a compact link-layer address: node number in the high byte,
+// NIC port number in the low byte. It stands in for the 6-byte Ethernet
+// MAC; only two bytes are significant in a few-hundred-node cluster.
+type Addr uint16
+
+// NewAddr builds the address of port p on node n.
+func NewAddr(node, port int) Addr {
+	if node < 0 || node > 255 || port < 0 || port > 255 {
+		panic(fmt.Sprintf("frame: address out of range: node %d port %d", node, port))
+	}
+	return Addr(node<<8 | port)
+}
+
+// Node returns the node number encoded in the address.
+func (a Addr) Node() int { return int(a >> 8) }
+
+// Port returns the NIC port number encoded in the address.
+func (a Addr) Port() int { return int(a & 0xff) }
+
+// Broadcast is the all-stations address.
+const Broadcast Addr = 0xffff
+
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Node(), a.Port()) }
+
+// Type identifies the kind of a MultiEdge frame.
+type Type uint8
+
+// Frame types. Data frames carry payload bytes of a remote write or a
+// remote-read reply; ReadReq frames request data from remote memory; Ack
+// and Nack are explicit acknowledgement frames sent when there is no data
+// traffic to piggy-back on; ConnReq/ConnAck set up connections.
+const (
+	TypeData Type = 1 + iota
+	TypeReadReq
+	TypeAck
+	TypeNack
+	TypeConnReq
+	TypeConnAck
+	TypeConnClose
+	TypeConnCloseAck
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeReadReq:
+		return "READREQ"
+	case TypeAck:
+		return "ACK"
+	case TypeNack:
+		return "NACK"
+	case TypeConnReq:
+		return "CONNREQ"
+	case TypeConnAck:
+		return "CONNACK"
+	case TypeConnClose:
+		return "CONNCLOSE"
+	case TypeConnCloseAck:
+		return "CONNCLOSEACK"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// OpType identifies the remote memory operation a frame belongs to.
+type OpType uint8
+
+// Remote memory operation kinds (IPPS'07 §2.2): remote write, remote
+// read, and the reply stream a remote read generates.
+const (
+	OpNone OpType = iota
+	OpWrite
+	OpRead
+	OpReadReply
+)
+
+func (o OpType) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpReadReply:
+		return "readreply"
+	}
+	return fmt.Sprintf("OpType(%d)", uint8(o))
+}
+
+// OpFlags is the per-operation flag bit-field from the RDMA_operation API
+// (IPPS'07 §2.2, §2.5).
+type OpFlags uint8
+
+const (
+	// FenceBefore (the paper's "backward fence") delays this operation
+	// at the destination until all previously issued operations on the
+	// connection have been performed.
+	FenceBefore OpFlags = 1 << iota
+	// FenceAfter (the paper's "forward fence") delays all subsequently
+	// issued operations until this one has been performed.
+	FenceAfter
+	// Notify delivers a completion notification to the remote process
+	// once the operation has been performed at the destination.
+	Notify
+	// Solicit requests an immediate explicit acknowledgement when the
+	// operation's last frame arrives, instead of waiting for the
+	// delayed-ACK policy (AckEvery/AckDelay). Latency-critical writes —
+	// storage commits, flag updates a peer polls remotely — complete in
+	// one round trip at the cost of one extra control frame. (An
+	// extension beyond IPPS'07; real interconnects have the same bit,
+	// e.g. InfiniBand's solicited event.)
+	Solicit
+)
+
+// Frame geometry. The evaluation switches do not support jumbo frames
+// (IPPS'07 §3), so the classic 1500-byte Ethernet MTU applies.
+const (
+	EthHeaderLen = 14 // dst MAC, src MAC, ethertype
+	HeaderLen    = 56 // MultiEdge protocol header
+	MTU          = 1500
+	// MaxPayload is the largest payload a single frame can carry.
+	MaxPayload = MTU - HeaderLen // 1444
+
+	// Wire framing overhead not stored in the buffer: 8B preamble+SFD,
+	// 4B FCS, 12B inter-frame gap.
+	wireExtra = 8 + 4 + 12
+)
+
+// WireLen returns the number of byte-times frame transmission occupies on
+// the wire, including preamble, FCS and inter-frame gap.
+func WireLen(frameLen int) int { return frameLen + wireExtra }
+
+// Header is the decoded MultiEdge protocol header.
+type Header struct {
+	Type   Type
+	ConnID uint32 // connection identifier, receiver-relative
+	Seq    uint32 // ARQ frame sequence number within the connection
+	Ack    uint32 // piggy-backed cumulative acknowledgement (next expected seq)
+	HasAck bool   // whether Ack is meaningful
+
+	OpID    uint64 // operation sequence number within the connection
+	OpType  OpType
+	OpFlags OpFlags
+	Remote  uint64 // destination virtual address of the operation
+	Local   uint64 // for reads: requester-side destination address
+	Offset  uint32 // offset of this frame's payload within the operation
+	Total   uint32 // total operation length in bytes
+}
+
+// Wire layout after the 14-byte Ethernet header (big endian):
+//
+//	 0: type(1) flags(1) opType(1) opFlags(1)
+//	 4: connID(4)
+//	 8: seq(4)
+//	12: ack(4)
+//	16: opID(8)
+//	24: remote(8)
+//	32: local(8)
+//	40: offset(4)
+//	44: total(4)
+//	48: payloadLen(2) pad(2)
+//	52: crc32(4)
+const (
+	flagHasAck = 0x01
+
+	offType    = 0
+	offFlags   = 1
+	offOpType  = 2
+	offOpFlags = 3
+	offConnID  = 4
+	offSeq     = 8
+	offAck     = 12
+	offOpID    = 16
+	offRemote  = 24
+	offLocal   = 32
+	offOffset  = 40
+	offTotal   = 44
+	offPayLen  = 48
+	offCRC     = 52
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by Decode.
+var (
+	ErrTooShort    = errors.New("frame: buffer shorter than headers")
+	ErrBadChecksum = errors.New("frame: checksum mismatch")
+	ErrBadLength   = errors.New("frame: payload length field disagrees with buffer")
+	ErrBadType     = errors.New("frame: unknown frame type")
+)
+
+// Encode serializes a frame into a fresh buffer: Ethernet header
+// (dst, src, ethertype), MultiEdge header h, payload, with the CRC filled
+// in. It panics if payload exceeds MaxPayload — callers fragment
+// operations into frames before encoding.
+func Encode(dst, src Addr, h *Header, payload []byte) []byte {
+	if len(payload) > MaxPayload {
+		panic(fmt.Sprintf("frame: payload %d exceeds MaxPayload %d", len(payload), MaxPayload))
+	}
+	buf := make([]byte, EthHeaderLen+HeaderLen+len(payload))
+	// Ethernet header: 6-byte MACs with our 2 significant bytes in the
+	// low positions; a private ethertype.
+	binary.BigEndian.PutUint16(buf[4:], uint16(dst))
+	binary.BigEndian.PutUint16(buf[10:], uint16(src))
+	binary.BigEndian.PutUint16(buf[12:], 0x88B5) // IEEE local experimental
+	p := buf[EthHeaderLen:]
+	p[offType] = byte(h.Type)
+	var fl byte
+	if h.HasAck {
+		fl |= flagHasAck
+	}
+	p[offFlags] = fl
+	p[offOpType] = byte(h.OpType)
+	p[offOpFlags] = byte(h.OpFlags)
+	binary.BigEndian.PutUint32(p[offConnID:], h.ConnID)
+	binary.BigEndian.PutUint32(p[offSeq:], h.Seq)
+	binary.BigEndian.PutUint32(p[offAck:], h.Ack)
+	binary.BigEndian.PutUint64(p[offOpID:], h.OpID)
+	binary.BigEndian.PutUint64(p[offRemote:], h.Remote)
+	binary.BigEndian.PutUint64(p[offLocal:], h.Local)
+	binary.BigEndian.PutUint32(p[offOffset:], h.Offset)
+	binary.BigEndian.PutUint32(p[offTotal:], h.Total)
+	binary.BigEndian.PutUint16(p[offPayLen:], uint16(len(payload)))
+	copy(p[HeaderLen:], payload)
+	binary.BigEndian.PutUint32(p[offCRC:], checksum(buf))
+	return buf
+}
+
+// checksum computes the CRC over the whole frame with the CRC field
+// treated as zero.
+func checksum(buf []byte) uint32 {
+	p := buf[EthHeaderLen:]
+	crc := crc32.Update(0, castagnoli, buf[:EthHeaderLen+offCRC])
+	var zero [4]byte
+	crc = crc32.Update(crc, castagnoli, zero[:])
+	return crc32.Update(crc, castagnoli, p[offCRC+4:])
+}
+
+// Decode parses and verifies a frame buffer produced by Encode. The
+// returned payload aliases buf.
+func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
+	if len(buf) < EthHeaderLen+HeaderLen {
+		return 0, 0, Header{}, nil, ErrTooShort
+	}
+	dst = Addr(binary.BigEndian.Uint16(buf[4:]))
+	src = Addr(binary.BigEndian.Uint16(buf[10:]))
+	p := buf[EthHeaderLen:]
+	if got, want := binary.BigEndian.Uint32(p[offCRC:]), checksum(buf); got != want {
+		return 0, 0, Header{}, nil, ErrBadChecksum
+	}
+	h.Type = Type(p[offType])
+	if h.Type < TypeData || h.Type > TypeConnCloseAck {
+		return 0, 0, Header{}, nil, ErrBadType
+	}
+	h.HasAck = p[offFlags]&flagHasAck != 0
+	h.OpType = OpType(p[offOpType])
+	h.OpFlags = OpFlags(p[offOpFlags])
+	h.ConnID = binary.BigEndian.Uint32(p[offConnID:])
+	h.Seq = binary.BigEndian.Uint32(p[offSeq:])
+	h.Ack = binary.BigEndian.Uint32(p[offAck:])
+	h.OpID = binary.BigEndian.Uint64(p[offOpID:])
+	h.Remote = binary.BigEndian.Uint64(p[offRemote:])
+	h.Local = binary.BigEndian.Uint64(p[offLocal:])
+	h.Offset = binary.BigEndian.Uint32(p[offOffset:])
+	h.Total = binary.BigEndian.Uint32(p[offTotal:])
+	plen := int(binary.BigEndian.Uint16(p[offPayLen:]))
+	if plen != len(p)-HeaderLen {
+		return 0, 0, Header{}, nil, ErrBadLength
+	}
+	return dst, src, h, p[HeaderLen:], nil
+}
+
+// EncodeNackPayload serializes the list of missing sequence numbers a
+// NACK frame reports (IPPS'07 §2.4: negative acknowledgements name lost
+// or damaged frames for retransmission).
+func EncodeNackPayload(missing []uint32) []byte {
+	if max := (MaxPayload - 2) / 4; len(missing) > max {
+		missing = missing[:max]
+	}
+	out := make([]byte, 2+4*len(missing))
+	binary.BigEndian.PutUint16(out, uint16(len(missing)))
+	for i, s := range missing {
+		binary.BigEndian.PutUint32(out[2+4*i:], s)
+	}
+	return out
+}
+
+// DecodeNackPayload parses a NACK payload back into sequence numbers.
+func DecodeNackPayload(p []byte) ([]uint32, error) {
+	if len(p) < 2 {
+		return nil, ErrTooShort
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if len(p) < 2+4*n {
+		return nil, ErrTooShort
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(p[2+4*i:])
+	}
+	return out, nil
+}

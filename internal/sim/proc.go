@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process: a goroutine that runs cooperatively under
+// the scheduler. At most one process runs at a time; a process only
+// executes between a resume from the scheduler and its next blocking call
+// (Sleep, Wait, Recv) or its return.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   Signal
+	dead   bool
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Done returns a signal that fires when the process returns.
+func (p *Proc) Done() *Signal { return &p.done }
+
+// Dead reports whether the process has returned.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Go spawns fn as a new simulated process that starts at the current
+// virtual time (after already-queued events at this instant).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.procPanic = fmt.Sprintf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+			p.dead = true
+			e.nprocs--
+			p.done.fire(e)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.After(0, func() { e.schedule(p) })
+	return p
+}
+
+// schedule transfers control to p until it blocks or returns. It must be
+// called from scheduler context (inside an event callback).
+func (e *Env) schedule(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park blocks the calling process until the scheduler resumes it.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d virtual nanoseconds.
+func (p *Proc) Sleep(d Time) {
+	e := p.env
+	e.After(d, func() { e.schedule(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event and process queued at this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Signal is a one-shot completion event that processes can wait on and
+// event-driven code can subscribe to. The zero value is ready to use.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+	cbs     []func()
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// HasWaiters reports whether any process or callback is currently
+// waiting on the signal.
+func (s *Signal) HasWaiters() bool { return len(s.waiters) > 0 || len(s.cbs) > 0 }
+
+// Fire fires the signal at the current virtual time, waking all waiting
+// processes and scheduling all subscribed callbacks. Firing twice panics:
+// a Signal represents exactly one completion.
+func (s *Signal) Fire(e *Env) {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fire(e)
+}
+
+func (s *Signal) fire(e *Env) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		proc := p
+		e.After(0, func() { e.schedule(proc) })
+	}
+	s.waiters = nil
+	for _, cb := range s.cbs {
+		e.After(0, cb)
+	}
+	s.cbs = nil
+}
+
+// OnFire schedules fn for when the signal fires; if it already fired, fn
+// is scheduled immediately.
+func (s *Signal) OnFire(e *Env, fn func()) {
+	if s.fired {
+		e.After(0, fn)
+		return
+	}
+	s.cbs = append(s.cbs, fn)
+}
+
+// Wait blocks the process until the signal fires; it returns immediately
+// if the signal already fired.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitAll blocks until every given signal has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}
+
+// Mailbox is an unbounded FIFO queue for passing values between simulated
+// processes and event-driven code.
+type Mailbox[T any] struct {
+	items   []T
+	waiters []*Proc
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Send enqueues v and wakes one waiting receiver, if any.
+func (m *Mailbox[T]) Send(e *Env, v T) {
+	m.items = append(m.items, v)
+	if len(m.waiters) > 0 {
+		p := m.waiters[0]
+		m.waiters = m.waiters[:copy(m.waiters, m.waiters[1:])]
+		e.After(0, func() { e.schedule(p) })
+	}
+}
+
+// Recv dequeues the oldest item, blocking while the mailbox is empty.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.items) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.items[0]
+	var zero T
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v
+}
+
+// TryRecv dequeues the oldest item without blocking; ok reports whether an
+// item was available.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	var zero T
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v, true
+}

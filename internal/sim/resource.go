@@ -1,0 +1,83 @@
+package sim
+
+// Resource models a serializing server such as a CPU or a DMA engine:
+// submitted work items execute one after another in FIFO order, each
+// occupying the resource for its stated duration. It also accounts total
+// busy time, from which callers derive utilization over a window.
+//
+// The implementation keeps only the time the resource next becomes free;
+// FIFO order follows from submissions being timestamped monotonically.
+type Resource struct {
+	name  string
+	avail Time // when the next submitted work item can start
+	busy  Time // cumulative busy time
+	jobs  uint64
+}
+
+// NewResource creates a named resource, idle at time zero.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// BusyTime returns cumulative busy time accounted so far, including time
+// already committed to queued work.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Jobs returns the number of work items submitted so far.
+func (r *Resource) Jobs() uint64 { return r.jobs }
+
+// FreeAt returns the time at which all currently queued work completes.
+func (r *Resource) FreeAt() Time { return r.avail }
+
+// Submit queues a work item of the given duration and returns its
+// completion time. If then is non-nil it runs at completion. Zero-duration
+// work is legal and completes after earlier queued work.
+func (r *Resource) Submit(e *Env, work Time, then func()) Time {
+	if work < 0 {
+		panic("sim: negative work duration")
+	}
+	start := e.Now()
+	if r.avail > start {
+		start = r.avail
+	}
+	done := start + work
+	r.avail = done
+	r.busy += work
+	r.jobs++
+	if then != nil {
+		e.At(done, then)
+	}
+	return done
+}
+
+// Exec queues a work item and blocks the calling process until it
+// completes.
+func (p *Proc) Exec(r *Resource, work Time) {
+	e := p.env
+	r.Submit(e, work, func() { e.schedule(p) })
+	p.park()
+}
+
+// Utilization is a busy-time snapshot taken at a point in time; two
+// snapshots bracket a measurement window.
+type Utilization struct {
+	At   Time
+	Busy Time
+}
+
+// Snapshot captures the resource's busy time at the current instant.
+func (r *Resource) Snapshot(e *Env) Utilization {
+	return Utilization{At: e.Now(), Busy: r.busy}
+}
+
+// Since returns the busy fraction (0..1+) of the window from the snapshot
+// to now. The fraction can exceed 1 transiently because Submit commits
+// busy time for queued-but-unfinished work.
+func (u Utilization) Since(e *Env, r *Resource) float64 {
+	dt := e.Now() - u.At
+	if dt <= 0 {
+		return 0
+	}
+	return float64(r.busy-u.Busy) / float64(dt)
+}

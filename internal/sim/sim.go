@@ -1,0 +1,200 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock (nanosecond resolution) through a
+// priority queue of events. Two execution styles coexist:
+//
+//   - Event-driven: callbacks scheduled with At/After run inside the
+//     scheduler. Protocol state machines use this style.
+//   - Process-driven: goroutines spawned with Go run cooperatively, one
+//     at a time, and block on Sleep, Signal.Wait or Mailbox.Recv.
+//     Applications and benchmarks use this style.
+//
+// Exactly one entity (the scheduler or a single process) runs at any
+// instant, so simulation state never needs locking, and runs with equal
+// seeds are bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Convenient duration units expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a time with an adaptive unit, e.g. "12.5us".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a virtual duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among equal-time events
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is one simulation universe: a clock, an event queue, and a seeded
+// random number generator. Create with NewEnv; drive with Run or RunUntil.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	yield     chan struct{} // process -> scheduler handoff
+	nprocs    int
+	procPanic any
+	stopped   bool
+	executed  uint64
+}
+
+// NewEnv creates a simulation environment whose random number generator is
+// seeded with seed. Equal seeds yield identical simulations.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random number generator.
+// It must only be used from inside the simulation (events or processes).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Events reports how many events have executed so far.
+func (e *Env) Executed() uint64 { return e.executed }
+
+// Timer identifies a scheduled event and allows canceling it.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer's pending event. Stopping an already-fired or
+// already-stopped timer is a no-op. It reports whether the event was still
+// pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer's event has neither fired nor been
+// stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: events must never move the clock backwards.
+func (e *Env) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Env) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes the current Run/RunUntil call return after the current event
+// completes. Pending events stay queued and a later Run resumes them.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes events until the queue empties or Stop is called. It
+// returns the time of the last executed event.
+func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= horizon, advancing the clock
+// to each event's time. On return the clock rests at the later of its
+// previous value and the last event executed; it never exceeds horizon.
+func (e *Env) RunUntil(horizon Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+		if e.procPanic != nil {
+			p := e.procPanic
+			e.procPanic = nil
+			panic(p)
+		}
+	}
+	return e.now
+}
+
+// Idle reports whether no events remain queued.
+func (e *Env) Idle() bool { return len(e.events) == 0 }

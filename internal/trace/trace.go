@@ -1,0 +1,311 @@
+// Package trace provides the frame-level tracing and time-series
+// sampling behind the paper's network-traffic analysis (IPPS'07
+// contribution (iii): "detailed analysis of edge-based protocols ...
+// network traffic"). A Trace records per-frame protocol events into a
+// bounded ring; a Sampler turns any instantaneous metric into a time
+// series. Both render as text.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"multiedge/internal/sim"
+)
+
+// Kind classifies a protocol event.
+type Kind uint8
+
+// Protocol event kinds.
+const (
+	TxData Kind = iota + 1
+	TxRetransmit
+	TxAck
+	TxNack
+	RxData
+	RxDuplicate
+	RxOutOfOrder
+	RxHeld      // buffered awaiting ordering or fences
+	LinkDead    // sender declared a link dead (seq field = link index)
+	LinkRestore // sender re-admitted a dead link (seq field = link index)
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	TxData: "tx-data", TxRetransmit: "tx-retrans", TxAck: "tx-ack",
+	TxNack: "tx-nack", RxData: "rx-data", RxDuplicate: "rx-dup",
+	RxOutOfOrder: "rx-ooo", RxHeld: "rx-held",
+	LinkDead: "link-dead", LinkRestore: "link-restore",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one protocol event.
+type Event struct {
+	At   sim.Time
+	Node int
+	Conn uint32
+	Kind Kind
+	Seq  uint32
+	Len  int
+}
+
+// Trace is a bounded ring of events. The zero value is unusable; create
+// with New.
+type Trace struct {
+	env     *sim.Env
+	events  []Event
+	next    int
+	wrapped bool
+	counts  [kindCount]uint64
+	bytes   [kindCount]uint64
+	first   sim.Time
+	last    sim.Time
+}
+
+// New creates a trace retaining up to cap events (older events fall off
+// but the aggregate counters keep counting).
+func New(env *sim.Env, cap int) *Trace {
+	if cap <= 0 {
+		cap = 1 << 14
+	}
+	return &Trace{env: env, events: make([]Event, cap), first: -1}
+}
+
+// Add records one event.
+func (t *Trace) Add(node int, conn uint32, kind Kind, seq uint32, n int) {
+	at := t.env.Now()
+	if t.first < 0 {
+		t.first = at
+	}
+	t.last = at
+	t.counts[kind]++
+	t.bytes[kind] += uint64(n)
+	t.events[t.next] = Event{At: at, Node: node, Conn: conn, Kind: kind, Seq: seq, Len: n}
+	t.next++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Count returns the total number of events of a kind (including ones
+// that fell off the ring).
+func (t *Trace) Count(k Kind) uint64 { return t.counts[k] }
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	if !t.wrapped {
+		return append([]Event(nil), t.events[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Summary renders aggregate counters.
+func (t *Trace) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %v .. %v\n", t.first, t.last)
+	for k := Kind(1); k < kindCount; k++ {
+		if t.counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-11s %8d events %12d bytes\n", k, t.counts[k], t.bytes[k])
+	}
+	return b.String()
+}
+
+// Timeline renders retained events bucketed by the given interval: one
+// row per bucket with per-kind counts — a text version of the paper's
+// traffic-over-time analysis.
+func (t *Trace) Timeline(bucket sim.Time) string {
+	evs := t.Events()
+	if len(evs) == 0 {
+		return "trace: no events\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "t")
+	for k := Kind(1); k < kindCount; k++ {
+		fmt.Fprintf(&b, "%11s", k)
+	}
+	fmt.Fprintln(&b)
+	start := evs[0].At / bucket * bucket
+	var row [kindCount]int
+	flush := func(at sim.Time) {
+		fmt.Fprintf(&b, "%12v", at)
+		for k := Kind(1); k < kindCount; k++ {
+			fmt.Fprintf(&b, "%11d", row[k])
+		}
+		fmt.Fprintln(&b)
+		row = [kindCount]int{}
+	}
+	cur := start
+	for _, ev := range evs {
+		for ev.At >= cur+bucket {
+			flush(cur)
+			cur += bucket
+		}
+		row[ev.Kind]++
+	}
+	flush(cur)
+	return b.String()
+}
+
+// Series is a sampled time series.
+type Series struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Sampler periodically evaluates a metric while the simulation runs.
+type Sampler struct {
+	S *Series
+}
+
+// NewSampler samples f every interval for the given duration (0 =
+// until the event queue drains naturally; sampling stops when no other
+// events remain is not detectable, so a duration is usually wanted).
+func NewSampler(env *sim.Env, every, dur sim.Time, f func() float64) *Sampler {
+	s := &Sampler{S: &Series{}}
+	stop := env.Now() + dur
+	var tick func()
+	tick = func() {
+		s.S.Times = append(s.S.Times, env.Now())
+		s.S.Values = append(s.S.Values, f())
+		if dur > 0 && env.Now() >= stop {
+			return
+		}
+		env.After(every, tick)
+	}
+	env.After(every, tick)
+	return s
+}
+
+// Stats returns min, max and mean of the series.
+func (s *Series) Stats() (min, max, mean float64) {
+	if len(s.Values) == 0 {
+		return 0, 0, 0
+	}
+	min, max = s.Values[0], s.Values[0]
+	var sum float64
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum / float64(len(s.Values))
+}
+
+// Render draws the series as a fixed-height text chart.
+func (s *Series) Render(width, height int) string {
+	if len(s.Values) == 0 {
+		return "(empty series)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 8
+	}
+	min, max, mean := s.Stats()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	// Downsample to width columns by averaging.
+	cols := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(s.Values) / width
+		hi := (c + 1) * len(s.Values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for i := lo; i < hi && i < len(s.Values); i++ {
+			sum += s.Values[i]
+		}
+		cols[c] = sum / float64(hi-lo)
+	}
+	var b strings.Builder
+	for r := height - 1; r >= 0; r-- {
+		thresh := min + span*float64(r)/float64(height)
+		for _, v := range cols {
+			if v > thresh {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "min %.3g  max %.3g  mean %.3g  samples %d\n", min, max, mean, len(s.Values))
+	return b.String()
+}
+
+// LatencyRecorder collects operation latency samples and reports exact
+// percentiles (the samples are sorted on demand; with deterministic
+// simulation the distribution itself is reproducible bit-for-bit).
+// Useful where a mean hides the story: NACK-repair tails, multi-rail
+// jitter.
+type LatencyRecorder struct {
+	samples []sim.Time
+	sorted  bool
+}
+
+// Record adds one sample.
+func (l *LatencyRecorder) Record(d sim.Time) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns how many samples were recorded.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method; zero with no samples.
+func (l *LatencyRecorder) Percentile(p float64) sim.Time {
+	n := len(l.samples)
+	if n == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return l.samples[rank-1]
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (l *LatencyRecorder) Mean() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / sim.Time(len(l.samples))
+}

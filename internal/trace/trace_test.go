@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multiedge/internal/sim"
+)
+
+func TestTraceRecordAndSummary(t *testing.T) {
+	e := sim.NewEnv(1)
+	tr := New(e, 100)
+	e.After(10, func() { tr.Add(0, 1, TxData, 5, 1444) })
+	e.After(20, func() { tr.Add(1, 1, RxData, 5, 1444) })
+	e.After(30, func() { tr.Add(1, 1, RxOutOfOrder, 7, 1444) })
+	e.Run()
+	if tr.Count(TxData) != 1 || tr.Count(RxData) != 1 || tr.Count(RxOutOfOrder) != 1 {
+		t.Fatalf("counts wrong: %d %d %d", tr.Count(TxData), tr.Count(RxData), tr.Count(RxOutOfOrder))
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].At != 10 || evs[2].Kind != RxOutOfOrder {
+		t.Fatalf("events = %+v", evs)
+	}
+	s := tr.Summary()
+	for _, want := range []string{"tx-data", "rx-data", "rx-ooo", "1444"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	e := sim.NewEnv(1)
+	tr := New(e, 4)
+	e.After(0, func() {
+		for i := 0; i < 10; i++ {
+			tr.Add(0, 1, TxData, uint32(i), 10)
+		}
+	})
+	e.Run()
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("retained wrong window: %+v", evs)
+	}
+	if tr.Count(TxData) != 10 {
+		t.Errorf("aggregate count = %d, want 10 (counts survive eviction)", tr.Count(TxData))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	e := sim.NewEnv(1)
+	tr := New(e, 100)
+	e.After(5, func() { tr.Add(0, 1, TxData, 1, 100) })
+	e.After(15, func() { tr.Add(0, 1, TxData, 2, 100) })
+	e.After(16, func() { tr.Add(0, 1, TxRetransmit, 1, 100) })
+	e.Run()
+	out := tr.Timeline(10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 buckets
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "tx-retrans") {
+		t.Error("timeline header missing kinds")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TxData.String() != "tx-data" || RxHeld.String() != "rx-held" {
+		t.Error("kind names wrong")
+	}
+	if Kind(77).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	e := sim.NewEnv(1)
+	v := 0.0
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10)
+			v = float64(i)
+		}
+	})
+	s := NewSampler(e, 100, 900, func() float64 { return v })
+	e.Run()
+	if len(s.S.Values) < 8 {
+		t.Fatalf("samples = %d", len(s.S.Values))
+	}
+	min, max, mean := s.S.Stats()
+	if min > max || mean < min || mean > max {
+		t.Errorf("stats incoherent: %v %v %v", min, max, mean)
+	}
+	if max < 50 {
+		t.Errorf("max = %v, expected to track the rising metric", max)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 100; i++ {
+		s.Times = append(s.Times, sim.Time(i))
+		s.Values = append(s.Values, float64(i%10))
+	}
+	out := s.Render(40, 5)
+	if !strings.Contains(out, "samples 100") || !strings.Contains(out, "#") {
+		t.Errorf("render:\n%s", out)
+	}
+	if (&Series{}).Render(10, 3) == "" {
+		t.Error("empty render empty")
+	}
+}
+
+func TestZeroCapDefault(t *testing.T) {
+	e := sim.NewEnv(1)
+	tr := New(e, 0)
+	e.After(0, func() { tr.Add(0, 0, TxData, 0, 0) })
+	e.Run()
+	if len(tr.Events()) != 1 {
+		t.Error("default-capacity trace broken")
+	}
+}
+
+// TestTraceRingProperty: for any capacity and any number of recorded
+// events, the ring retains exactly min(total, cap) events, returns them
+// oldest-first with monotonically non-decreasing timestamps, keeps the
+// newest events (the retained suffix of the full sequence), and the
+// aggregate counters still see everything that fell off.
+func TestTraceRingProperty(t *testing.T) {
+	prop := func(capRaw uint8, totalRaw uint16) bool {
+		capacity := int(capRaw)%64 + 1
+		total := int(totalRaw) % 300
+		env := sim.NewEnv(1)
+		tr := New(env, capacity)
+		for i := 0; i < total; i++ {
+			i := i
+			env.After(sim.Time(i+1)*sim.Microsecond, func() {
+				tr.Add(0, 0, TxData, uint32(i), i)
+			})
+		}
+		env.Run()
+		evs := tr.Events()
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for j, e := range evs {
+			// The retained events are the last `want` of the sequence.
+			if e.Seq != uint32(total-want+j) {
+				return false
+			}
+			if j > 0 && e.At < evs[j-1].At {
+				return false
+			}
+		}
+		return tr.Count(TxData) == uint64(total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	var l LatencyRecorder
+	if l.Percentile(50) != 0 || l.Mean() != 0 {
+		t.Error("empty recorder must report zero")
+	}
+	// 1..100 us, recorded shuffled.
+	for i := 0; i < 100; i++ {
+		l.Record(sim.Time((i*37)%100+1) * sim.Microsecond)
+	}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{50, 50 * sim.Microsecond},
+		{90, 90 * sim.Microsecond},
+		{99, 99 * sim.Microsecond},
+		{100, 100 * sim.Microsecond},
+		{1, 1 * sim.Microsecond},
+	}
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if l.Mean() != 50500*sim.Nanosecond {
+		t.Errorf("mean = %v, want 50.5us", l.Mean())
+	}
+	if l.Count() != 100 {
+		t.Errorf("count = %d", l.Count())
+	}
+	// Recording after a percentile query must re-sort.
+	l.Record(1000 * sim.Microsecond)
+	if got := l.Percentile(100); got != 1000*sim.Microsecond {
+		t.Errorf("max after late record = %v", got)
+	}
+}
+
+// TestLatencyRecorderProperty: percentiles are monotone in p and
+// bounded by min/max of the samples.
+func TestLatencyRecorderProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l LatencyRecorder
+		min, max := sim.Time(1<<62), sim.Time(0)
+		for _, r := range raw {
+			d := sim.Time(r % 1e6)
+			l.Record(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		prev := sim.Time(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := l.Percentile(p)
+			if v < prev || v < min || v > max {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package multiedge is a faithful reproduction of MultiEdge, the
+// edge-based communication subsystem for scalable commodity servers of
+// Karlsson, Passas, Kotsis and Bilas (IPPS 2007), together with every
+// substrate its evaluation depends on: a deterministic discrete-event
+// cluster simulator (nodes, CPUs, NICs, links, switches), a GeNIMA-style
+// page-based software DSM, and the eight SPLASH-2 applications of the
+// paper's Table 1.
+//
+// MultiEdge is a connection-oriented protocol over raw Ethernet frames
+// providing remote read/write into a peer's address space, end-to-end
+// sliding-window flow control with piggy-backed and delayed
+// acknowledgements, NACK-based retransmission, transparent striping of
+// frames across multiple physical links, and per-operation backward /
+// forward fence ordering.
+//
+// # Quick start
+//
+//	cfg := multiedge.OneLink1G(2)            // two nodes, 1-GBit/s
+//	cl := multiedge.NewCluster(cfg)
+//	c01, c10 := cl.Pair()                    // establish a connection
+//	ep0, ep1 := cl.Nodes[0].EP, cl.Nodes[1].EP
+//	src, dst := ep0.Alloc(64), ep1.Alloc(64)
+//	copy(ep0.Mem()[src:], []byte("hello"))
+//	cl.Env.Go("app", func(p *multiedge.Proc) {
+//	    h := c01.RDMAOperation(p, dst, src, 5, multiedge.OpWrite, multiedge.Notify)
+//	    h.Wait(p)
+//	})
+//	cl.Env.Go("peer", func(p *multiedge.Proc) {
+//	    n := c10.WaitNotify(p)
+//	    fmt.Printf("%s\n", ep1.Mem()[n.Addr:n.Addr+uint64(n.Len)])
+//	})
+//	cl.Env.Run()
+//
+// The simulation is deterministic: equal seeds give bit-identical runs.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package multiedge
+
+import (
+	"multiedge/internal/blk"
+	"multiedge/internal/cluster"
+	"multiedge/internal/core"
+	"multiedge/internal/dsm"
+	"multiedge/internal/frame"
+	"multiedge/internal/hostmodel"
+	"multiedge/internal/msg"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+)
+
+// Simulation kernel.
+type (
+	// Env is a deterministic discrete-event simulation environment.
+	Env = sim.Env
+	// Proc is a simulated process (cooperative goroutine).
+	Proc = sim.Proc
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Signal is a one-shot completion event.
+	Signal = sim.Signal
+)
+
+// Virtual time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEnv creates a standalone simulation environment (NewCluster makes
+// one internally; use this for custom topologies built from the phys
+// layer).
+func NewEnv(seed int64) *Env { return sim.NewEnv(seed) }
+
+// Protocol layer (the paper's contribution).
+type (
+	// Endpoint is a node's MultiEdge protocol instance.
+	Endpoint = core.Endpoint
+	// Conn is one end of a MultiEdge connection.
+	Conn = core.Conn
+	// Handle tracks an issued operation's progress.
+	Handle = core.Handle
+	// Notification reports a completed notifying remote write.
+	Notification = core.Notification
+	// ProtocolConfig holds the protocol parameters (window, delayed
+	// acknowledgements, NACK timing, ordering mode, baselines).
+	ProtocolConfig = core.Config
+	// ProtocolStats counts protocol events at one endpoint.
+	ProtocolStats = core.Stats
+)
+
+// Operation types and flags for Conn.RDMAOperation, mirroring the
+// paper's RDMA_operation(connection, remote_va, local_va, size, op,
+// flags) primitive.
+const (
+	OpWrite = frame.OpWrite
+	OpRead  = frame.OpRead
+	// FenceBefore (backward fence): perform this operation only after
+	// all previously issued operations on the connection (IPPS'07 §2.5).
+	FenceBefore = frame.FenceBefore
+	// FenceAfter (forward fence): perform subsequent operations only
+	// after this one.
+	FenceAfter = frame.FenceAfter
+	// Notify delivers a notification to the remote process when the
+	// operation has been performed.
+	Notify = frame.Notify
+	// Solicit requests an immediate acknowledgement on completion at
+	// the receiver (one-round-trip write completion for latency-bound
+	// callers; one extra control frame).
+	Solicit = frame.Solicit
+)
+
+// DefaultProtocolConfig returns the paper-calibrated protocol defaults.
+func DefaultProtocolConfig() ProtocolConfig { return core.DefaultConfig() }
+
+// Cluster assembly.
+type (
+	// Cluster is a simulated MultiEdge cluster.
+	Cluster = cluster.Cluster
+	// ClusterConfig describes a cluster to build.
+	ClusterConfig = cluster.Config
+	// ClusterNode is one simulated machine.
+	ClusterNode = cluster.Node
+	// NetReport aggregates cluster-wide network statistics.
+	NetReport = cluster.NetReport
+)
+
+// NewCluster builds a cluster from a configuration.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// The paper's four evaluation configurations (IPPS'07 §3), plus the §6
+// future-work setups.
+var (
+	// OneLink1G: one 1-GBit/s link per node, one switch.
+	OneLink1G = cluster.OneLink1G
+	// TwoLink1G: two 1-GBit/s links, strictly ordered delivery.
+	TwoLink1G = cluster.TwoLink1G
+	// TwoLinkUnordered1G: two 1-GBit/s links, out-of-order delivery.
+	TwoLinkUnordered1G = cluster.TwoLinkUnordered1G
+	// OneLink10G: one 10-GBit/s link per node.
+	OneLink10G = cluster.OneLink10G
+	// OneLink10GOffload: §6(b) hybrid with NIC protocol offload.
+	OneLink10GOffload = cluster.OneLink10GOffload
+	// TreeOneLink1G: §6(a) two-level multi-switch fabric.
+	TreeOneLink1G = cluster.TreeOneLink1G
+	// HybridRails: heterogeneous 1-GbE + 10-GbE rails with adaptive
+	// (least-backlog) striping.
+	HybridRails = cluster.HybridRails
+)
+
+// Physical substrate models (for custom topologies).
+type (
+	// LinkParams describes a link technology.
+	LinkParams = phys.LinkParams
+	// NICParams configures a NIC model.
+	NICParams = phys.NICParams
+	// SwitchParams configures a switch model.
+	SwitchParams = phys.SwitchParams
+	// HostCosts is the calibrated host-side cost table.
+	HostCosts = hostmodel.Costs
+)
+
+var (
+	// Gigabit returns 1-GBit/s link parameters.
+	Gigabit = phys.Gigabit
+	// TenGigabit returns 10-GBit/s link parameters.
+	TenGigabit = phys.TenGigabit
+	// DefaultHostCosts returns the calibrated host cost table.
+	DefaultHostCosts = hostmodel.Default
+)
+
+// Shared memory (GeNIMA-style DSM over MultiEdge).
+type (
+	// DSM is a cluster-wide shared address space.
+	DSM = dsm.System
+	// DSMInstance is one node's DSM runtime.
+	DSMInstance = dsm.Instance
+	// DSMConfig sizes the shared region.
+	DSMConfig = dsm.Config
+	// Breakdown is the per-node execution-time decomposition.
+	Breakdown = dsm.Breakdown
+)
+
+// PageSize is the DSM sharing granularity.
+const PageSize = dsm.PageSize
+
+// NewDSM builds the shared address space over an established full mesh
+// (see Cluster.FullMesh).
+func NewDSM(cl *Cluster, conns [][]*Conn, cfg DSMConfig) *DSM {
+	return dsm.New(cl, conns, cfg)
+}
+
+// Message passing (MPI-style, over the same transport).
+type (
+	// Comm is a per-node communicator with Send/Recv and collectives.
+	Comm = msg.Comm
+)
+
+// AnyTag matches any message tag in Comm.Recv.
+const AnyTag = msg.AnyTag
+
+// NewComms builds one communicator per node over an established full
+// mesh. A communicator owns its endpoint's notification stream; do not
+// combine it with a DSM on the same endpoints.
+func NewComms(cl *Cluster, conns [][]*Conn) []*Comm {
+	return msg.New(cl, conns)
+}
+
+// Block storage (one-sided RDMA volumes, over the same transport).
+type (
+	// Volume is a block device served passively from one node's memory.
+	Volume = blk.Volume
+	// BlkClient is one node's handle on a Volume.
+	BlkClient = blk.Client
+	// Mirror is client-side RAID-1 over two volumes on different
+	// hosts, with deadline-based failover and online rebuild.
+	Mirror = blk.Mirror
+)
+
+// OpenMirror pairs two volume clients (on different hosts) into a
+// mirror.
+func OpenMirror(a, b *BlkClient) *Mirror { return blk.OpenMirror(a, b) }
+
+// NewVolume carves a volume (blocks x blockSize bytes plus maxClients
+// commit records) out of the host node's endpoint memory.
+func NewVolume(cl *Cluster, host, blocks, blockSize, maxClients int) *Volume {
+	return blk.NewVolume(cl, host, blocks, blockSize, maxClients)
+}
+
+// OpenVolume attaches node to a volume over an established connection
+// to its host; id indexes the client's commit record (unique per
+// client).
+func OpenVolume(cl *Cluster, v *Volume, node int, conn *Conn, id int) *BlkClient {
+	return blk.Open(cl, v, node, conn, id)
+}
