@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"multiedge/internal/apps"
 	"multiedge/internal/bench"
@@ -30,7 +31,25 @@ func main() {
 	nodes := flag.Int("nodes", 16, "node count for -one")
 	config := flag.String("config", "1L-1G", "configuration for -one")
 	sizeFlag := flag.String("size", "small", "problem scale: test, small or full")
+	metrics := flag.Bool("metrics", false, "with -one: collect the unified metrics registry and export it via -obs-out")
+	spans := flag.Bool("spans", false, "with -one: record causal operation spans and export a Chrome trace (Perfetto) via -obs-out")
+	obsOut := flag.String("obs-out", "", "output path for -metrics/-spans exports (-spans writes Chrome trace JSON here; -metrics writes the JSON snapshot plus a .prom sidecar)")
 	flag.Parse()
+
+	obsOn := *metrics || *spans || *obsOut != ""
+	if obsOn {
+		switch {
+		case *one == "":
+			fmt.Fprintln(os.Stderr, "medapps: -metrics/-spans/-obs-out only compose with -one")
+			os.Exit(2)
+		case !*metrics && !*spans:
+			fmt.Fprintln(os.Stderr, "medapps: -obs-out needs -metrics and/or -spans")
+			os.Exit(2)
+		case *obsOut == "":
+			fmt.Fprintln(os.Stderr, "medapps: -metrics/-spans need -obs-out PATH")
+			os.Exit(2)
+		}
+	}
 
 	size := apps.SizeSmall
 	switch *sizeFlag {
@@ -66,6 +85,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "medapps: unknown configuration %q\n", *config)
 			os.Exit(2)
 		}
+		cfg.Obs = cluster.ObsOptions{Metrics: *metrics, Spans: *spans}
 		res := bench.RunApp(cfg, *one, size)
 		bd := res.MeanBreakdown()
 		fmt.Printf("%s on %d nodes (%s): %v\n", res.Name, res.Nodes, res.Config, res.Elapsed)
@@ -76,6 +96,14 @@ func main() {
 		fmt.Printf("  net: ooo %.1f%%  extra %.2f%%  protocol CPU %.1f%%\n",
 			res.Net.Proto.OOOFraction()*100, res.Net.Proto.ExtraTrafficFraction()*100,
 			res.ProtoCPUFrac*100)
+		if obsOn {
+			files, err := res.Obs.WriteFiles(*obsOut, *metrics, *spans)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medapps: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  obs: wrote %s\n", strings.Join(files, " "))
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

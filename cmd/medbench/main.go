@@ -11,12 +11,14 @@
 //	medbench -netstats      # out-of-order / extra-traffic statistics
 //	medbench -ablate        # striping, ARQ, window and delayed-ack sweeps
 //	medbench -one ping-pong -config 1L-10G -size 65536
+//	medbench -one ping-pong -spans -obs-out /tmp/spans.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"multiedge/internal/bench"
 	"multiedge/internal/cluster"
@@ -35,8 +37,33 @@ func main() {
 	config := flag.String("config", "1L-1G", "configuration for -one: 1L-1G, 2L-1G, 2Lu-1G or 1L-10G")
 	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
 	quick := flag.Bool("quick", false, "sweep fewer sizes")
-	doTrace := flag.Bool("trace", false, "with -one: print a frame-level trace summary and timeline")
+	doTrace := flag.Bool("trace", false, "only with -one (not -netstats/-ablate/-fig): print a frame-level trace summary and timeline; mutually exclusive with -metrics/-spans")
+	metrics := flag.Bool("metrics", false, "with -one: collect the unified metrics registry and export it via -obs-out")
+	spans := flag.Bool("spans", false, "with -one: record causal operation spans and export a Chrome trace (Perfetto) via -obs-out")
+	obsOut := flag.String("obs-out", "", "output path for -metrics/-spans exports (-spans writes Chrome trace JSON here; -metrics writes the JSON snapshot plus a .prom sidecar)")
 	flag.Parse()
+
+	obsOn := *metrics || *spans || *obsOut != ""
+	if *doTrace && *one == "" {
+		fmt.Fprintln(os.Stderr, "medbench: -trace only composes with -one; it does not apply to -netstats, -ablate or the figure sweeps")
+		os.Exit(2)
+	}
+	if obsOn {
+		switch {
+		case *one == "":
+			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans/-obs-out only compose with -one")
+			os.Exit(2)
+		case *doTrace:
+			fmt.Fprintln(os.Stderr, "medbench: -trace and -metrics/-spans are mutually exclusive; pick one instrumentation")
+			os.Exit(2)
+		case !*metrics && !*spans:
+			fmt.Fprintln(os.Stderr, "medbench: -obs-out needs -metrics and/or -spans")
+			os.Exit(2)
+		case *obsOut == "":
+			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans need -obs-out PATH")
+			os.Exit(2)
+		}
+	}
 
 	sizes := bench.Sizes
 	if *quick {
@@ -77,11 +104,20 @@ func main() {
 			fmt.Print(bench.RunTracedOneWay(cfg, *size))
 			return
 		}
+		cfg.Obs = cluster.ObsOptions{Metrics: *metrics, Spans: *spans}
 		r := bench.RunMicro(*one, cfg, *size)
 		fmt.Println(r.String())
 		fmt.Printf("  net: ooo %.1f%%  extra %.2f%%  acks %d  nacks %d  retrans %d\n",
 			r.Net.Proto.OOOFraction()*100, r.Net.Proto.ExtraTrafficFraction()*100,
 			r.Net.Proto.CtrlAcksSent, r.Net.Proto.CtrlNacksSent, r.Net.Proto.Retransmissions)
+		if obsOn {
+			files, err := r.Obs.WriteFiles(*obsOut, *metrics, *spans)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  obs: wrote %s\n", strings.Join(files, " "))
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -15,6 +15,7 @@ import (
 
 	"multiedge/internal/cluster"
 	"multiedge/internal/dsm"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -49,6 +50,9 @@ type Result struct {
 	// ProtoCPUFrac is the protocol CPU time (both CPUs' protocol
 	// shares) as a fraction of nodes x elapsed.
 	ProtoCPUFrac float64
+	// Obs is the run's observability registry; nil unless the config's
+	// ObsOptions enabled it.
+	Obs *obs.Registry
 }
 
 // MeanBreakdown averages the per-node breakdowns.
@@ -101,6 +105,11 @@ func Run(cfg cluster.Config, app App) (Result, *dsm.System) {
 			if t := cl.Env.Now(); t > end {
 				end = t
 			}
+			if done == len(sys.Insts) {
+				// Stop the obs samplers: Run() below is unbounded and
+				// would otherwise never drain the re-arming tick events.
+				cl.Obs.Quiesce()
+			}
 		})
 	}
 	cl.Env.Run()
@@ -111,6 +120,7 @@ func Run(cfg cluster.Config, app App) (Result, *dsm.System) {
 		Name: app.Name(), Config: cfg.Name, Nodes: cfg.Nodes,
 		Elapsed: end - start,
 		Net:     cl.Collect().Sub(prev),
+		Obs:     cl.Obs,
 	}
 	var protoTime sim.Time
 	for i, in := range sys.Insts {

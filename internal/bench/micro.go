@@ -10,6 +10,7 @@ import (
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 	"multiedge/internal/trace"
 )
@@ -34,6 +35,10 @@ type MicroResult struct {
 
 	// Net is the network-level report for the measurement window.
 	Net cluster.NetReport
+
+	// Obs is the run's observability registry; nil unless the config's
+	// ObsOptions enabled it.
+	Obs *obs.Registry
 }
 
 func (r MicroResult) String() string {
@@ -107,10 +112,11 @@ func RunPingPong(cfg cluster.Config, size int) MicroResult {
 		}
 		end = cl.Env.Now()
 		net = cl.Collect().Sub(prev)
+		cl.Obs.Quiesce() // stop samplers so the event queue can drain
 	})
 	cl.Env.RunUntil(600 * sim.Second)
 	elapsed := end - start
-	r := MicroResult{Config: cfg.Name, Benchmark: "ping-pong", Size: size, Net: net}
+	r := MicroResult{Config: cfg.Name, Benchmark: "ping-pong", Size: size, Net: net, Obs: cl.Obs}
 	if elapsed > 0 {
 		r.LatencyUs = elapsed.Micros() / float64(2*iters)
 		r.ThroughputMBs = float64(size*2*iters) / 1e6 / elapsed.Seconds()
@@ -154,10 +160,11 @@ func RunOneWay(cfg cluster.Config, size int) MicroResult {
 		}
 		end = cl.Env.Now()
 		net = cl.Collect().Sub(prev)
+		cl.Obs.Quiesce()
 	})
 	cl.Env.RunUntil(600 * sim.Second)
 	elapsed := end - start
-	r := MicroResult{Config: cfg.Name, Benchmark: "one-way", Size: size, Net: net}
+	r := MicroResult{Config: cfg.Name, Benchmark: "one-way", Size: size, Net: net, Obs: cl.Obs}
 	if elapsed > 0 {
 		r.LatencyUs = overhead.Micros() / float64(count)
 		r.ThroughputMBs = float64(size*count) / 1e6 / elapsed.Seconds()
@@ -182,6 +189,7 @@ func RunTwoWay(cfg cluster.Config, size int) MicroResult {
 	var overhead sim.Time
 	var snap0 [2]sim.Utilization
 	var prev, net cluster.NetReport
+	finished := 0
 	run := func(idx int, c *core.Conn, src, dst uint64) func(p *sim.Proc) {
 		return func(p *sim.Proc) {
 			c.RDMAOperation(p, dst, src, size, frame.OpWrite, 0).Wait(p)
@@ -206,12 +214,15 @@ func RunTwoWay(cfg cluster.Config, size int) MicroResult {
 			if idx == 0 {
 				net = cl.Collect().Sub(prev)
 			}
+			if finished++; finished == 2 {
+				cl.Obs.Quiesce()
+			}
 		}
 	}
 	cl.Env.Go("fwd", run(0, c01, s0, d1))
 	cl.Env.Go("rev", run(1, c10, s1, d0))
 	cl.Env.RunUntil(600 * sim.Second)
-	r := MicroResult{Config: cfg.Name, Benchmark: "two-way", Size: size, Net: net}
+	r := MicroResult{Config: cfg.Name, Benchmark: "two-way", Size: size, Net: net, Obs: cl.Obs}
 	e0, e1 := end[0]-start[0], end[1]-start[1]
 	if e0 > 0 && e1 > 0 {
 		r.LatencyUs = overhead.Micros() / float64(count)

@@ -25,10 +25,12 @@ package blk
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -107,11 +109,25 @@ func Open(cl *cluster.Cluster, v *Volume, node int, conn *core.Conn, id int) *Cl
 		panic(fmt.Sprintf("blk: client id %d out of range [0,%d)", id, v.clients))
 	}
 	ep := cl.Nodes[node].EP
-	return &Client{
+	c := &Client{
 		v: v, c: conn, ep: ep, id: id,
 		stage: ep.Alloc(v.BlockSize),
 		rec:   ep.Alloc(CommitRecordSize),
 	}
+	if r := ep.Obs(); r != nil {
+		labels := []obs.Label{obs.NodeLabel(node), obs.L("client", strconv.Itoa(id))}
+		r.AddCollector(func(emit func(obs.Sample)) {
+			cnt := func(name string, v uint64) {
+				emit(obs.Sample{Name: name, Labels: labels, Value: float64(v), Type: obs.TypeCounter})
+			}
+			cnt("blk_reads_total", c.Stats.Reads)
+			cnt("blk_writes_total", c.Stats.Writes)
+			cnt("blk_bytes_read_total", c.Stats.BytesRead)
+			cnt("blk_bytes_write_total", c.Stats.BytesWrite)
+			cnt("blk_commits_total", c.Stats.Commits)
+		})
+	}
+	return c
 }
 
 func (c *Client) blockAddr(block int) uint64 {
@@ -124,11 +140,13 @@ func (c *Client) blockAddr(block int) uint64 {
 // Read fetches one block into buf (len >= BlockSize) with a single
 // remote read. The host CPU is not involved beyond protocol work.
 func (c *Client) Read(p *sim.Proc, block int, buf []byte) {
+	sp := c.ep.Obs().StartLayerSpan(c.ep.Node(), "blk", "block-read", c.v.BlockSize)
 	h := c.ReadAsync(p, block)
 	h.Wait(p)
 	copy(buf, c.ep.Mem()[c.stage:c.stage+uint64(c.v.BlockSize)])
 	c.Stats.Reads++
 	c.Stats.BytesRead += uint64(c.v.BlockSize)
+	sp.EndAt(c.ep.Env().Now())
 }
 
 // ReadAsync starts a one-block read into the client's staging buffer
@@ -156,7 +174,9 @@ func putCommit(b []byte, seq uint64, block int) {
 // operation, so the record can never be observed ahead of the data.
 // Write returns once both operations are acknowledged end-to-end.
 func (c *Client) Write(p *sim.Proc, block int, data []byte) {
+	sp := c.ep.Obs().StartLayerSpan(c.ep.Node(), "blk", "block-commit", len(data))
 	c.writeAsync(p, block, data).Wait(p)
+	sp.EndAt(c.ep.Env().Now())
 }
 
 func (c *Client) commitAddr() uint64 {

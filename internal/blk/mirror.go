@@ -67,6 +67,8 @@ func (c *Client) writeAsync(p *sim.Proc, block int, data []byte) *core.Handle {
 // returns when all their commits are acknowledged. With a leg down it
 // degrades to single-leg writes (Rebuild copies the backlog later).
 func (m *Mirror) Write(p *sim.Proc, block int, data []byte) {
+	ep := m.legs[0].ep
+	sp := ep.Obs().StartLayerSpan(ep.Node(), "blk", "mirror-commit", len(data))
 	var hs [2]*core.Handle
 	for i, leg := range m.legs {
 		if !m.down[i] {
@@ -81,6 +83,7 @@ func (m *Mirror) Write(p *sim.Proc, block int, data []byte) {
 			h.Wait(p)
 		}
 	}
+	sp.EndAt(ep.Env().Now())
 }
 
 // waitDeadline waits for h with a deadline; false means it timed out

@@ -16,6 +16,7 @@ import (
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
 	"multiedge/internal/hostmodel"
+	"multiedge/internal/obs"
 	"multiedge/internal/phys"
 	"multiedge/internal/sim"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// Core.AdaptiveStripe — round-robin striping is limited by the
 	// slowest rail.
 	RailLinks []phys.LinkParams
+
+	// Obs enables the cluster-wide observability registry (metrics,
+	// spans, samplers); the zero value keeps it off. The built registry
+	// is exposed as Cluster.Obs.
+	Obs ObsOptions
 }
 
 // railLink returns rail l's link parameters.
@@ -146,6 +152,7 @@ type Cluster struct {
 	Switches []*phys.Switch  // all switches (edge and core)
 	Trunks   []*phys.OutPort // inter-switch trunk ports (tree fabrics)
 	Nodes    []*Node
+	Obs      *obs.Registry // observability registry (nil unless Cfg.Obs enables it)
 }
 
 // New builds a cluster from the configuration.
@@ -211,6 +218,7 @@ func New(cfg Config) *Cluster {
 		n.EP = core.NewEndpoint(env, i, cfg.Core, cfg.Costs, n.CPUs, n.NICs)
 		cl.Nodes = append(cl.Nodes, n)
 	}
+	cl.wireObs()
 	return cl
 }
 

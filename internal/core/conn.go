@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/phys"
 	"multiedge/internal/sim"
 	"multiedge/internal/trace"
@@ -104,6 +105,7 @@ type txOp struct {
 	completed bool
 	probe     bool // internal dead-link probe, not a user operation
 	h         *Handle
+	span      *obs.Span // causal span (nil unless span recording is on)
 }
 
 // txFrame is one transmitted-but-unacknowledged frame.
@@ -135,6 +137,7 @@ type rxOp struct {
 type heldFrame struct {
 	h       frame.Header
 	payload []byte
+	heldAt  sim.Time // when buffering began (hold-duration histogram)
 }
 
 // Notification is delivered to the receiving process when a remote write
@@ -331,10 +334,36 @@ func (c *Conn) RDMAOn(p *sim.Proc, cpu *sim.Resource, remote, local uint64, size
 		// not yet seen any frame of t and so cannot know to hold them.
 		c.txFenced = append(c.txFenced, t.id)
 	}
+	if ep.obs.SpansEnabled() {
+		name := "write"
+		switch {
+		case op == frame.OpRead:
+			name = "read"
+		case flags&frame.Notify != 0:
+			name = "write-notify"
+		}
+		t.span = ep.obs.StartOpSpan(
+			obs.SpanID{Node: ep.node, Conn: c.localID, Op: t.id}, "core", name, size)
+	}
 	c.txOps = append(c.txOps, t)
 	ep.Stats.OpsStarted++
 	ep.wakeThread()
 	return t.h
+}
+
+// frameSpan resolves the span a received frame belongs to. Data and
+// read-request frames carry the initiator's operation id and arrive on
+// a connection whose remoteID is the initiator's local connection id;
+// read-reply frames carry the requester's read-op id in Local and the
+// requester is this node.
+func (c *Conn) frameSpan(opType frame.OpType, opID, local uint64) *obs.Span {
+	if !c.ep.obs.SpansEnabled() {
+		return nil
+	}
+	if opType == frame.OpReadReply {
+		return c.ep.obs.FindSpan(obs.SpanID{Node: c.ep.node, Conn: c.localID, Op: local})
+	}
+	return c.ep.obs.FindSpan(obs.SpanID{Node: c.remoteNode, Conn: c.remoteID, Op: opID})
 }
 
 // WaitNotify blocks until a notification arrives on the connection.
@@ -463,6 +492,19 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 	}
 	tf.link = c.sendFrameOn(&h, tf.payload, li)
 	tf.txAt = c.ep.env.Now()
+	if sp := op.span; sp != nil {
+		if isRetrans {
+			sp.Event(tf.txAt, obs.EvFrameRetx, c.ep.node, tf.link, tf.seq, len(tf.payload))
+		} else {
+			if tf.offset == 0 {
+				// First transmission of the op's first frame: the protocol
+				// CPU has dequeued the operation. The gap from span start
+				// is initiation + send-queue + CPU contention time.
+				sp.Event(tf.txAt, obs.EvProtoDequeue, c.ep.node, -1, tf.seq, 0)
+			}
+			sp.Event(tf.txAt, obs.EvFrameTx, c.ep.node, tf.link, tf.seq, len(tf.payload))
+		}
+	}
 	// Only user traffic keeps probing alive: a probe transmission must
 	// not re-arm the timer, or an idle connection with a dead link would
 	// sustain a probe → loss → RTO-repair → probe loop forever.
@@ -573,14 +615,18 @@ func (c *Conn) sendCtrl() {
 // queueRetrans schedules seq for retransmission if it is still
 // outstanding and not already queued. Each repair event is attributed
 // to the link the frame was last transmitted on, feeding dead-link
-// detection.
-func (c *Conn) queueRetrans(seq uint32) {
+// detection. cause records why the repair was scheduled (NACK vs RTO)
+// in the operation's span.
+func (c *Conn) queueRetrans(seq uint32, cause obs.EventKind) {
 	tf := c.retrans[seq]
 	if tf == nil || tf.inQ {
 		return
 	}
 	tf.inQ = true
 	c.retransQ = append(c.retransQ, seq)
+	if sp := tf.op.span; sp != nil {
+		sp.Event(c.ep.env.Now(), cause, c.ep.node, tf.link, seq, len(tf.payload))
+	}
 	c.noteLinkRepair(tf.link)
 }
 
@@ -678,7 +724,7 @@ func (c *Conn) onRTO() {
 	if c.ep.cfg.GoBackN {
 		// Go-back-N baseline: resend everything outstanding.
 		for s := c.sndUna; s != c.sndNxt; s++ {
-			c.queueRetrans(s)
+			c.queueRetrans(s, obs.EvRtoRepair)
 		}
 	} else {
 		// The paper's rule: retransmit the last transmitted frame; the
@@ -687,7 +733,7 @@ func (c *Conn) onRTO() {
 		if c.retrans[seq] == nil {
 			seq = c.sndUna
 		}
-		c.queueRetrans(seq)
+		c.queueRetrans(seq, obs.EvRtoRepair)
 	}
 	c.armRTO()
 	c.ep.wakeThread()
@@ -711,6 +757,9 @@ func (c *Conn) handleAck(ack uint32) {
 			if tf.op.h != nil && tf.op.opType == frame.OpWrite {
 				tf.op.h.acked += len(tf.payload)
 			}
+			if sp := tf.op.span; sp != nil {
+				sp.Event(c.ep.env.Now(), obs.EvAck, c.ep.node, tf.link, s, len(tf.payload))
+			}
 			c.clearLinkFault(tf.link, tf.txAt)
 			c.checkTxOpDone(tf.op)
 		}
@@ -728,7 +777,7 @@ func (c *Conn) handleAck(ack uint32) {
 // repeat; the go-back-N baseline never receives NACKs).
 func (c *Conn) handleNack(missing []uint32) {
 	for _, s := range missing {
-		c.queueRetrans(s)
+		c.queueRetrans(s, obs.EvNackRepair)
 	}
 	c.ep.wakeThread()
 }
@@ -757,6 +806,11 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 	}
 	if op.opType == frame.OpRead {
 		return // handle fires when the reply arrives
+	}
+	// Writes are complete once fully acknowledged; reads (and the read
+	// span, which the reply txOp shares) end when the reply data lands.
+	if op.opType != frame.OpReadReply {
+		op.span.EndAt(c.ep.env.Now())
 	}
 	if op.h != nil {
 		h := op.h
@@ -978,13 +1032,15 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 					break
 				}
 				delete(c.strictBuf, c.applyNxt)
+				c.noteUnheld(hf.heldAt)
 				c.applyFrame(hf.h, hf.payload)
 				c.applyNxt++
 			}
 		} else {
-			c.strictBuf[h.Seq] = heldFrame{h: h, payload: payload}
+			c.strictBuf[h.Seq] = heldFrame{h: h, payload: payload, heldAt: ep.env.Now()}
 			ep.Stats.HeldFrames++
 			ep.trc(c.localID, trace.RxHeld, h.Seq, len(payload))
+			c.noteHold(h, payload)
 			if n := len(c.strictBuf); n > ep.Stats.HoldMax {
 				ep.Stats.HoldMax = n
 			}
@@ -996,12 +1052,29 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 		c.applyFrame(h, payload)
 		c.drainHeld()
 	} else {
-		c.held = append(c.held, heldFrame{h: h, payload: payload})
+		c.held = append(c.held, heldFrame{h: h, payload: payload, heldAt: ep.env.Now()})
 		ep.Stats.HeldFrames++
 		ep.trc(c.localID, trace.RxHeld, h.Seq, len(payload))
+		c.noteHold(h, payload)
 		if n := len(c.held); n > ep.Stats.HoldMax {
 			ep.Stats.HoldMax = n
 		}
+	}
+}
+
+// noteHold records a receive-side stall (ordering or fence) in the
+// frame's span.
+func (c *Conn) noteHold(h frame.Header, payload []byte) {
+	if sp := c.frameSpan(h.OpType, h.OpID, h.Local); sp != nil {
+		sp.Event(c.ep.env.Now(), obs.EvRxHold, c.ep.node, -1, h.Seq, len(payload))
+	}
+}
+
+// noteUnheld feeds the hold-duration histogram when a buffered frame is
+// finally applied.
+func (c *Conn) noteUnheld(heldAt sim.Time) {
+	if c.ep.holdHist != nil && heldAt > 0 {
+		c.ep.holdHist.Observe(float64(c.ep.env.Now()-heldAt) / 1000)
 	}
 }
 
@@ -1069,6 +1142,7 @@ func (c *Conn) drainHeld() {
 		for _, hf := range c.held {
 			op := c.getRxOp(hf.h)
 			if c.canApply(op) {
+				c.noteUnheld(hf.heldAt)
 				c.applyFrame(hf.h, hf.payload)
 				progressed = true
 			} else {
@@ -1087,6 +1161,9 @@ func (c *Conn) drainHeld() {
 func (c *Conn) applyFrame(h frame.Header, payload []byte) {
 	ep := c.ep
 	op := c.getRxOp(h)
+	if sp := c.frameSpan(h.OpType, h.OpID, h.Local); sp != nil {
+		sp.Event(ep.env.Now(), obs.EvRxApply, ep.node, -1, h.Seq, len(payload))
+	}
 	switch h.Type {
 	case frame.TypeReadReq:
 		c.serveRead(h)
@@ -1117,6 +1194,13 @@ func (c *Conn) completeRxOp(op *rxOp) {
 	}
 	op.complete = true
 	ep := c.ep
+	if sp := c.frameSpan(op.opType, op.id, op.local); sp != nil {
+		sp.Event(ep.env.Now(), obs.EvRxComplete, ep.node, -1, 0, int(op.applied))
+		if op.opType == frame.OpReadReply {
+			// The requester's read is done when the reply data has landed.
+			sp.EndAt(ep.env.Now())
+		}
+	}
 	if op.isFenced {
 		c.removeFenced(op.id)
 	}
@@ -1173,6 +1257,12 @@ func (c *Conn) serveRead(h frame.Header) {
 		remote: h.Local, local: h.OpID,
 		data:  append([]byte(nil), ep.mem[h.Remote:end]...),
 		total: h.Total,
+	}
+	// The reply txOp continues the requester's read span: its frame
+	// transmissions, retransmits and ACKs all belong to that read.
+	if sp := c.frameSpan(h.OpType, h.OpID, h.Local); sp != nil {
+		sp.Event(ep.env.Now(), obs.EvReadServe, ep.node, -1, h.Seq, int(h.Total))
+		t.span = sp
 	}
 	c.nextOpID++
 	c.txOps = append(c.txOps, t)

@@ -5,6 +5,7 @@ import (
 
 	"multiedge/internal/frame"
 	"multiedge/internal/hostmodel"
+	"multiedge/internal/obs"
 	"multiedge/internal/phys"
 	"multiedge/internal/sim"
 	"multiedge/internal/trace"
@@ -42,6 +43,9 @@ type Endpoint struct {
 	engine *sim.Resource // NIC protocol engine (Config.Offload)
 
 	tracer *trace.Trace // optional frame-level event trace
+
+	obs      *obs.Registry  // optional metrics/span registry (nil = off)
+	holdHist *obs.Histogram // receive-side hold duration, µs
 
 	Stats Stats
 }
@@ -116,6 +120,19 @@ func (ep *Endpoint) trc(conn uint32, k trace.Kind, seq uint32, n int) {
 		ep.tracer.Add(ep.node, conn, k, seq, n)
 	}
 }
+
+// SetObs attaches the observability registry (nil disables). Metrics
+// are mirrored from Stats by a collector at gather time (see
+// Stats.Collector), so the per-frame hot path pays only nil checks;
+// span recording additionally requires Registry.EnableSpans.
+func (ep *Endpoint) SetObs(r *obs.Registry) {
+	ep.obs = r
+	ep.holdHist = r.Histogram("core_hold_us", nil, obs.NodeLabel(ep.node))
+	r.AddCollector(ep.Stats.Collector(ep.node))
+}
+
+// Obs returns the attached registry (nil when observability is off).
+func (ep *Endpoint) Obs() *obs.Registry { return ep.obs }
 
 // Node returns the node id this endpoint runs on.
 func (ep *Endpoint) Node() int { return ep.node }

@@ -1,6 +1,9 @@
 package core
 
-import "multiedge/internal/sim"
+import (
+	"multiedge/internal/obs"
+	"multiedge/internal/sim"
+)
 
 // Stats counts protocol-level events at one endpoint. The paper's §4
 // network-level analysis is computed from these counters plus the NIC
@@ -91,4 +94,40 @@ func (s *Stats) Add(o *Stats) {
 		s.HoldMax = o.HoldMax
 	}
 	s.AppProtoTime += o.AppProtoTime
+}
+
+// Collector publishes the endpoint's counters into an obs.Registry at
+// gather time. Polling the live struct (rather than double-counting on
+// the hot path) keeps instrumentation free when observability is off
+// and guarantees the registry always matches these legacy counters.
+func (s *Stats) Collector(node int) obs.Collector {
+	nl := obs.NodeLabel(node)
+	return func(emit func(obs.Sample)) {
+		c := func(name string, v uint64) {
+			emit(obs.Sample{Name: name, Labels: []obs.Label{nl}, Value: float64(v), Type: obs.TypeCounter})
+		}
+		c("core_ops_started_total", s.OpsStarted)
+		c("core_ops_completed_total", s.OpsCompleted)
+		c("core_reads_served_total", s.ReadsServed)
+		c("core_notifies_total", s.Notifies)
+		c("core_data_frames_sent_total", s.DataFramesSent)
+		c("core_data_bytes_sent_total", s.DataBytesSent)
+		c("core_ctrl_acks_sent_total", s.CtrlAcksSent)
+		c("core_ctrl_nacks_sent_total", s.CtrlNacksSent)
+		c("core_retransmissions_total", s.Retransmissions)
+		c("core_link_dead_events_total", s.LinkDeadEvents)
+		c("core_link_restores_total", s.LinkRestores)
+		c("core_data_frames_recv_total", s.DataFramesRecv)
+		c("core_data_bytes_recv_total", s.DataBytesRecv)
+		c("core_ctrl_recv_total", s.CtrlRecv)
+		c("core_duplicates_total", s.Duplicates)
+		c("core_gbn_dropped_total", s.GbnDropped)
+		c("core_arrivals_total", s.Arrivals)
+		c("core_ooo_arrivals_total", s.OOOArrivals)
+		c("core_held_frames_total", s.HeldFrames)
+		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
+			Value: float64(s.HoldMax), Type: obs.TypeGauge})
+		emit(obs.Sample{Name: "core_app_proto_time_ns", Labels: []obs.Label{nl},
+			Value: float64(s.AppProtoTime), Type: obs.TypeCounter})
+	}
 }

@@ -40,6 +40,7 @@ import (
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -100,7 +101,35 @@ func New(cl *cluster.Cluster, conns [][]*core.Conn, cfg Config) *System {
 	for _, in := range sys.Insts {
 		in.start()
 	}
+	for _, in := range sys.Insts {
+		in.registerObs()
+	}
 	return sys
+}
+
+// registerObs mirrors the instance's Stats into the cluster's obs
+// registry (no-op when observability is off).
+func (in *Instance) registerObs() {
+	r := in.node.EP.Obs()
+	if r == nil {
+		return
+	}
+	nl := obs.NodeLabel(in.self)
+	r.AddCollector(func(emit func(obs.Sample)) {
+		c := func(name string, v uint64) {
+			emit(obs.Sample{Name: name, Labels: []obs.Label{nl}, Value: float64(v), Type: obs.TypeCounter})
+		}
+		c("dsm_fetches_total", in.Stats.Fetches)
+		c("dsm_fetch_bytes_total", in.Stats.FetchBytes)
+		c("dsm_twins_total", in.Stats.Twins)
+		c("dsm_diff_ops_total", in.Stats.DiffOps)
+		c("dsm_diff_msgs_total", in.Stats.DiffMsgs)
+		c("dsm_diff_bytes_total", in.Stats.DiffBytes)
+		c("dsm_invalidations_total", in.Stats.Invalidations)
+		c("dsm_lock_acquires_total", in.Stats.LockAcquires)
+		c("dsm_remote_msgs_total", in.Stats.RemoteMsgs)
+		c("dsm_barriers_total", in.Stats.Barriers)
+	})
 }
 
 // Alloc reserves size bytes of shared memory (64-byte aligned) and
@@ -413,6 +442,7 @@ func (in *Instance) fetch(p *sim.Proc, pgs []int) {
 		return
 	}
 	t0 := in.env.Now()
+	sp := in.node.EP.Obs().StartLayerSpan(in.self, "dsm", "page-fetch", len(pgs)*PageSize)
 	hs := make([]*core.Handle, 0, len(pgs))
 	for i, pg := range pgs {
 		if i >= fetchWindow {
@@ -430,6 +460,7 @@ func (in *Instance) fetch(p *sim.Proc, pgs []int) {
 	for _, pg := range pgs {
 		in.state[pg] = pgClean
 	}
+	sp.EndAt(in.env.Now())
 	in.B.Data += in.env.Now() - t0
 }
 

@@ -1,0 +1,44 @@
+package hostmodel
+
+import (
+	"multiedge/internal/obs"
+	"multiedge/internal/sim"
+)
+
+// RegisterObs wires the node's CPUs into an obs registry: gather-time
+// busy/job counters for both CPUs, plus windowed utilization samplers
+// (busy fraction of each sampling interval — the paper reports protocol
+// CPU utilization out of 200%, i.e. app + proto). every <= 0 skips the
+// samplers. Nil-registry safe.
+func (c CPUs) RegisterObs(r *obs.Registry, env *sim.Env, node int, every sim.Time) {
+	if r == nil {
+		return
+	}
+	r.AddCollector(func(emit func(obs.Sample)) {
+		for _, e := range []struct {
+			cpu string
+			res *sim.Resource
+		}{{"app", c.App}, {"proto", c.Proto}} {
+			labels := []obs.Label{obs.NodeLabel(node), obs.L("cpu", e.cpu)}
+			emit(obs.Sample{Name: "cpu_busy_ns_total", Labels: labels,
+				Value: float64(e.res.BusyTime()), Type: obs.TypeCounter})
+			emit(obs.Sample{Name: "cpu_jobs_total", Labels: labels,
+				Value: float64(e.res.Jobs()), Type: obs.TypeCounter})
+		}
+	})
+	if every <= 0 {
+		return
+	}
+	for _, e := range []struct {
+		cpu string
+		res *sim.Resource
+	}{{"app", c.App}, {"proto", c.Proto}} {
+		res := e.res
+		prev := res.Snapshot(env)
+		r.Sample("cpu_util", node, []obs.Label{obs.L("cpu", e.cpu)}, every, func() float64 {
+			u := prev.Since(env, res)
+			prev = res.Snapshot(env)
+			return u
+		})
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -154,8 +155,37 @@ func New(cl *cluster.Cluster, conns [][]*core.Conn) []*Comm {
 	for _, c := range comms {
 		c := c
 		c.env.Go(fmt.Sprintf("msg-svc-%d", c.node), func(p *sim.Proc) { c.serve(p) })
+		c.registerObs()
 	}
 	return comms
+}
+
+// registerObs mirrors the communicator's Stats into the cluster's obs
+// registry (no-op when observability is off).
+func (c *Comm) registerObs() {
+	r := c.ep.Obs()
+	if r == nil {
+		return
+	}
+	nl := obs.NodeLabel(c.node)
+	r.AddCollector(func(emit func(obs.Sample)) {
+		cnt := func(name string, v uint64) {
+			emit(obs.Sample{Name: name, Labels: []obs.Label{nl}, Value: float64(v), Type: obs.TypeCounter})
+		}
+		cnt("msg_eager_sent_total", c.Stats.EagerSent)
+		cnt("msg_eager_recv_total", c.Stats.EagerRecv)
+		cnt("msg_rndv_sent_total", c.Stats.RndvSent)
+		cnt("msg_rndv_recv_total", c.Stats.RndvRecv)
+		cnt("msg_bytes_sent_total", c.Stats.BytesSent)
+		cnt("msg_bytes_recv_total", c.Stats.BytesRecv)
+		cnt("msg_credits_returned_total", c.Stats.CreditsReturned)
+		cnt("msg_collective_ops_total", c.Stats.CollectiveOps)
+		cnt("msg_send_stalls_total", c.Stats.SendStalls)
+		emit(obs.Sample{Name: "msg_unexpected_max", Labels: []obs.Label{nl},
+			Value: float64(c.Stats.UnexpectedMax), Type: obs.TypeGauge})
+		emit(obs.Sample{Name: "msg_posted", Labels: []obs.Label{nl},
+			Value: float64(c.Stats.Posted), Type: obs.TypeGauge})
+	})
 }
 
 // Rank returns this communicator's node id.
@@ -197,10 +227,14 @@ func (c *Comm) Send(p *sim.Proc, to, tag int, data []byte) {
 		panic(fmt.Sprintf("msg: message %d exceeds MaxMessage %d", len(data), MaxMessage))
 	}
 	if len(data) <= EagerMax {
+		sp := c.ep.Obs().StartLayerSpan(c.node, "msg", "send-eager", len(data))
 		c.sendEager(p, to, tag, data)
+		sp.EndAt(c.env.Now())
 		return
 	}
+	sp := c.ep.Obs().StartLayerSpan(c.node, "msg", "send-rndv", len(data))
 	c.sendRendezvous(p, to, tag, data)
+	sp.EndAt(c.env.Now())
 }
 
 // takeSlot blocks until a ring credit for `to` is available and claims

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"multiedge/internal/sim"
+)
+
+// us renders a virtual timestamp as microseconds with fixed precision.
+// Chrome trace "ts" fields are microseconds; sim.Time is nanoseconds,
+// so %.3f is exact and, being derived from the deterministic virtual
+// clock, bit-reproducible across runs.
+func us(t sim.Time) string { return fmt.Sprintf("%.3f", float64(t)/1000) }
+
+// jsonEscape escapes a string for direct embedding in JSON.
+func jsonEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// ChromeTrace renders every recorded span, child event, and sampler
+// series as Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing open directly). Layout:
+//
+//   - process = node ("node 3")
+//   - thread  = connection ("conn 2") for protocol spans, or the layer
+//     name ("dsm", "blk", "msg") for layer spans
+//   - complete events (ph "X") for spans, instant events (ph "i") for
+//     child events, counter events (ph "C") for sampler series
+//
+// Timestamps are virtual simulation time, so equal seeds produce
+// byte-identical traces. Spans still open at export time are emitted
+// with their current extent and an "unfinished" flag.
+func (r *Registry) ChromeTrace() []byte {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	if r == nil {
+		b.WriteString("\n]}\n")
+		return []byte(b.String())
+	}
+
+	// Metadata: name every process/thread that appears, sorted for
+	// deterministic ordering independent of span discovery order.
+	type track struct {
+		node int
+		tid  string
+	}
+	tracks := map[track]string{}
+	tidOf := func(s *Span) string {
+		if s.ID.Conn == layerConn {
+			return s.Layer
+		}
+		return "conn " + fmt.Sprint(s.ID.Conn)
+	}
+	for _, s := range r.spans {
+		tracks[track{s.ID.Node, tidOf(s)}] = tidOf(s)
+	}
+	for _, sp := range r.samplers {
+		tracks[track{sp.Node, "samplers"}] = "samplers"
+	}
+	keys := make([]track, 0, len(tracks))
+	for k := range tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	seenProc := map[int]bool{}
+	for i, k := range keys {
+		if !seenProc[k.node] {
+			seenProc[k.node] = true
+			emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"node %d"}}`, k.node, k.node))
+		}
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+			k.node, i+1, jsonEscape(k.tid)))
+	}
+	tidNum := map[track]int{}
+	for i, k := range keys {
+		tidNum[k] = i + 1
+	}
+
+	// Spans and their child events, in creation order.
+	for _, s := range r.spans {
+		tid := tidNum[track{s.ID.Node, tidOf(s)}]
+		end := s.End
+		unfinished := ""
+		if !s.Done {
+			end = r.env.Now()
+			unfinished = `,"unfinished":true`
+		}
+		emit(fmt.Sprintf(`{"ph":"X","name":"%s","cat":"%s","pid":%d,"tid":%d,"ts":%s,"dur":%s,`+
+			`"args":{"id":"%s","size":%d,"events":%d,"retx":%d%s}}`,
+			jsonEscape(s.Name), jsonEscape(s.Layer), s.ID.Node, tid,
+			us(s.Start), us(end-s.Start),
+			s.ID, s.Size, len(s.Events), s.Retransmits(), unfinished))
+		for _, e := range s.Events {
+			emit(fmt.Sprintf(`{"ph":"i","name":"%s","cat":"%s","pid":%d,"tid":%d,"ts":%s,"s":"t",`+
+				`"args":{"op":"%s","node":%d,"link":%d,"seq":%d,"len":%d}}`,
+				e.Kind, jsonEscape(s.Layer), s.ID.Node, tid, us(e.At),
+				s.ID, e.Node, e.Link, e.Seq, e.Len))
+		}
+	}
+
+	// Sampler series as counter tracks.
+	for _, sp := range r.samplers {
+		name := sp.Name
+		for _, l := range sp.Labels {
+			name += " " + l.Key + "=" + l.Value
+		}
+		for i, t := range sp.Times {
+			emit(fmt.Sprintf(`{"ph":"C","name":"%s","pid":%d,"tid":0,"ts":%s,"args":{"value":%g}}`,
+				jsonEscape(name), sp.Node, us(t), sp.Values[i]))
+		}
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// WriteFiles exports the registry to files rooted at path. With spans,
+// path receives the Chrome trace JSON (open it in Perfetto or
+// chrome://tracing). With metrics, the JSON snapshot goes to path — or
+// path+".metrics.json" when spans already claimed path — and the
+// Prometheus text exposition to path+".prom". Returns the files
+// written, in writing order.
+func (r *Registry) WriteFiles(path string, metrics, spans bool) ([]string, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: registry is disabled; nothing to export")
+	}
+	var written []string
+	write := func(p string, data []byte) error {
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			return err
+		}
+		written = append(written, p)
+		return nil
+	}
+	if spans {
+		if err := write(path, r.ChromeTrace()); err != nil {
+			return written, err
+		}
+	}
+	if metrics {
+		snap := r.Gather()
+		jp := path
+		if spans {
+			jp = path + ".metrics.json"
+		}
+		if err := write(jp, snap.JSON()); err != nil {
+			return written, err
+		}
+		if err := write(path+".prom", snap.Prometheus()); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Samples are already sorted by Gather; TYPE
+// headers are emitted once per metric family.
+func (s Snapshot) Prometheus() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Exported at virtual time %s.\n", us(s.At)+"us")
+	lastFamily := ""
+	for _, sm := range s.Samples {
+		family, typ := sm.Name, "counter"
+		switch sm.Type {
+		case TypeGauge:
+			typ = "gauge"
+		case TypeHistogram:
+			typ = "histogram"
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				family = strings.TrimSuffix(family, suf)
+			}
+		}
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, typ)
+			lastFamily = family
+		}
+		b.WriteString(sm.Name)
+		if len(sm.Labels) > 0 {
+			b.WriteByte('{')
+			for i, l := range sm.Labels {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `%s=%q`, l.Key, l.Value)
+			}
+			b.WriteByte('}')
+		}
+		fmt.Fprintf(&b, " %g\n", sm.Value)
+	}
+	return []byte(b.String())
+}
+
+// JSON renders the snapshot as a JSON document:
+//
+//	{"at_ns": ..., "samples": [{"name": ..., "labels": {...}, "value": ..., "type": ...}]}
+//
+// Built by hand (ordered labels, stable field order) so output is
+// byte-reproducible; encoding/json map iteration would not be.
+func (s Snapshot) JSON() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"at_ns\":%d,\"samples\":[\n", int64(s.At))
+	typeName := [...]string{"counter", "gauge", "histogram"}
+	for i, sm := range s.Samples {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, `{"name":"%s","labels":{`, jsonEscape(sm.Name))
+		for j, l := range sm.Labels {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `"%s":"%s"`, jsonEscape(l.Key), jsonEscape(l.Value))
+		}
+		fmt.Fprintf(&b, `},"value":%g,"type":"%s"}`, sm.Value, typeName[sm.Type])
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multiedge/internal/sim"
+)
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	// Every method must be a no-op, not a panic.
+	r.Counter("x").Inc()
+	r.Counter("x", L("a", "b")).Add(3)
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(2)
+	r.AddCollector(func(emit func(Sample)) { emit(Sample{Name: "y"}) })
+	r.EnableSpans()
+	if r.SpansEnabled() {
+		t.Fatal("nil registry reports spans enabled")
+	}
+	sp := r.StartOpSpan(SpanID{}, "core", "write", 10)
+	sp.Event(0, EvFrameTx, 0, 0, 0, 0)
+	sp.EndAt(5)
+	r.StartLayerSpan(0, "dsm", "page-fetch", 4096).EndAt(1)
+	if r.FindSpan(SpanID{}) != nil {
+		t.Fatal("nil registry found a span")
+	}
+	r.Sample("q", 0, nil, sim.Microsecond, func() float64 { return 0 }).Stop()
+	r.Quiesce()
+	snap := r.Gather()
+	if len(snap.Samples) != 0 {
+		t.Fatalf("nil registry gathered %d samples", len(snap.Samples))
+	}
+	if out := r.ChromeTrace(); !json.Valid(out) {
+		t.Fatalf("nil ChromeTrace invalid JSON: %s", out)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New(env)
+	c := r.Counter("frames_total", NodeLabel(0), L("link", "1"))
+	c.Inc()
+	c.Add(4)
+	if c2 := r.Counter("frames_total", L("link", "1"), NodeLabel(0)); c2 != c {
+		t.Fatal("label order changed metric identity")
+	}
+	g := r.Gauge("queue_depth", NodeLabel(0))
+	g.Set(7)
+	g.Add(-2)
+	h := r.Histogram("lat_us", []float64{10, 100}, NodeLabel(0))
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Fatalf("histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+
+	snap := r.Gather()
+	if v, ok := snap.Get("frames_total", NodeLabel(0), L("link", "1")); !ok || v != 5 {
+		t.Fatalf("counter = %v, %v; want 5", v, ok)
+	}
+	if v, ok := snap.Get("queue_depth", NodeLabel(0)); !ok || v != 5 {
+		t.Fatalf("gauge = %v, %v; want 5", v, ok)
+	}
+	if v, ok := snap.Get("lat_us_bucket", NodeLabel(0), L("le", "10")); !ok || v != 1 {
+		t.Fatalf("bucket le=10 = %v, %v; want 1", v, ok)
+	}
+	if v, ok := snap.Get("lat_us_bucket", NodeLabel(0), L("le", "100")); !ok || v != 2 {
+		t.Fatalf("bucket le=100 = %v, %v; want cumulative 2", v, ok)
+	}
+	if v, ok := snap.Get("lat_us_bucket", NodeLabel(0), L("le", "+Inf")); !ok || v != 3 {
+		t.Fatalf("bucket +Inf = %v, %v; want 3", v, ok)
+	}
+	if v, ok := snap.Get("lat_us_count", NodeLabel(0)); !ok || v != 3 {
+		t.Fatalf("count = %v, %v; want 3", v, ok)
+	}
+
+	// Snapshot diffing: counters and histograms subtract, gauges don't.
+	c.Add(10)
+	g.Set(9)
+	h.Observe(1)
+	diff := r.Gather().Sub(snap)
+	if v, _ := diff.Get("frames_total", NodeLabel(0), L("link", "1")); v != 10 {
+		t.Fatalf("diffed counter = %v; want 10", v)
+	}
+	if v, _ := diff.Get("queue_depth", NodeLabel(0)); v != 9 {
+		t.Fatalf("diffed gauge = %v; want 9 (current value)", v)
+	}
+	if v, _ := diff.Get("lat_us_count", NodeLabel(0)); v != 1 {
+		t.Fatalf("diffed histogram count = %v; want 1", v)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := New(sim.NewEnv(1))
+	n := 0
+	r.AddCollector(func(emit func(Sample)) {
+		n++
+		emit(Sample{Name: "layer_ops", Labels: []Label{NodeLabel(2)}, Value: float64(40 + n)})
+	})
+	if v, ok := r.Gather().Get("layer_ops", NodeLabel(2)); !ok || v != 41 {
+		t.Fatalf("collector sample = %v, %v", v, ok)
+	}
+	// Collectors are re-polled every gather: always current.
+	if v, _ := r.Gather().Get("layer_ops", NodeLabel(2)); v != 42 {
+		t.Fatalf("second gather = %v; want 42", v)
+	}
+}
+
+func TestSpansLifecycle(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New(env)
+	// Spans off: StartOpSpan must return a usable nil.
+	if s := r.StartOpSpan(SpanID{Node: 1, Conn: 0, Op: 1}, "core", "write", 64); s != nil {
+		t.Fatal("span recorded while disabled")
+	}
+	r.EnableSpans()
+	id := SpanID{Node: 1, Conn: 0, Op: 1}
+	s := r.StartOpSpan(id, "core", "write", 64)
+	if s == nil {
+		t.Fatal("no span while enabled")
+	}
+	if again := r.StartOpSpan(id, "core", "write", 64); again != s {
+		t.Fatal("reopening an id created a second span")
+	}
+	if r.FindSpan(id) != s {
+		t.Fatal("FindSpan missed the open span")
+	}
+	s.Event(env.Now(), EvFrameTx, 1, 0, 0, 64)
+	s.Event(env.Now(), EvFrameRetx, 1, 1, 0, 64)
+	s.EndAt(2 * sim.Microsecond)
+	s.EndAt(9 * sim.Microsecond) // idempotent: first end wins
+	if s.End != 2*sim.Microsecond {
+		t.Fatalf("End = %v; want 2us", s.End)
+	}
+	if r.FindSpan(id) != nil {
+		t.Fatal("ended span still open")
+	}
+	if s.Retransmits() != 1 {
+		t.Fatalf("Retransmits = %d; want 1", s.Retransmits())
+	}
+	// Ending the span observed the op-latency histogram.
+	if v, ok := r.Gather().Get("op_latency_us_count", L("layer", "core"), L("op", "write")); !ok || v != 1 {
+		t.Fatalf("op_latency count = %v, %v; want 1", v, ok)
+	}
+	// Layer spans get distinct private ids.
+	a := r.StartLayerSpan(3, "dsm", "page-fetch", 4096)
+	b := r.StartLayerSpan(3, "dsm", "page-fetch", 4096)
+	if a.ID == b.ID {
+		t.Fatal("layer spans share an id")
+	}
+}
+
+func TestSamplerTicksAndQuiesce(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New(env)
+	v := 0.0
+	s := r.Sample("depth", 0, nil, 10*sim.Microsecond, func() float64 { v++; return v })
+	env.RunUntil(35 * sim.Microsecond)
+	if len(s.Values) != 3 {
+		t.Fatalf("ticks = %d; want 3", len(s.Values))
+	}
+	r.Quiesce()
+	// The pending (now-canceled) tick is discarded when popped, so the
+	// queue drains and Run returns instead of re-arming forever.
+	env.Run()
+	if !env.Idle() {
+		t.Fatal("quiesce left live events armed; event queue cannot drain")
+	}
+	if len(s.Values) != 3 {
+		t.Fatalf("sampler ticked after quiesce: %d values", len(s.Values))
+	}
+	// The latest sampled value appears in snapshots.
+	if got, ok := r.Gather().Get("depth", NodeLabel(0)); !ok || got != 3 {
+		t.Fatalf("sampler gauge = %v, %v; want 3", got, ok)
+	}
+}
+
+func TestChromeTraceValidAndDeterministic(t *testing.T) {
+	build := func() []byte {
+		env := sim.NewEnv(7)
+		r := New(env)
+		r.EnableSpans()
+		r.Sample("nic_q", 0, []Label{L("link", "0")}, 5*sim.Microsecond, func() float64 { return float64(env.Now()) })
+		s := r.StartOpSpan(SpanID{Node: 0, Conn: 1, Op: 9}, "core", "write", 128)
+		env.RunUntil(12 * sim.Microsecond)
+		s.Event(env.Now(), EvFrameTx, 0, 2, 0, 128)
+		s.Event(env.Now(), EvRxHold, 1, -1, 0, 128)
+		s.EndAt(env.Now())
+		ls := r.StartLayerSpan(1, "dsm", "page-fetch", 4096)
+		env.RunUntil(20 * sim.Microsecond)
+		ls.EndAt(env.Now())
+		r.Quiesce()
+		return r.ChromeTrace()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("ChromeTrace not byte-identical across identical runs")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a)
+	}
+	var phX, phI, phC, phM int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			phX++
+		case "i":
+			phI++
+		case "C":
+			phC++
+		case "M":
+			phM++
+		}
+	}
+	if phX != 2 || phI != 2 || phC == 0 || phM == 0 {
+		t.Fatalf("event mix X=%d i=%d C=%d M=%d; want 2 spans, 2 instants, counters, metadata", phX, phI, phC, phM)
+	}
+}
+
+func TestPrometheusAndJSONExport(t *testing.T) {
+	r := New(sim.NewEnv(1))
+	r.Counter("frames_total", NodeLabel(0)).Add(12)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat_us", []float64{10}, NodeLabel(1)).Observe(4)
+	snap := r.Gather()
+
+	prom := string(snap.Prometheus())
+	for _, want := range []string{
+		"# TYPE frames_total counter",
+		`frames_total{node="0"} 12`,
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{le="+Inf",node="1"} 1`,
+		`lat_us_count{node="1"} 1`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, prom)
+		}
+	}
+	// One TYPE header per family, not per sample.
+	if strings.Count(prom, "# TYPE lat_us ") != 1 {
+		t.Fatalf("duplicate TYPE headers:\n%s", prom)
+	}
+
+	js := snap.JSON()
+	if !json.Valid(js) {
+		t.Fatalf("snapshot JSON invalid: %s", js)
+	}
+	var doc struct {
+		Samples []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+			Type   string            `json:"type"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range doc.Samples {
+		if s.Name == "frames_total" && s.Labels["node"] == "0" && s.Value == 12 && s.Type == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("frames_total sample missing from JSON: %s", js)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvFrameTx.String() != "frame-tx" || EvRxComplete.String() != "rx-complete" {
+		t.Fatalf("kind names wrong: %s %s", EvFrameTx, EvRxComplete)
+	}
+	if EventKind(200).String() != "?" {
+		t.Fatal("out-of-range kind did not clamp")
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strconv"
+
+	"multiedge/internal/sim"
+)
+
+// SpanID names one operation span globally: the initiating node, the
+// initiator's local connection id, and the operation id the protocol
+// assigned on that connection. Frames carry (ConnID, OpID) on the wire
+// and each endpoint knows the peer node and the peer's local id for
+// every connection, so both sides of a transfer can address the same
+// span.
+type SpanID struct {
+	Node int
+	Conn uint32
+	Op   uint64
+}
+
+// EventKind classifies one child event inside a span.
+type EventKind uint8
+
+// Span event kinds, in causal order of a typical operation.
+const (
+	EvProtoDequeue EventKind = iota + 1 // protocol CPU picked the op off the send queue
+	EvFrameTx                           // one data frame handed to a rail (Link = rail)
+	EvFrameRetx                         // retransmission of Seq on Link
+	EvNackRepair                        // NACK from peer scheduled a repair of Seq
+	EvRtoRepair                         // retransmission timeout scheduled a repair of Seq
+	EvAck                               // sender saw Seq acknowledged
+	EvRxHold                            // receiver buffered Seq out of order / behind a fence
+	EvRxApply                           // receiver applied Seq to memory
+	EvReadServe                         // responder started serving a read request
+	EvRxComplete                        // receiver retired the whole operation
+	evKindCount
+)
+
+var evKindNames = [evKindCount]string{
+	"?", "proto-dequeue", "frame-tx", "frame-retx", "nack-repair",
+	"rto-repair", "ack", "rx-hold", "rx-apply", "read-serve", "rx-complete",
+}
+
+// String returns the event kind's wire name ("frame-tx", ...).
+func (k EventKind) String() string {
+	if k >= evKindCount {
+		return "?"
+	}
+	return evKindNames[k]
+}
+
+// SpanEvent is one timestamped child event of a span.
+type SpanEvent struct {
+	At   sim.Time
+	Kind EventKind
+	Node int // node where the event happened
+	Link int // rail index for frame events, -1 otherwise
+	Seq  uint32
+	Len  int // payload bytes for frame events
+}
+
+// Span traces one operation end to end. Fields are written by the
+// instrumented layers and read by the exporters; no methods mutate
+// simulation state.
+type Span struct {
+	ID     SpanID
+	Name   string // op kind: "write", "read", "write-notify", or layer op
+	Layer  string // "core", "dsm", "blk", "msg"
+	Size   int    // payload bytes
+	Start  sim.Time
+	End    sim.Time
+	Done   bool
+	Events []SpanEvent
+
+	reg *Registry
+}
+
+// EnableSpans switches span recording on. Nil-safe.
+func (r *Registry) EnableSpans() {
+	if r != nil {
+		r.spansOn = true
+	}
+}
+
+// SpansEnabled reports whether spans are being recorded; false on nil,
+// so instrumented code can gate all span work on this single check.
+func (r *Registry) SpansEnabled() bool { return r != nil && r.spansOn }
+
+// StartOpSpan opens a span for an operation. Returns nil (safe to use)
+// when spans are disabled or the registry is nil. Opening the same id
+// twice returns the existing span.
+func (r *Registry) StartOpSpan(id SpanID, layer, name string, size int) *Span {
+	if !r.SpansEnabled() {
+		return nil
+	}
+	if s, ok := r.open[id]; ok {
+		return s
+	}
+	s := &Span{ID: id, Name: name, Layer: layer, Size: size, Start: r.env.Now(), reg: r}
+	r.open[id] = s
+	r.spans = append(r.spans, s)
+	return s
+}
+
+// FindSpan returns the open span with the given id, or nil.
+func (r *Registry) FindSpan(id SpanID) *Span {
+	if !r.SpansEnabled() {
+		return nil
+	}
+	return r.open[id]
+}
+
+// StartLayerSpan opens a span that is not tied to a wire-visible
+// operation id — DSM page fetches, block commits, message sends. The
+// registry allocates it a private id (Conn = layerConn) so it can never
+// collide with protocol op ids.
+func (r *Registry) StartLayerSpan(node int, layer, name string, size int) *Span {
+	if !r.SpansEnabled() {
+		return nil
+	}
+	r.autoOp++
+	id := SpanID{Node: node, Conn: layerConn, Op: r.autoOp}
+	return r.StartOpSpan(id, layer, name, size)
+}
+
+// layerConn is the reserved connection id for layer spans; real
+// connection ids are small per-endpoint indices that never get near it.
+const layerConn = ^uint32(0)
+
+// Event appends a child event. Nil-safe: instrumented code can hold a
+// nil *Span and call this unconditionally.
+func (s *Span) Event(at sim.Time, kind EventKind, node, link int, seq uint32, n int) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, SpanEvent{At: at, Kind: kind, Node: node, Link: link, Seq: seq, Len: n})
+}
+
+// EndAt closes the span at the given time, removes it from the open
+// set, and feeds the op-latency histogram. Nil-safe and idempotent.
+func (s *Span) EndAt(at sim.Time) {
+	if s == nil || s.Done {
+		return
+	}
+	s.Done = true
+	s.End = at
+	if r := s.reg; r != nil {
+		delete(r.open, s.ID)
+		if r.latencyOn {
+			hk := s.Layer + "\xff" + s.Name
+			h, ok := r.opLatency[hk]
+			if !ok {
+				h = &Histogram{
+					name:   "op_latency_us",
+					labels: sortedLabels([]Label{L("layer", s.Layer), L("op", s.Name)}),
+					bounds: LatencyBucketsUs,
+					counts: make([]uint64, len(LatencyBucketsUs)+1),
+				}
+				r.opLatency[hk] = h
+				r.latencyOrd = append(r.latencyOrd, hk)
+			}
+			h.Observe(float64(at-s.Start) / 1000) // ns → µs
+		}
+	}
+}
+
+// Spans returns all recorded spans in creation order (nil on nil
+// registry).
+func (r *Registry) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Retransmits counts the frame-retx events in the span (0 on nil).
+func (s *Span) Retransmits() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == EvFrameRetx {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact identity for test failure messages.
+func (id SpanID) String() string {
+	return "n" + strconv.Itoa(id.Node) + "/c" + strconv.FormatUint(uint64(id.Conn), 10) +
+		"/op" + strconv.FormatUint(id.Op, 10)
+}

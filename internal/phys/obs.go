@@ -1,0 +1,53 @@
+package phys
+
+import (
+	"strconv"
+
+	"multiedge/internal/obs"
+)
+
+// RxQueueLen returns the number of received frames waiting in the ring
+// for the host to poll — the receive-side counterpart of TxQueueLen,
+// sampled by the observability layer as a protocol-CPU backpressure
+// signal.
+func (n *NIC) RxQueueLen() int { return len(n.rxRing) }
+
+// Collector publishes the NIC's counters (and its transmit port's
+// counters) into an obs registry at gather time. node and link identify
+// the NIC's position in the cluster.
+func (n *NIC) Collector(node, link int) obs.Collector {
+	labels := []obs.Label{obs.NodeLabel(node), obs.L("link", strconv.Itoa(link))}
+	return func(emit func(obs.Sample)) {
+		c := func(name string, v uint64) {
+			emit(obs.Sample{Name: name, Labels: labels, Value: float64(v), Type: obs.TypeCounter})
+		}
+		c("nic_rx_frames_total", n.RxFrames)
+		c("nic_rx_bytes_total", n.RxBytes)
+		c("nic_tx_frames_total", n.TxFrames)
+		c("nic_tx_bytes_total", n.TxBytes)
+		c("nic_interrupts_total", n.Interrupts)
+		c("nic_rx_interrupts_total", n.RxIntr)
+		c("nic_tx_interrupts_total", n.TxIntr)
+		c("nic_misaddressed_total", n.Misaddr)
+		n.out.collect("nic_port", labels, emit)
+	}
+}
+
+// Collector publishes the port's counters under the given metric prefix
+// ("nic_port", "switch_port", "trunk") and labels.
+func (o *OutPort) Collector(prefix string, labels ...obs.Label) obs.Collector {
+	return func(emit func(obs.Sample)) { o.collect(prefix, labels, emit) }
+}
+
+func (o *OutPort) collect(prefix string, labels []obs.Label, emit func(obs.Sample)) {
+	c := func(name string, v uint64) {
+		emit(obs.Sample{Name: prefix + name, Labels: labels, Value: float64(v), Type: obs.TypeCounter})
+	}
+	c("_tx_frames_total", o.TxFrames)
+	c("_tx_bytes_total", o.TxBytes)
+	c("_drops_full_total", o.DropsFull)
+	c("_drops_err_total", o.DropsErr)
+	c("_drops_failed_total", o.DropsFailed)
+	emit(obs.Sample{Name: prefix + "_queue_max", Labels: labels,
+		Value: float64(o.MaxQueue), Type: obs.TypeGauge})
+}

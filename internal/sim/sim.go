@@ -56,7 +56,8 @@ type event struct {
 	seq      uint64 // tie-breaker: FIFO among equal-time events
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	daemon   bool // does not keep Run alive (see AfterDaemon)
+	index    int  // heap index, -1 once popped
 }
 
 type eventHeap []*event
@@ -94,6 +95,7 @@ type Env struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	live   int // pending events that are neither canceled nor daemon
 	rng    *rand.Rand
 
 	yield     chan struct{} // process -> scheduler handoff
@@ -123,7 +125,10 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 func (e *Env) Executed() uint64 { return e.executed }
 
 // Timer identifies a scheduled event and allows canceling it.
-type Timer struct{ ev *event }
+type Timer struct {
+	env *Env
+	ev  *event
+}
 
 // Stop cancels the timer's pending event. Stopping an already-fired or
 // already-stopped timer is a no-op. It reports whether the event was still
@@ -133,6 +138,9 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.ev.canceled = true
+	if !t.ev.daemon {
+		t.env.live--
+	}
 	return true
 }
 
@@ -144,15 +152,7 @@ func (t *Timer) Pending() bool {
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past panics: events must never move the clock backwards.
-func (e *Env) At(at Time, fn func()) *Timer {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", at, e.now))
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
-}
+func (e *Env) At(at Time, fn func()) *Timer { return e.scheduleEvent(at, fn, false) }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
 func (e *Env) After(d Time, fn func()) *Timer {
@@ -162,27 +162,69 @@ func (e *Env) After(d Time, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
+// AtDaemon schedules a daemon event: it runs like any other event while
+// the simulation is live, but does not by itself keep Run going — Run
+// returns once only daemon (or canceled) events remain. Periodic
+// observers (metric samplers) use daemon events so that a workload
+// driving Run to completion is never kept alive by its own
+// instrumentation.
+func (e *Env) AtDaemon(at Time, fn func()) *Timer { return e.scheduleEvent(at, fn, true) }
+
+// AfterDaemon schedules a daemon event d nanoseconds from now (see
+// AtDaemon). Negative d panics.
+func (e *Env) AfterDaemon(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.AtDaemon(e.now+d, fn)
+}
+
+func (e *Env) scheduleEvent(at Time, fn func(), daemon bool) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	e.seq++
+	if !daemon {
+		e.live++
+	}
+	heap.Push(&e.events, ev)
+	return &Timer{env: e, ev: ev}
+}
+
 // Stop makes the current Run/RunUntil call return after the current event
 // completes. Pending events stay queued and a later Run resumes them.
 func (e *Env) Stop() { e.stopped = true }
 
-// Run executes events until the queue empties or Stop is called. It
-// returns the time of the last executed event.
-func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+// Run executes events until no live (non-daemon, non-canceled) events
+// remain or Stop is called. It returns the time of the last executed
+// event. Daemon events execute while live work is pending but never
+// keep Run going on their own.
+func (e *Env) Run() Time { return e.run(Time(1<<62-1), true) }
 
 // RunUntil executes events with timestamps <= horizon, advancing the clock
 // to each event's time. On return the clock rests at the later of its
 // previous value and the last event executed; it never exceeds horizon.
-func (e *Env) RunUntil(horizon Time) Time {
+// Unlike Run, an explicit horizon bounds daemon events too: they keep
+// executing up to the horizon even with no live work left.
+func (e *Env) RunUntil(horizon Time) Time { return e.run(horizon, false) }
+
+func (e *Env) run(horizon Time, untilLiveDrained bool) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
-		if next.at > horizon {
+		if next.canceled {
+			// Free canceled events whenever they surface, even past the
+			// horizon: they are unobservable and only hold memory.
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > horizon || (untilLiveDrained && e.live == 0) {
 			break
 		}
 		heap.Pop(&e.events)
-		if next.canceled {
-			continue
+		if !next.daemon {
+			e.live--
 		}
 		e.now = next.at
 		e.executed++

@@ -20,7 +20,8 @@ type Kind uint8
 
 // Protocol event kinds.
 const (
-	TxData Kind = iota + 1
+	kindUnknown Kind = iota // clamp target for out-of-range kinds
+	TxData
 	TxRetransmit
 	TxAck
 	TxNack
@@ -34,7 +35,8 @@ const (
 )
 
 var kindNames = [kindCount]string{
-	TxData: "tx-data", TxRetransmit: "tx-retrans", TxAck: "tx-ack",
+	kindUnknown: "unknown",
+	TxData:      "tx-data", TxRetransmit: "tx-retrans", TxAck: "tx-ack",
 	TxNack: "tx-nack", RxData: "rx-data", RxDuplicate: "rx-dup",
 	RxOutOfOrder: "rx-ooo", RxHeld: "rx-held",
 	LinkDead: "link-dead", LinkRestore: "link-restore",
@@ -79,8 +81,13 @@ func New(env *sim.Env, cap int) *Trace {
 	return &Trace{env: env, events: make([]Event, cap), first: -1}
 }
 
-// Add records one event.
+// Add records one event. An out-of-range kind is clamped to the unknown
+// slot (0) rather than corrupting a neighbouring counter or panicking:
+// traces may be fed by future frame kinds the build does not know.
 func (t *Trace) Add(node int, conn uint32, kind Kind, seq uint32, n int) {
+	if kind >= kindCount {
+		kind = kindUnknown
+	}
 	at := t.env.Now()
 	if t.first < 0 {
 		t.first = at
@@ -115,7 +122,7 @@ func (t *Trace) Events() []Event {
 func (t *Trace) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %v .. %v\n", t.first, t.last)
-	for k := Kind(1); k < kindCount; k++ {
+	for k := Kind(0); k < kindCount; k++ {
 		if t.counts[k] == 0 {
 			continue
 		}
@@ -169,25 +176,42 @@ type Series struct {
 // Sampler periodically evaluates a metric while the simulation runs.
 type Sampler struct {
 	S *Series
+
+	stopped bool
+	timer   *sim.Timer
 }
 
-// NewSampler samples f every interval for the given duration (0 =
-// until the event queue drains naturally; sampling stops when no other
-// events remain is not detectable, so a duration is usually wanted).
+// NewSampler samples f every interval for the given duration (0 = until
+// Stop is called or the simulation's live work drains). Ticks are
+// daemon events, so an open-ended sampler never keeps the event queue
+// alive on its own.
 func NewSampler(env *sim.Env, every, dur sim.Time, f func() float64) *Sampler {
 	s := &Sampler{S: &Series{}}
 	stop := env.Now() + dur
 	var tick func()
 	tick = func() {
+		if s.stopped {
+			return
+		}
 		s.S.Times = append(s.S.Times, env.Now())
 		s.S.Values = append(s.S.Values, f())
 		if dur > 0 && env.Now() >= stop {
 			return
 		}
-		env.After(every, tick)
+		s.timer = env.AfterDaemon(every, tick)
 	}
-	env.After(every, tick)
+	s.timer = env.AfterDaemon(every, tick)
 	return s
+}
+
+// Stop halts the sampler and cancels its pending tick so the series
+// stops growing. Nil-safe and idempotent.
+func (s *Sampler) Stop() {
+	if s == nil || s.stopped {
+		return
+	}
+	s.stopped = true
+	s.timer.Stop()
 }
 
 // Stats returns min, max and mean of the series.

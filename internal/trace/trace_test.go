@@ -237,3 +237,57 @@ func TestLatencyRecorderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAddClampsOutOfRangeKind(t *testing.T) {
+	e := sim.NewEnv(1)
+	tr := New(e, 16)
+	e.After(10, func() {
+		tr.Add(0, 1, Kind(200), 3, 50) // way past kindCount
+		tr.Add(0, 1, kindCount, 4, 60) // first out-of-range value
+		tr.Add(0, 1, TxData, 5, 70)
+	})
+	e.Run()
+	if got := tr.Count(kindUnknown); got != 2 {
+		t.Fatalf("unknown count = %d, want 2 (clamped events)", got)
+	}
+	if got := tr.Count(TxData); got != 1 {
+		t.Fatalf("tx-data count = %d, want 1 (clamp must not bleed into neighbours)", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Kind != kindUnknown || evs[1].Kind != kindUnknown {
+		t.Fatalf("events = %+v", evs)
+	}
+	if s := tr.Summary(); !strings.Contains(s, "unknown") {
+		t.Errorf("summary hides clamped events:\n%s", s)
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	e := sim.NewEnv(1)
+	e.Go("driver", func(p *sim.Proc) { p.Sleep(2000) })
+	// dur = 0: open-ended sampler. Its daemon ticks must not keep the
+	// event queue alive once the driver finishes, and Stop must freeze
+	// the series immediately.
+	s := NewSampler(e, 100, 0, func() float64 { return 1 })
+	e.At(450, func() { s.Stop() })
+	e.Run()
+	if n := len(s.S.Values); n != 4 {
+		t.Fatalf("samples after Stop = %d, want 4 (ticks at 100..400)", n)
+	}
+	s.Stop() // idempotent
+	var nilS *Sampler
+	nilS.Stop() // nil-safe
+}
+
+func TestSamplerOpenEndedDoesNotLeak(t *testing.T) {
+	e := sim.NewEnv(1)
+	e.Go("driver", func(p *sim.Proc) { p.Sleep(1000) })
+	s := NewSampler(e, 100, 0, func() float64 { return 1 })
+	end := e.Run()
+	if end > 1000 {
+		t.Fatalf("run ended at %v: open-ended sampler kept the queue alive", end)
+	}
+	if n := len(s.S.Values); n < 8 || n > 11 {
+		t.Fatalf("samples = %d, want ~10 (ticks while the driver ran)", n)
+	}
+}
