@@ -10,6 +10,7 @@
 //	medbench -fig 2c        # CPU utilization panel
 //	medbench -netstats      # out-of-order / extra-traffic statistics
 //	medbench -ablate        # striping, ARQ, window and delayed-ack sweeps
+//	medbench -smallops      # eager vs submission-queue small-op rate
 //	medbench -one ping-pong -config 1L-10G -size 65536
 //	medbench -one ping-pong -spans -obs-out /tmp/spans.json
 package main
@@ -33,6 +34,7 @@ func main() {
 	tcpFlag := flag.Bool("tcp", false, "compare MultiEdge against the TCP-like baseline")
 	blkFlag := flag.Bool("blk", false, "run the block-storage domain benchmarks")
 	latFlag := flag.Bool("lat", false, "print round-trip latency percentile tables")
+	smallops := flag.Bool("smallops", false, "compare eager vs submission-queue small-operation throughput")
 	one := flag.String("one", "", "run a single micro-benchmark: ping-pong, one-way or two-way")
 	config := flag.String("config", "1L-1G", "configuration for -one: 1L-1G, 2L-1G, 2Lu-1G or 1L-10G")
 	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
@@ -92,6 +94,12 @@ func main() {
 			count = 400
 		}
 		fmt.Print(bench.RenderLatencyDist(count))
+	case *smallops:
+		count := 16384
+		if *quick {
+			count = 2048
+		}
+		fmt.Print(bench.RenderSmallOps(count))
 	case *ablate:
 		fmt.Print(bench.RenderAblation(*size))
 	case *one != "":

@@ -51,7 +51,7 @@ func hardFailure() {
 	var start, end multiedge.Time
 	cl.Env.Go("sender", func(p *multiedge.Proc) {
 		start = cl.Env.Now()
-		c01.RDMAOperation(p, dst, src, n, multiedge.OpWrite, 0).Wait(p)
+		c01.MustDo(p, multiedge.Op{Remote: dst, Local: src, Size: n, Kind: multiedge.OpWrite}).Wait(p)
 		end = cl.Env.Now()
 	})
 	cl.Env.RunUntil(10 * multiedge.Second)
@@ -87,7 +87,7 @@ func run(loss float64) {
 	done := false
 	cl.Env.Go("sender", func(p *multiedge.Proc) {
 		start = cl.Env.Now()
-		c01.RDMAOperation(p, dst, src, n, multiedge.OpWrite, 0).Wait(p)
+		c01.MustDo(p, multiedge.Op{Remote: dst, Local: src, Size: n, Kind: multiedge.OpWrite}).Wait(p)
 		end = cl.Env.Now()
 		done = true
 	})

@@ -22,9 +22,17 @@ func main() {
 	copy(ep0.Mem()[src:], msg)
 
 	// Node 0: write the buffer into node 1's memory and ask for a
-	// remote notification; wait until every frame is acknowledged.
+	// remote notification; wait until every frame is acknowledged. Do
+	// returns an error for invalid ranges or a closed connection —
+	// MustDo is the panicking shorthand when the caller guarantees both.
 	cl.Env.Go("writer", func(p *multiedge.Proc) {
-		h := c01.RDMAOperation(p, dst, src, len(msg), multiedge.OpWrite, multiedge.Notify)
+		h, err := c01.Do(p, multiedge.Op{
+			Remote: dst, Local: src, Size: len(msg),
+			Kind: multiedge.OpWrite, Flags: multiedge.Notify,
+		})
+		if err != nil {
+			panic(err)
+		}
 		h.Wait(p)
 		fmt.Printf("[%v] writer: operation %d acknowledged end-to-end\n", cl.Env.Now(), h.OpID())
 	})

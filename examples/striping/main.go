@@ -41,11 +41,10 @@ func run(strict bool) {
 	cl.Env.Go("sender", func(p *multiedge.Proc) {
 		start = cl.Env.Now()
 		// Bulk data: free to be reordered across the two rails.
-		h := c01.RDMAOperation(p, dst, src, n, multiedge.OpWrite, 0)
+		h := c01.MustDo(p, multiedge.Op{Remote: dst, Local: src, Size: n, Kind: multiedge.OpWrite})
 		// The "done" flag must not be performed before the data: a
 		// backward fence (and a notification for the receiver).
-		c01.RDMAOperation(p, flagAddr, src, 8, multiedge.OpWrite,
-			multiedge.FenceBefore|multiedge.Notify)
+		c01.MustDo(p, multiedge.Op{Remote: flagAddr, Local: src, Size: 8, Kind: multiedge.OpWrite, Flags: multiedge.FenceBefore | multiedge.Notify})
 		h.Wait(p)
 		end = cl.Env.Now()
 	})

@@ -37,7 +37,7 @@ func main() {
 		})
 
 	cl.Env.Go("xfer", func(p *multiedge.Proc) {
-		h := c01.RDMAOperation(p, dst, src, n, multiedge.OpWrite, 0)
+		h := c01.MustDo(p, multiedge.Op{Remote: dst, Local: src, Size: n, Kind: multiedge.OpWrite})
 		for !h.Test() {
 			done, total := h.Progress()
 			fmt.Printf("[%v] progress %d/%d bytes acknowledged\n", cl.Env.Now(), done, total)

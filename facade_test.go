@@ -22,7 +22,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 
 	var acked, notified bool
 	cl.Env.Go("writer", func(p *multiedge.Proc) {
-		h := c01.RDMAOperation(p, dst, src, len(msg), multiedge.OpWrite, multiedge.Notify)
+		h := c01.MustDo(p, multiedge.Op{Remote: dst, Local: src, Size: len(msg), Kind: multiedge.OpWrite, Flags: multiedge.Notify})
 		h.Wait(p)
 		acked = true
 	})
@@ -79,9 +79,8 @@ func TestPublicAPIFences(t *testing.T) {
 	}
 	ok := false
 	cl.Env.Go("w", func(p *multiedge.Proc) {
-		c01.RDMAOperation(p, dst, src, n, multiedge.OpWrite, 0)
-		c01.RDMAOperation(p, 0, 0, 0, multiedge.OpWrite,
-			multiedge.FenceBefore|multiedge.Notify)
+		c01.MustDo(p, multiedge.Op{Remote: dst, Local: src, Size: n, Kind: multiedge.OpWrite})
+		c01.MustDo(p, multiedge.Op{Kind: multiedge.OpWrite, Flags: multiedge.FenceBefore | multiedge.Notify})
 	})
 	cl.Env.Go("r", func(p *multiedge.Proc) {
 		c10.WaitNotify(p)

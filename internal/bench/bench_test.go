@@ -6,6 +6,7 @@ import (
 
 	"multiedge/internal/apps"
 	"multiedge/internal/cluster"
+	"multiedge/internal/core"
 	"multiedge/internal/frame"
 	"multiedge/internal/phys"
 	"multiedge/internal/sim"
@@ -527,7 +528,7 @@ func TestHybridRailsSurviveFastRailFailure(t *testing.T) {
 	cl.Env.At(2*sim.Millisecond, func() { cl.FailLink(0, 1) })
 	done := false
 	cl.Env.Go("xfer", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		done = true
 	})
 	cl.Env.RunUntil(10 * sim.Second)

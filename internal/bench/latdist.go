@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"multiedge/internal/cluster"
+	"multiedge/internal/core"
 	"multiedge/internal/frame"
 	"multiedge/internal/sim"
 	"multiedge/internal/trace"
@@ -28,13 +29,13 @@ func RunLatencyDist(cfg cluster.Config, size, count int) *trace.LatencyRecorder 
 	cl.Env.Go("pong", func(p *sim.Proc) {
 		for i := 0; i < warm+count; i++ {
 			c10.WaitNotify(p)
-			c10.RDMAOperation(p, d0, s1, size, frame.OpWrite, frame.Notify)
+			c10.MustDo(p, core.Op{Remote: d0, Local: s1, Size: size, Kind: frame.OpWrite, Flags: frame.Notify})
 		}
 	})
 	cl.Env.Go("ping", func(p *sim.Proc) {
 		for i := 0; i < warm+count; i++ {
 			t0 := cl.Env.Now()
-			c01.RDMAOperation(p, d1, s0, size, frame.OpWrite, frame.Notify)
+			c01.MustDo(p, core.Op{Remote: d1, Local: s0, Size: size, Kind: frame.OpWrite, Flags: frame.Notify})
 			c01.WaitNotify(p)
 			if i >= warm {
 				rec.Record(cl.Env.Now() - t0)

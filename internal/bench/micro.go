@@ -96,7 +96,7 @@ func RunPingPong(cfg cluster.Config, size int) MicroResult {
 	cl.Env.Go("pong", func(p *sim.Proc) {
 		for i := 0; i < warm+iters; i++ {
 			c10.WaitNotify(p)
-			c10.RDMAOperation(p, d0, s1, size, frame.OpWrite, frame.Notify)
+			c10.MustDo(p, core.Op{Remote: d0, Local: s1, Size: size, Kind: frame.OpWrite, Flags: frame.Notify})
 		}
 	})
 	cl.Env.Go("ping", func(p *sim.Proc) {
@@ -107,7 +107,7 @@ func RunPingPong(cfg cluster.Config, size int) MicroResult {
 				snap0[1] = cl.Nodes[0].CPUs.Proto.Snapshot(cl.Env)
 				prev = cl.Collect()
 			}
-			c01.RDMAOperation(p, d1, s0, size, frame.OpWrite, frame.Notify)
+			c01.MustDo(p, core.Op{Remote: d1, Local: s0, Size: size, Kind: frame.OpWrite, Flags: frame.Notify})
 			c01.WaitNotify(p)
 		}
 		end = cl.Env.Now()
@@ -144,7 +144,7 @@ func RunOneWay(cfg cluster.Config, size int) MicroResult {
 	var prev, net cluster.NetReport
 	cl.Env.Go("oneway", func(p *sim.Proc) {
 		// Warm up the path.
-		c01.RDMAOperation(p, dst, src, size, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}).Wait(p)
 		start = cl.Env.Now()
 		snap0[0] = cl.Nodes[0].CPUs.App.Snapshot(cl.Env)
 		snap0[1] = cl.Nodes[0].CPUs.Proto.Snapshot(cl.Env)
@@ -152,7 +152,7 @@ func RunOneWay(cfg cluster.Config, size int) MicroResult {
 		hs := make([]*core.Handle, 0, count)
 		for i := 0; i < count; i++ {
 			t0 := cl.Env.Now()
-			hs = append(hs, c01.RDMAOperation(p, dst, src, size, frame.OpWrite, 0))
+			hs = append(hs, c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}))
 			overhead += cl.Env.Now() - t0
 		}
 		for _, h := range hs {
@@ -192,7 +192,7 @@ func RunTwoWay(cfg cluster.Config, size int) MicroResult {
 	finished := 0
 	run := func(idx int, c *core.Conn, src, dst uint64) func(p *sim.Proc) {
 		return func(p *sim.Proc) {
-			c.RDMAOperation(p, dst, src, size, frame.OpWrite, 0).Wait(p)
+			c.MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}).Wait(p)
 			start[idx] = cl.Env.Now()
 			if idx == 0 {
 				snap0[0] = cl.Nodes[0].CPUs.App.Snapshot(cl.Env)
@@ -202,7 +202,7 @@ func RunTwoWay(cfg cluster.Config, size int) MicroResult {
 			hs := make([]*core.Handle, 0, count)
 			for i := 0; i < count; i++ {
 				t0 := cl.Env.Now()
-				hs = append(hs, c.RDMAOperation(p, dst, src, size, frame.OpWrite, 0))
+				hs = append(hs, c.MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}))
 				if idx == 0 {
 					overhead += cl.Env.Now() - t0
 				}
@@ -279,11 +279,11 @@ func RunTreeCrossPair(size int) float64 {
 	dst := cl.Nodes[2].EP.Alloc(size)
 	var start, end sim.Time
 	cl.Env.Go("xfer", func(p *sim.Proc) {
-		conns[0][2].RDMAOperation(p, dst, src, size, frame.OpWrite, 0).Wait(p)
+		conns[0][2].MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}).Wait(p)
 		start = cl.Env.Now()
 		hs := make([]*core.Handle, 0, count)
 		for i := 0; i < count; i++ {
-			hs = append(hs, conns[0][2].RDMAOperation(p, dst, src, size, frame.OpWrite, 0))
+			hs = append(hs, conns[0][2].MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}))
 		}
 		for _, h := range hs {
 			h.Wait(p)
@@ -311,7 +311,7 @@ func RunTracedOneWay(cfg cluster.Config, size int) string {
 	src := cl.Nodes[0].EP.Alloc(size)
 	dst := cl.Nodes[1].EP.Alloc(size)
 	cl.Env.Go("xfer", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, size, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}).Wait(p)
 	})
 	cl.Env.RunUntil(600 * sim.Second)
 	return "sender " + tr0.Summary() + "receiver " + tr1.Summary() +
@@ -349,7 +349,7 @@ func RunLinkFailure(detect bool, total int, failAt, repairAt sim.Time) LinkFailu
 	var start, end sim.Time
 	cl.Env.Go("xfer", func(p *sim.Proc) {
 		start = cl.Env.Now()
-		c01.RDMAOperation(p, dst, src, total, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: total, Kind: frame.OpWrite}).Wait(p)
 		end = cl.Env.Now()
 	})
 	cl.Env.RunUntil(600 * sim.Second)

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"multiedge/internal/cluster"
+)
+
+// TestShapeSmallOpBatchingGain is the tentpole acceptance check: for
+// 64-byte one-way writes on 1L-10G, the submission-queue path (doorbell
+// batching + frame coalescing, 64 ops per doorbell) must beat the eager
+// per-op path by at least 20% in operation rate.
+func TestShapeSmallOpBatchingGain(t *testing.T) {
+	const size, count, batch = 64, 4096, 64
+	eager := RunSmallOps(cluster.OneLink10G(2), size, count, 0)
+	sq := RunSmallOps(cluster.OneLink10G(2), size, count, batch)
+	t.Logf("eager: %s", eager)
+	t.Logf("sq:    %s", sq)
+	if eager.MOpsS <= 0 || sq.MOpsS <= 0 {
+		t.Fatalf("degenerate rates: eager %.3f, sq %.3f Mops/s", eager.MOpsS, sq.MOpsS)
+	}
+	if sq.MOpsS < 1.2*eager.MOpsS {
+		t.Fatalf("batched small-op rate %.3f Mops/s < 1.2x eager %.3f Mops/s",
+			sq.MOpsS, eager.MOpsS)
+	}
+	if sq.Doorbells == 0 || sq.CoalescedFrames == 0 {
+		t.Fatalf("SQ run did not batch: %+v", sq)
+	}
+	if eager.Doorbells != 0 {
+		t.Fatalf("eager run rang doorbells: %+v", eager)
+	}
+	// Coalescing must also shrink the frame count, not just host cost.
+	if sq.DataFrames >= eager.DataFrames {
+		t.Errorf("coalescing sent %d data frames, eager sent %d — no wire amortization",
+			sq.DataFrames, eager.DataFrames)
+	}
+}
+
+// TestShapeSmallOpBatchDeterminism: the benchmark itself is a
+// simulation; same seed, same numbers.
+func TestShapeSmallOpBatchDeterminism(t *testing.T) {
+	a := RunSmallOps(cluster.OneLink10G(2), 64, 512, 64)
+	b := RunSmallOps(cluster.OneLink10G(2), 64, 512, 64)
+	if a != b {
+		t.Fatalf("same-seed small-op runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}

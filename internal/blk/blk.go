@@ -154,7 +154,7 @@ func (c *Client) Read(p *sim.Proc, block int, buf []byte) {
 // fires. Only one async read may be outstanding per client (one staging
 // buffer) — use plain RDMA for deeper pipelines.
 func (c *Client) ReadAsync(p *sim.Proc, block int) *core.Handle {
-	return c.c.RDMAOperation(p, c.blockAddr(block), c.stage, c.v.BlockSize, frame.OpRead, 0)
+	return c.c.MustDo(p, core.Op{Remote: c.blockAddr(block), Local: c.stage, Size: c.v.BlockSize, Kind: frame.OpRead})
 }
 
 // Stage exposes the staging buffer contents (after ReadAsync + Wait).
@@ -188,7 +188,7 @@ func (c *Client) commitAddr() uint64 {
 // write that client published.
 func (c *Client) ReadCommit(p *sim.Proc, id int) (seq uint64, block int) {
 	addr := c.v.commits + uint64(id)*CommitRecordSize
-	h := c.c.RDMAOperation(p, addr, c.rec, CommitRecordSize, frame.OpRead, 0)
+	h := c.c.MustDo(p, core.Op{Remote: addr, Local: c.rec, Size: CommitRecordSize, Kind: frame.OpRead})
 	h.Wait(p)
 	mem := c.ep.Mem()
 	return binary.LittleEndian.Uint64(mem[c.rec:]),
@@ -202,7 +202,9 @@ func (c *Client) Seq() uint64 { return c.seq }
 // operation this client issued before it has been performed at the
 // host and acknowledged.
 func (c *Client) Flush(p *sim.Proc) {
-	h := c.c.RDMAOperation(p, c.commitAddr(), c.rec, 0, frame.OpWrite,
-		frame.FenceBefore|frame.FenceAfter|frame.Solicit)
+	h := c.c.MustDo(p, core.Op{
+		Remote: c.commitAddr(), Local: c.rec, Kind: frame.OpWrite,
+		Flags: frame.FenceBefore | frame.FenceAfter | frame.Solicit,
+	})
 	h.Wait(p)
 }

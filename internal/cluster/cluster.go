@@ -55,6 +55,41 @@ type Config struct {
 	Obs ObsOptions
 }
 
+// Validate checks the configuration for structural errors: node and
+// link counts, rail overrides, tree-fabric parameters and the core
+// protocol knobs New would otherwise trip over mid-build.
+func (c *Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster %q: need at least one node, have %d", c.Name, c.Nodes)
+	}
+	if c.LinksPerNode < 1 {
+		return fmt.Errorf("cluster %q: need at least one link per node, have %d", c.Name, c.LinksPerNode)
+	}
+	if c.RailLinks != nil && len(c.RailLinks) != c.LinksPerNode {
+		return fmt.Errorf("cluster %q: RailLinks has %d entries for %d links per node",
+			c.Name, len(c.RailLinks), c.LinksPerNode)
+	}
+	if c.EdgeGroup < 0 || c.TrunkLinks < 0 {
+		return fmt.Errorf("cluster %q: negative tree-fabric parameter (EdgeGroup %d, TrunkLinks %d)",
+			c.Name, c.EdgeGroup, c.TrunkLinks)
+	}
+	if c.EdgeGroup == 0 && c.TrunkLinks > 0 {
+		return fmt.Errorf("cluster %q: TrunkLinks %d without EdgeGroup", c.Name, c.TrunkLinks)
+	}
+	if c.Core.Window <= 0 || c.Core.AckEvery <= 0 || c.Core.MemBytes <= 0 {
+		return fmt.Errorf("cluster %q: invalid core config (Window %d, AckEvery %d, MemBytes %d)",
+			c.Name, c.Core.Window, c.Core.AckEvery, c.Core.MemBytes)
+	}
+	if c.Core.CoalesceLimit < 0 {
+		return fmt.Errorf("cluster %q: negative CoalesceLimit %d", c.Name, c.Core.CoalesceLimit)
+	}
+	if c.Core.CoalesceLimit > frame.MaxPayload-frame.SubOpOverhead {
+		return fmt.Errorf("cluster %q: CoalesceLimit %d cannot fit one sub-op in a %d-byte payload",
+			c.Name, c.Core.CoalesceLimit, frame.MaxPayload)
+	}
+	return nil
+}
+
 // railLink returns rail l's link parameters.
 func (c *Config) railLink(l int) phys.LinkParams {
 	if c.RailLinks != nil {
@@ -155,10 +190,12 @@ type Cluster struct {
 	Obs      *obs.Registry // observability registry (nil unless Cfg.Obs enables it)
 }
 
-// New builds a cluster from the configuration.
+// New builds a cluster from the configuration. It panics on a
+// configuration Validate rejects; call Validate first to handle
+// configuration errors gracefully.
 func New(cfg Config) *Cluster {
-	if cfg.Nodes < 1 || cfg.LinksPerNode < 1 {
-		panic("cluster: need at least one node and one link")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	env := sim.NewEnv(cfg.Seed)
 	cl := &Cluster{Env: env, Cfg: cfg}
@@ -376,6 +413,10 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.OpsCompleted -= b.OpsCompleted
 	a.ReadsServed -= b.ReadsServed
 	a.Notifies -= b.Notifies
+	a.Doorbells -= b.Doorbells
+	a.SQOps -= b.SQOps
+	a.CoalescedFrames -= b.CoalescedFrames
+	a.CoalescedSubOps -= b.CoalescedSubOps
 	a.DataFramesSent -= b.DataFramesSent
 	a.DataBytesSent -= b.DataBytesSent
 	a.CtrlAcksSent -= b.CtrlAcksSent

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"multiedge/internal/core"
 	"multiedge/internal/frame"
 	"multiedge/internal/sim"
 )
@@ -80,7 +81,7 @@ func TestCollectAndSub(t *testing.T) {
 	src := cl.Nodes[0].EP.Alloc(4096)
 	dst := cl.Nodes[1].EP.Alloc(4096)
 	cl.Env.Go("w", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, 4096, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 4096, Kind: frame.OpWrite}).Wait(p)
 	})
 	cl.Env.RunUntil(sim.Second)
 	diff := cl.Collect().Sub(before)
@@ -117,7 +118,7 @@ func TestTreeTopologyForwarding(t *testing.T) {
 		var t0, t1 sim.Time
 		cl.Env.Go("m", func(p *sim.Proc) {
 			t0 = cl.Env.Now()
-			conns[from][to].RDMAOperation(p, dst, src, 64, frame.OpWrite, frame.Notify).Wait(p)
+			conns[from][to].MustDo(p, core.Op{Remote: dst, Local: src, Size: 64, Kind: frame.OpWrite, Flags: frame.Notify}).Wait(p)
 			t1 = cl.Env.Now()
 		})
 		cl.Env.RunUntil(cl.Env.Now() + sim.Second)
@@ -145,7 +146,7 @@ func TestTreeTopologyBulkIntegrity(t *testing.T) {
 	}
 	ok := false
 	cl.Env.Go("m", func(p *sim.Proc) {
-		conns[0][5].RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		conns[0][5].MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		ok = true
 	})
 	cl.Env.RunUntil(10 * sim.Second)
@@ -174,7 +175,7 @@ func TestTreeOversubscriptionCongests(t *testing.T) {
 		src := cl.Nodes[s].EP.Alloc(n)
 		dst := cl.Nodes[4+s].EP.Alloc(n)
 		cl.Env.Go(fmt.Sprintf("s%d", s), func(p *sim.Proc) {
-			conns[s][4+s].RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+			conns[s][4+s].MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 			done++
 		})
 	}

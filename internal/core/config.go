@@ -98,6 +98,19 @@ type Config struct {
 	// never need registration). Off by default for the paper's
 	// transparent mode.
 	EnforceRegistration bool
+	// UseSQ routes the upper layers' many-small-ops phases (DSM
+	// write-notice flushes, message control/credit updates, mirror
+	// commit records) through the submission-queue path: descriptors
+	// are posted cheaply and issued under one batched doorbell charge
+	// (Conn.Post / Conn.Ring) instead of a full kernel crossing each.
+	// Off by default: every existing run stays bit-identical.
+	UseSQ bool
+	// CoalesceLimit enables small-op frame coalescing on the doorbell
+	// path: consecutive posted writes of at most this many bytes to the
+	// same peer share MultiData frames, amortizing per-frame protocol
+	// and wire overhead. 0 disables coalescing (each posted op gets its
+	// own frames). Only Ring-issued operations are ever coalesced.
+	CoalesceLimit int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

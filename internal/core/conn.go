@@ -87,6 +87,13 @@ type Conn struct {
 	fenced    []uint64 // sorted ids of incomplete forward-fenced ops
 	held      []heldFrame
 	notifyQ   sim.Mailbox[Notification]
+
+	// Submission/completion queues (see op.go): descriptors posted but
+	// not yet issued by a doorbell, and completions awaiting a poll.
+	sq      []Op
+	cq      sim.Mailbox[Completion]
+	cqStage []Completion // records staged behind an in-flight WaitCQ wake
+	cqFlush bool         // a UserWake flush of cqStage is scheduled
 }
 
 // txOp is an operation on the send side: the kernel-buffer snapshot of
@@ -105,7 +112,29 @@ type txOp struct {
 	completed bool
 	probe     bool // internal dead-link probe, not a user operation
 	h         *Handle
-	span      *obs.Span // causal span (nil unless span recording is on)
+	span      *obs.Span  // causal span (nil unless span recording is on)
+	subs      []multiSub // coalesced sub-ops (nil = ordinary single op)
+}
+
+// multiSub is the send-side record of one coalesced sub-op inside a
+// MultiData txOp: completion, CQ fan-out and span bookkeeping.
+type multiSub struct {
+	id   uint64
+	op   Op
+	span *obs.Span
+}
+
+// forEachSpan visits the operation's span — or every sub-op span of a
+// coalesced batch — for transmit/ack/retransmit event recording.
+func (op *txOp) forEachSpan(f func(*obs.Span)) {
+	if op.span != nil {
+		f(op.span)
+	}
+	for i := range op.subs {
+		if op.subs[i].span != nil {
+			f(op.subs[i].span)
+		}
+	}
 }
 
 // txFrame is one transmitted-but-unacknowledged frame.
@@ -158,6 +187,8 @@ type Handle struct {
 	size  int
 	acked int // bytes acknowledged so far (writes) or received (reads)
 	done  sim.Signal
+	cq    bool // issued via the SQ: completion also fans out to the CQ
+	op    Op   // the posted descriptor (SQ path only)
 }
 
 // Progress returns how many of the operation's bytes have been
@@ -238,7 +269,7 @@ func (c *Conn) Close(p *sim.Proc) {
 	send := func() {
 		h := frame.Header{Type: frame.TypeConnClose, ConnID: c.remoteID, OpID: uint64(c.localID)}
 		dst := frame.NewAddr(c.remoteNode, 0)
-		buf := frame.Encode(dst, ep.nics[0].Addr(), &h, nil)
+		buf := frame.MustEncode(dst, ep.nics[0].Addr(), &h, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: ep.nics[0].Addr()})
 	}
 	retry = func() {
@@ -269,6 +300,10 @@ func (c *Conn) Close(p *sim.Proc) {
 // useful as a pure notification. The calling process is charged the
 // initiation cost (syscall, descriptor, and for writes the user→kernel
 // copy) on its CPU; everything after is asynchronous.
+//
+// Deprecated: RDMAOperation is the legacy positional form, kept as a
+// thin wrapper. New code should use Do with an Op descriptor, which
+// reports invalid use as errors instead of panicking.
 func (c *Conn) RDMAOperation(p *sim.Proc, remote, local uint64, size int, op frame.OpType, flags frame.OpFlags) *Handle {
 	return c.RDMAOn(p, c.ep.cpus.App, remote, local, size, op, flags)
 }
@@ -278,77 +313,10 @@ func (c *Conn) RDMAOperation(p *sim.Proc, remote, local uint64, size int, op fra
 // (use RDMAOperation); handler-style callers — e.g. a DSM protocol
 // handler servicing remote requests — run on the protocol CPU, like the
 // kernel thread they model.
+//
+// Deprecated: use DoOn (or MustDoOn), which takes an Op descriptor.
 func (c *Conn) RDMAOn(p *sim.Proc, cpu *sim.Resource, remote, local uint64, size int, op frame.OpType, flags frame.OpFlags) *Handle {
-	if !c.established.Fired() {
-		panic("core: RDMAOperation on unestablished connection")
-	}
-	if c.closed {
-		panic("core: RDMAOperation on closed connection")
-	}
-	if c.ep.cfg.EnforceRegistration && !c.ep.registered(local, size) {
-		panic(fmt.Sprintf("core: local buffer [%d,%d) not registered", local, local+uint64(size)))
-	}
-	if size < 0 {
-		panic("core: negative size")
-	}
-	ep := c.ep
-	var data []byte
-	switch op {
-	case frame.OpWrite:
-		if local+uint64(size) > uint64(len(ep.mem)) {
-			panic(fmt.Sprintf("core: write source [%d,%d) outside memory", local, local+uint64(size)))
-		}
-		data = append([]byte(nil), ep.mem[local:local+uint64(size)]...)
-	case frame.OpRead:
-		if local+uint64(size) > uint64(len(ep.mem)) {
-			panic(fmt.Sprintf("core: read destination [%d,%d) outside memory", local, local+uint64(size)))
-		}
-	default:
-		panic("core: RDMAOperation: op must be OpWrite or OpRead")
-	}
-	copyBytes := 0
-	if op == frame.OpWrite && !ep.cfg.Offload {
-		// Offloading NICs gather payload straight from user memory, so
-		// only the host path pays the user->kernel copy.
-		copyBytes = size
-	}
-	cost := ep.costs.Initiation(copyBytes)
-	if cpu == ep.cpus.App {
-		ep.Stats.AppProtoTime += cost
-	}
-	p.Exec(cpu, cost)
-
-	t := &txOp{
-		id: c.nextOpID, opType: op, flags: flags,
-		remote: remote, local: local, data: data, total: uint32(size),
-	}
-	c.nextOpID++
-	t.h = &Handle{c: c, opID: t.id, size: size}
-	if op == frame.OpRead {
-		c.pendingReads[t.id] = t.h
-	}
-	if flags&frame.FenceAfter != 0 {
-		// Forward fence, sender side: operations issued after t must
-		// not be transmitted until t is fully acknowledged. Otherwise a
-		// later op's frames could be performed at a receiver that has
-		// not yet seen any frame of t and so cannot know to hold them.
-		c.txFenced = append(c.txFenced, t.id)
-	}
-	if ep.obs.SpansEnabled() {
-		name := "write"
-		switch {
-		case op == frame.OpRead:
-			name = "read"
-		case flags&frame.Notify != 0:
-			name = "write-notify"
-		}
-		t.span = ep.obs.StartOpSpan(
-			obs.SpanID{Node: ep.node, Conn: c.localID, Op: t.id}, "core", name, size)
-	}
-	c.txOps = append(c.txOps, t)
-	ep.Stats.OpsStarted++
-	ep.wakeThread()
-	return t.h
+	return c.MustDoOn(p, cpu, Op{Remote: remote, Local: local, Size: size, Kind: op, Flags: flags})
 }
 
 // frameSpan resolves the span a received frame belongs to. Data and
@@ -470,8 +438,11 @@ func (c *Conn) sendNextDataFrame() {
 func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 	op := tf.op
 	typ := frame.TypeData
-	if op.opType == frame.OpRead {
+	switch {
+	case op.opType == frame.OpRead:
 		typ = frame.TypeReadReq
+	case op.subs != nil:
+		typ = frame.TypeMultiData
 	}
 	h := frame.Header{
 		Type: typ, ConnID: c.remoteID,
@@ -492,7 +463,7 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 	}
 	tf.link = c.sendFrameOn(&h, tf.payload, li)
 	tf.txAt = c.ep.env.Now()
-	if sp := op.span; sp != nil {
+	op.forEachSpan(func(sp *obs.Span) {
 		if isRetrans {
 			sp.Event(tf.txAt, obs.EvFrameRetx, c.ep.node, tf.link, tf.seq, len(tf.payload))
 		} else {
@@ -504,7 +475,7 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 			}
 			sp.Event(tf.txAt, obs.EvFrameTx, c.ep.node, tf.link, tf.seq, len(tf.payload))
 		}
-	}
+	})
 	// Only user traffic keeps probing alive: a probe transmission must
 	// not re-arm the timer, or an idle connection with a dead link would
 	// sustain a probe → loss → RTO-repair → probe loop forever.
@@ -581,7 +552,7 @@ func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
 	}
 	nic := c.ep.nics[li]
 	dst := frame.NewAddr(c.remoteNode, li)
-	buf := frame.Encode(dst, nic.Addr(), h, payload)
+	buf := frame.MustEncode(dst, nic.Addr(), h, payload)
 	nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
 	if h.HasAck {
 		c.unackedRx = 0
@@ -624,9 +595,9 @@ func (c *Conn) queueRetrans(seq uint32, cause obs.EventKind) {
 	}
 	tf.inQ = true
 	c.retransQ = append(c.retransQ, seq)
-	if sp := tf.op.span; sp != nil {
+	tf.op.forEachSpan(func(sp *obs.Span) {
 		sp.Event(c.ep.env.Now(), cause, c.ep.node, tf.link, seq, len(tf.payload))
-	}
+	})
 	c.noteLinkRepair(tf.link)
 }
 
@@ -757,9 +728,9 @@ func (c *Conn) handleAck(ack uint32) {
 			if tf.op.h != nil && tf.op.opType == frame.OpWrite {
 				tf.op.h.acked += len(tf.payload)
 			}
-			if sp := tf.op.span; sp != nil {
+			tf.op.forEachSpan(func(sp *obs.Span) {
 				sp.Event(c.ep.env.Now(), obs.EvAck, c.ep.node, tf.link, s, len(tf.payload))
-			}
+			})
 			c.clearLinkFault(tf.link, tf.txAt)
 			c.checkTxOpDone(tf.op)
 		}
@@ -794,7 +765,6 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 	if op.probe {
 		return // internal probe: no user-visible completion
 	}
-	c.ep.Stats.OpsCompleted++
 	if op.flags&frame.FenceAfter != 0 {
 		for i, f := range c.txFenced {
 			if f == op.id {
@@ -804,6 +774,19 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 		}
 		c.ep.wakeThread() // stalled operations may proceed now
 	}
+	if op.subs != nil {
+		// Coalesced batch: every sub-op completes with the shared frame.
+		// Fan completions out per sub-op, in issue order.
+		now := c.ep.env.Now()
+		for i := range op.subs {
+			s := &op.subs[i]
+			c.ep.Stats.OpsCompleted++
+			s.span.EndAt(now)
+			c.pushCompletion(Completion{OpID: s.id, Op: s.op})
+		}
+		return
+	}
+	c.ep.Stats.OpsCompleted++
 	if op.opType == frame.OpRead {
 		return // handle fires when the reply arrives
 	}
@@ -820,6 +803,9 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 			c.ep.cpus.Proto.Submit(c.ep.env, c.ep.costs.UserWake, func() { h.done.Fire(c.ep.env) })
 		} else {
 			h.done.Fire(c.ep.env)
+		}
+		if h.cq {
+			c.pushCompletion(Completion{OpID: h.opID, Op: h.op})
 		}
 	}
 }
@@ -1047,6 +1033,27 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 		}
 		return
 	}
+	if h.Type == frame.TypeMultiData {
+		// A coalesced frame never gets a container rxOp (its id is the
+		// last sub-op's id); each sub-op runs the ordering machinery as
+		// its own single-frame write.
+		for _, sh := range c.fanoutMulti(h, payload) {
+			op := c.getRxOp(sh.h)
+			if c.canApply(op) {
+				c.applyFrame(sh.h, sh.payload)
+			} else {
+				c.held = append(c.held, heldFrame{h: sh.h, payload: sh.payload, heldAt: ep.env.Now()})
+				ep.Stats.HeldFrames++
+				ep.trc(c.localID, trace.RxHeld, sh.h.Seq, len(sh.payload))
+				c.noteHold(sh.h, sh.payload)
+				if n := len(c.held); n > ep.Stats.HoldMax {
+					ep.Stats.HoldMax = n
+				}
+			}
+		}
+		c.drainHeld()
+		return
+	}
 	op := c.getRxOp(h)
 	if c.canApply(op) {
 		c.applyFrame(h, payload)
@@ -1060,6 +1067,29 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 			ep.Stats.HoldMax = n
 		}
 	}
+}
+
+// fanoutMulti decodes a MultiData frame into per-sub-op synthetic Data
+// frames that flow through the ordinary ordering, fence and completion
+// machinery. The payload was encoded by our own sender and arrived
+// through the reliable ARQ, so a decode failure is a protocol bug.
+func (c *Conn) fanoutMulti(h frame.Header, payload []byte) []heldFrame {
+	subs, err := frame.DecodeMultiPayload(payload)
+	if err != nil {
+		panic(fmt.Sprintf("core: node %d bad MultiData payload: %v", c.ep.node, err))
+	}
+	out := make([]heldFrame, len(subs))
+	for i, s := range subs {
+		out[i] = heldFrame{
+			h: frame.Header{
+				Type: frame.TypeData, ConnID: h.ConnID, Seq: h.Seq,
+				OpID: s.OpID, OpType: frame.OpWrite, OpFlags: s.Flags,
+				Remote: s.Remote, Offset: 0, Total: uint32(len(s.Data)),
+			},
+			payload: s.Data,
+		}
+	}
+	return out
 }
 
 // noteHold records a receive-side stall (ordering or fence) in the
@@ -1159,6 +1189,14 @@ func (c *Conn) drainHeld() {
 // applyFrame performs one frame: copies write/reply payload into memory
 // or services a read request, then advances operation completion.
 func (c *Conn) applyFrame(h frame.Header, payload []byte) {
+	if h.Type == frame.TypeMultiData {
+		// Strict mode delivers the container frame here in sequence
+		// order; its sub-ops apply back-to-back, preserving issue order.
+		for _, sh := range c.fanoutMulti(h, payload) {
+			c.applyFrame(sh.h, sh.payload)
+		}
+		return
+	}
 	ep := c.ep
 	op := c.getRxOp(h)
 	if sp := c.frameSpan(h.OpType, h.OpID, h.Local); sp != nil {
@@ -1236,6 +1274,9 @@ func (c *Conn) completeRxOp(op *rxOp) {
 				ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { h.done.Fire(ep.env) })
 			} else {
 				h.done.Fire(ep.env)
+			}
+			if h.cq {
+				h.c.pushCompletion(Completion{OpID: h.opID, Op: h.op})
 			}
 		}
 	}

@@ -64,7 +64,7 @@ func TestRemoteWriteSmall(t *testing.T) {
 	copy(cl.Nodes[0].EP.Mem()[src:], data)
 	var done bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		h := c01.RDMAOperation(p, dst, src, len(data), frame.OpWrite, 0)
+		h := c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: len(data), Kind: frame.OpWrite})
 		h.Wait(p)
 		done = true
 	})
@@ -84,7 +84,7 @@ func TestRemoteWriteLargeMultiFrame(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(n)
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 3)
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 	})
 	cl.Env.RunUntil(sim.Second)
 	if !bytes.Equal(cl.Nodes[1].EP.Mem()[dst:dst+n], cl.Nodes[0].EP.Mem()[src:src+n]) {
@@ -105,7 +105,7 @@ func TestZeroSizeWriteNotify(t *testing.T) {
 	var note core.Notification
 	var got bool
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c01.RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify).Wait(p)
+		c01.MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify}).Wait(p)
 	})
 	cl.Env.Go("receiver", func(p *sim.Proc) {
 		note = c10.WaitNotify(p)
@@ -125,7 +125,7 @@ func TestNotifyCarriesAddr(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(128)
 	var note core.Notification
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, 0, 128, frame.OpWrite, frame.Notify).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Size: 128, Kind: frame.OpWrite, Flags: frame.Notify}).Wait(p)
 	})
 	cl.Env.Go("receiver", func(p *sim.Proc) { note = c10.WaitNotify(p) })
 	cl.Env.RunUntil(sim.Second)
@@ -142,7 +142,7 @@ func TestRemoteRead(t *testing.T) {
 	fill(cl.Nodes[1].EP.Mem()[remote:remote+n], 9)
 	var done bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		h := c01.RDMAOperation(p, remote, local, n, frame.OpRead, 0)
+		h := c01.MustDo(p, core.Op{Remote: remote, Local: local, Size: n, Kind: frame.OpRead})
 		h.Wait(p)
 		done = true
 	})
@@ -165,7 +165,7 @@ func TestHandleTest(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(n)
 	var before, after bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		h := c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0)
+		h := c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite})
 		before = h.Test() // cannot be complete: frames not even sent
 		h.Wait(p)
 		after = h.Test()
@@ -187,7 +187,7 @@ func TestWindowBoundsInflight(t *testing.T) {
 	src := cl.Nodes[0].EP.Alloc(n)
 	dst := cl.Nodes[1].EP.Alloc(n)
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite})
 	})
 	max := 0
 	var probe func()
@@ -220,7 +220,7 @@ func TestLossRecoveryAndNacks(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 1)
 	var done bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		done = true
 	})
 	cl.Env.RunUntil(10 * sim.Second)
@@ -253,7 +253,7 @@ func TestTailLossRTORecovery(t *testing.T) {
 	var done int
 	cl.Env.Go("app", func(p *sim.Proc) {
 		for i := 0; i < 20; i++ {
-			c01.RDMAOperation(p, dst, src, 1024, frame.OpWrite, 0).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 1024, Kind: frame.OpWrite}).Wait(p)
 			done++
 		}
 	})
@@ -276,7 +276,7 @@ func TestDuplicateSuppression(t *testing.T) {
 	cl.Env.Go("sender", func(p *sim.Proc) {
 		hs := make([]*core.Handle, 0, ops)
 		for i := 0; i < ops; i++ {
-			hs = append(hs, c01.RDMAOperation(p, dst, 0, 512, frame.OpWrite, frame.Notify))
+			hs = append(hs, c01.MustDo(p, core.Op{Remote: dst, Size: 512, Kind: frame.OpWrite, Flags: frame.Notify}))
 		}
 		for _, h := range hs {
 			h.Wait(p)
@@ -313,7 +313,7 @@ func TestOOOStatsSingleVsDualLink(t *testing.T) {
 		dst := cl.Nodes[1].EP.Alloc(n)
 		fill(cl.Nodes[0].EP.Mem()[src:src+n], 2)
 		cl.Env.Go("app", func(p *sim.Proc) {
-			c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		})
 		cl.Env.RunUntil(5 * sim.Second)
 		if !bytes.Equal(cl.Nodes[1].EP.Mem()[dst:dst+n], cl.Nodes[0].EP.Mem()[src:src+n]) {
@@ -355,8 +355,8 @@ func TestBackwardFenceOrdering(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 6)
 	var checked, ok bool
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dstA, src, n, frame.OpWrite, 0)
-		c01.RDMAOperation(p, dstB, src, 8, frame.OpWrite, frame.FenceBefore|frame.Notify)
+		c01.MustDo(p, core.Op{Remote: dstA, Local: src, Size: n, Kind: frame.OpWrite})
+		c01.MustDo(p, core.Op{Remote: dstB, Local: src, Size: 8, Kind: frame.OpWrite, Flags: frame.FenceBefore | frame.Notify})
 	})
 	cl.Env.Go("receiver", func(p *sim.Proc) {
 		c10.WaitNotify(p)
@@ -387,8 +387,8 @@ func TestForwardFenceOrdering(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 8)
 	var ok, checked bool
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dstA, src, n, frame.OpWrite, frame.FenceAfter)
-		c01.RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify)
+		c01.MustDo(p, core.Op{Remote: dstA, Local: src, Size: n, Kind: frame.OpWrite, Flags: frame.FenceAfter})
+		c01.MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify})
 	})
 	cl.Env.Go("receiver", func(p *sim.Proc) {
 		c10.WaitNotify(p)
@@ -419,7 +419,7 @@ func TestFencesDoNotDeadlock(t *testing.T) {
 		flagCycle := []frame.OpFlags{0, frame.FenceBefore, frame.FenceAfter, frame.FenceBefore | frame.FenceAfter}
 		hs := make([]*core.Handle, 0, ops)
 		for i := 0; i < ops; i++ {
-			hs = append(hs, c01.RDMAOperation(p, dst, src, 8000, frame.OpWrite, flagCycle[i%4]))
+			hs = append(hs, c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 8000, Kind: frame.OpWrite, Flags: flagCycle[i%4]}))
 		}
 		for _, h := range hs {
 			h.Wait(p)
@@ -444,8 +444,8 @@ func TestStrictModeInOrderApply(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 4)
 	var ok, checked bool
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dstA, src, n, frame.OpWrite, 0)
-		c01.RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify)
+		c01.MustDo(p, core.Op{Remote: dstA, Local: src, Size: n, Kind: frame.OpWrite})
+		c01.MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify})
 	})
 	cl.Env.Go("receiver", func(p *sim.Proc) {
 		c10.WaitNotify(p)
@@ -470,7 +470,7 @@ func TestGoBackNDelivers(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 7)
 	var done bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		done = true
 	})
 	cl.Env.RunUntil(60 * sim.Second)
@@ -494,7 +494,7 @@ func TestByteStripeDelivers(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(n)
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 12)
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 	})
 	cl.Env.RunUntil(10 * sim.Second)
 	if !bytes.Equal(cl.Nodes[1].EP.Mem()[dst:dst+n], cl.Nodes[0].EP.Mem()[src:src+n]) {
@@ -515,7 +515,7 @@ func TestExtraTrafficSmallOnCleanLink(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(n)
 	cl.Env.Go("app", func(p *sim.Proc) {
 		for i := 0; i < 4; i++ {
-			c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		}
 	})
 	cl.Env.RunUntil(10 * sim.Second)
@@ -539,11 +539,11 @@ func TestBidirectionalSimultaneous(t *testing.T) {
 	fill(cl.Nodes[1].EP.Mem()[s1:s1+n], 42)
 	var done int
 	cl.Env.Go("app0", func(p *sim.Proc) {
-		c01.RDMAOperation(p, d1, s0, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: d1, Local: s0, Size: n, Kind: frame.OpWrite}).Wait(p)
 		done++
 	})
 	cl.Env.Go("app1", func(p *sim.Proc) {
-		c10.RDMAOperation(p, d0, s1, n, frame.OpWrite, 0).Wait(p)
+		c10.MustDo(p, core.Op{Remote: d0, Local: s1, Size: n, Kind: frame.OpWrite}).Wait(p)
 		done++
 	})
 	cl.Env.RunUntil(5 * sim.Second)
@@ -579,7 +579,7 @@ func TestFullMeshAllPairs(t *testing.T) {
 				if j == i {
 					continue
 				}
-				hs = append(hs, conns[i][j].RDMAOperation(p, bufs[j][i], src, n, frame.OpWrite, 0))
+				hs = append(hs, conns[i][j].MustDo(p, core.Op{Remote: bufs[j][i], Local: src, Size: n, Kind: frame.OpWrite}))
 			}
 			for _, h := range hs {
 				h.Wait(p)
@@ -647,7 +647,7 @@ func TestPropertyDeliveryIntegrity(t *testing.T) {
 			var hs []*core.Handle
 			off := uint64(0)
 			for _, s := range sz {
-				hs = append(hs, c01.RDMAOperation(p, dst+off, src+off, int(s), frame.OpWrite, 0))
+				hs = append(hs, c01.MustDo(p, core.Op{Remote: dst + off, Local: src + off, Size: int(s), Kind: frame.OpWrite}))
 				off += uint64(s)
 			}
 			for _, h := range hs {
@@ -695,7 +695,7 @@ func TestPropertyReadIntegrity(t *testing.T) {
 		cl.Env.Go("app", func(p *sim.Proc) {
 			off := uint64(0)
 			for _, s := range sz {
-				c01.RDMAOperation(p, remote+off, local+off, int(s), frame.OpRead, 0).Wait(p)
+				c01.MustDo(p, core.Op{Remote: remote + off, Local: local + off, Size: int(s), Kind: frame.OpRead}).Wait(p)
 				off += uint64(s)
 			}
 			okc = true
@@ -722,7 +722,7 @@ func TestDeterministicRuns(t *testing.T) {
 		src := cl.Nodes[0].EP.Alloc(n)
 		dst := cl.Nodes[1].EP.Alloc(n)
 		cl.Env.Go("app", func(p *sim.Proc) {
-			c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		})
 		end := cl.Env.RunUntil(10 * sim.Second)
 		return end, cl.Nodes[0].EP.Stats
@@ -761,8 +761,7 @@ func TestChaosDeliveryIntegrity(t *testing.T) {
 		cl.Env.Go("send", func(p *sim.Proc) {
 			var hs []*core.Handle
 			for off := 0; off < n; off += 8 * 1024 {
-				hs = append(hs, c01.RDMAOperation(p, dst+uint64(off), src+uint64(off),
-					8*1024, frame.OpWrite, frame.Notify))
+				hs = append(hs, c01.MustDo(p, core.Op{Remote: dst + uint64(off), Local: src + uint64(off), Size: 8 * 1024, Kind: frame.OpWrite, Flags: frame.Notify}))
 			}
 			for _, h := range hs {
 				h.Wait(p)
@@ -797,7 +796,7 @@ func TestConnClose(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(4096)
 	var closedBoth bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, 4096, frame.OpWrite, 0)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 4096, Kind: frame.OpWrite})
 		c01.Close(p) // must drain the in-flight write first
 		closedBoth = c01.Closed() && c10.Closed()
 	})
@@ -832,7 +831,7 @@ func TestOpAfterClosePanics(t *testing.T) {
 	cl.Env.Go("app", func(p *sim.Proc) {
 		c01.Close(p)
 		defer func() { panicked = recover() != nil }()
-		c01.RDMAOperation(p, 0, 0, 8, frame.OpWrite, 0)
+		c01.MustDo(p, core.Op{Size: 8, Kind: frame.OpWrite})
 	})
 	func() {
 		defer func() { recover() }() // the sim re-panics process panics
@@ -852,7 +851,7 @@ func TestCloseDoesNotDisturbOtherConns(t *testing.T) {
 	ok := false
 	cl.Env.Go("app", func(p *sim.Proc) {
 		conns[0][1].Close(p) // tear down 0-1
-		conns[0][2].RDMAOperation(p, dst, src, 8192, frame.OpWrite, 0).Wait(p)
+		conns[0][2].MustDo(p, core.Op{Remote: dst, Local: src, Size: 8192, Kind: frame.OpWrite}).Wait(p)
 		ok = bytes.Equal(cl.Nodes[2].EP.Mem()[dst:dst+8192], cl.Nodes[0].EP.Mem()[src:src+8192])
 	})
 	cl.Env.RunUntil(sim.Second)
@@ -871,11 +870,11 @@ func TestMemoryRegistrationEnforcement(t *testing.T) {
 	ep0.RegisterMemory(buf, 4096)
 	var okRegistered, panickedUnregistered bool
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, buf, 4096, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: buf, Size: 4096, Kind: frame.OpWrite}).Wait(p)
 		okRegistered = true
 		ep0.DeregisterMemory(buf)
 		defer func() { panickedUnregistered = recover() != nil }()
-		c01.RDMAOperation(p, dst, buf, 4096, frame.OpWrite, 0)
+		c01.MustDo(p, core.Op{Remote: dst, Local: buf, Size: 4096, Kind: frame.OpWrite})
 	})
 	func() {
 		defer func() { recover() }()
@@ -901,7 +900,7 @@ func TestRegistrationNotRequiredForReceive(t *testing.T) {
 	ep0.RegisterMemory(src, 512)
 	done := false
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, 512, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 512, Kind: frame.OpWrite}).Wait(p)
 		done = true
 	})
 	cl.Env.RunUntil(sim.Second)
@@ -923,7 +922,7 @@ func TestTraceCapturesProtocolEvents(t *testing.T) {
 	src := cl.Nodes[0].EP.Alloc(n)
 	dst := cl.Nodes[1].EP.Alloc(n)
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 	})
 	cl.Env.RunUntil(30 * sim.Second)
 	if tr0.Count(trace.TxData) == 0 {
@@ -956,7 +955,7 @@ func TestHandleProgress(t *testing.T) {
 	dst := cl.Nodes[1].EP.Alloc(n)
 	var mid, fin int
 	cl.Env.Go("app", func(p *sim.Proc) {
-		h := c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0)
+		h := c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite})
 		p.Sleep(800 * sim.Microsecond) // part-way through the transfer
 		mid, _ = h.Progress()
 		h.Wait(p)
@@ -972,7 +971,7 @@ func TestHandleProgress(t *testing.T) {
 	// Reads report received bytes too.
 	var rp int
 	cl.Env.Go("reader", func(p *sim.Proc) {
-		h := c01.RDMAOperation(p, dst, src, 8192, frame.OpRead, 0)
+		h := c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 8192, Kind: frame.OpRead})
 		h.Wait(p)
 		rp, _ = h.Progress()
 	})
@@ -1011,7 +1010,7 @@ func TestPropertyKnobSpace(t *testing.T) {
 		fill(cl.Nodes[0].EP.Mem()[src:src+n], byte(seed))
 		done := false
 		cl.Env.Go("app", func(p *sim.Proc) {
-			c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 			done = true
 		})
 		cl.Env.RunUntil(240 * sim.Second)
@@ -1045,8 +1044,8 @@ func TestTwoConnectionsSamePair(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+4096], 5)
 	done := 0
 	cl.Env.Go("app", func(p *sim.Proc) {
-		h1 := a1.RDMAOperation(p, d1, src, 4096, frame.OpWrite, 0)
-		h2 := a2.RDMAOperation(p, d2, src, 4096, frame.OpWrite, 0)
+		h1 := a1.MustDo(p, core.Op{Remote: d1, Local: src, Size: 4096, Kind: frame.OpWrite})
+		h2 := a2.MustDo(p, core.Op{Remote: d2, Local: src, Size: 4096, Kind: frame.OpWrite})
 		h1.Wait(p)
 		h2.Wait(p)
 		done = 1
@@ -1073,8 +1072,8 @@ func TestFencedRead(t *testing.T) {
 	fill(cl.Nodes[0].EP.Mem()[src:src+n], 77)
 	ok := false
 	cl.Env.Go("app", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0)
-		h := c01.RDMAOperation(p, dst, back, n, frame.OpRead, frame.FenceBefore)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite})
+		h := c01.MustDo(p, core.Op{Remote: dst, Local: back, Size: n, Kind: frame.OpRead, Flags: frame.FenceBefore})
 		h.Wait(p)
 		ok = bytes.Equal(cl.Nodes[0].EP.Mem()[back:back+n], cl.Nodes[0].EP.Mem()[src:src+n])
 	})
@@ -1096,12 +1095,12 @@ func TestGlobalNotifyReroutesAllConns(t *testing.T) {
 		}
 	})
 	cl.Env.Go("s0", func(p *sim.Proc) {
-		conns[0][2].RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify)
-		conns[0][2].RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify)
+		conns[0][2].MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify})
+		conns[0][2].MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify})
 	})
 	cl.Env.Go("s1", func(p *sim.Proc) {
-		conns[1][2].RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify)
-		conns[1][2].RDMAOperation(p, 0, 0, 0, frame.OpWrite, frame.Notify)
+		conns[1][2].MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify})
+		conns[1][2].MustDo(p, core.Op{Kind: frame.OpWrite, Flags: frame.Notify})
 	})
 	cl.Env.RunUntil(sim.Second)
 	if got[0] != 2 || got[1] != 2 {
@@ -1120,7 +1119,7 @@ func TestSolicitedAckLatency(t *testing.T) {
 		var elapsed sim.Time
 		cl.Env.Go("app", func(p *sim.Proc) {
 			t0 := cl.Env.Now()
-			c01.RDMAOperation(p, dst, src, 64, frame.OpWrite, flags).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: 64, Kind: frame.OpWrite, Flags: flags}).Wait(p)
 			elapsed = cl.Env.Now() - t0
 		})
 		cl.Env.RunUntil(sim.Second)
@@ -1164,8 +1163,8 @@ func TestSolicitCumulativeOnly(t *testing.T) {
 	})
 	var bulkDone, solDone sim.Time
 	cl.Env.Go("app", func(p *sim.Proc) {
-		hb := c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0)
-		hs := c01.RDMAOperation(p, fdst, flag, 1, frame.OpWrite, frame.Solicit)
+		hb := c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite})
+		hs := c01.MustDo(p, core.Op{Remote: fdst, Local: flag, Size: 1, Kind: frame.OpWrite, Flags: frame.Solicit})
 		hs.Wait(p)
 		solDone = cl.Env.Now()
 		hb.Wait(p)
@@ -1217,7 +1216,7 @@ func TestConcurrentConnections(t *testing.T) {
 	for i := 0; i < nConns; i++ {
 		i := i
 		cl.Env.Go(fmt.Sprintf("xfer%d", i), func(p *sim.Proc) {
-			c01[i].RDMAOperation(p, dst[i], src[i], n, frame.OpWrite, 0).Wait(p)
+			c01[i].MustDo(p, core.Op{Remote: dst[i], Local: src[i], Size: n, Kind: frame.OpWrite}).Wait(p)
 			doneAt[i] = cl.Env.Now()
 		})
 	}

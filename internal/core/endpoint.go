@@ -44,8 +44,12 @@ type Endpoint struct {
 
 	tracer *trace.Trace // optional frame-level event trace
 
-	obs      *obs.Registry  // optional metrics/span registry (nil = off)
-	holdHist *obs.Histogram // receive-side hold duration, µs
+	obs          *obs.Registry  // optional metrics/span registry (nil = off)
+	holdHist     *obs.Histogram // receive-side hold duration, µs
+	sqDepth      *obs.Gauge     // posted-but-unrung descriptors, all conns
+	cqDepth      *obs.Gauge     // unpolled completions, all conns
+	doorbellHist *obs.Histogram // descriptors issued per doorbell
+	coalesceHist *obs.Histogram // sub-ops packed per MultiData frame
 
 	Stats Stats
 }
@@ -128,7 +132,26 @@ func (ep *Endpoint) trc(conn uint32, k trace.Kind, seq uint32, n int) {
 func (ep *Endpoint) SetObs(r *obs.Registry) {
 	ep.obs = r
 	ep.holdHist = r.Histogram("core_hold_us", nil, obs.NodeLabel(ep.node))
+	ep.sqDepth = r.Gauge("core_sq_depth", obs.NodeLabel(ep.node))
+	ep.cqDepth = r.Gauge("core_cq_depth", obs.NodeLabel(ep.node))
+	ep.doorbellHist = r.Histogram("core_doorbell_batch_ops", nil, obs.NodeLabel(ep.node))
+	ep.coalesceHist = r.Histogram("core_coalesce_subops", nil, obs.NodeLabel(ep.node))
 	r.AddCollector(ep.Stats.Collector(ep.node))
+}
+
+// noteSQDepth tracks the node-wide submission-queue depth gauge (nil-safe
+// when observability is off).
+func (ep *Endpoint) noteSQDepth(d int) {
+	if ep.sqDepth != nil {
+		ep.sqDepth.Add(float64(d))
+	}
+}
+
+// noteCQDepth tracks the node-wide completion-queue depth gauge.
+func (ep *Endpoint) noteCQDepth(d int) {
+	if ep.cqDepth != nil {
+		ep.cqDepth.Add(float64(d))
+	}
 }
 
 // Obs returns the attached registry (nil when observability is off).
@@ -311,7 +334,7 @@ func (ep *Endpoint) processRxFrame(fr *phys.Frame, link int) {
 	}
 	var cost sim.Time
 	switch h.Type {
-	case frame.TypeData, frame.TypeReadReq:
+	case frame.TypeData, frame.TypeReadReq, frame.TypeMultiData:
 		cost = ep.protoCost(ep.costs.FrameRx)
 		if ep.engine == nil {
 			// Host path pays the kernel->user copy; an offloading NIC
@@ -346,7 +369,7 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		// close may be retransmitted) and mark closed.
 		c.closed = true
 		ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID)}
-		buf := frame.Encode(src, ep.nics[0].Addr(), &ah, nil)
+		buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
 		return
 	}
@@ -363,7 +386,7 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		return // late frames for a torn-down connection
 	}
 	switch h.Type {
-	case frame.TypeData, frame.TypeReadReq:
+	case frame.TypeData, frame.TypeReadReq, frame.TypeMultiData:
 		c.handleData(h, payload, link)
 	case frame.TypeAck:
 		ep.Stats.CtrlRecv++
@@ -396,7 +419,7 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 	var retry func()
 	send := func() {
 		h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID, OpID: uint64(links)}
-		buf := frame.Encode(frame.NewAddr(remoteNode, 0), ep.nics[0].Addr(), &h, nil)
+		buf := frame.MustEncode(frame.NewAddr(remoteNode, 0), ep.nics[0].Addr(), &h, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: frame.NewAddr(remoteNode, 0), Src: ep.nics[0].Addr()})
 	}
 	retry = func() {
@@ -456,7 +479,7 @@ func (ep *Endpoint) handleConnReq(src frame.Addr, h frame.Header) {
 	}
 	// Always (re-)send the ConnAck: the previous one may have been lost.
 	ah := frame.Header{Type: frame.TypeConnAck, ConnID: h.ConnID, OpID: uint64(c.localID)}
-	buf := frame.Encode(src, ep.nics[0].Addr(), &ah, nil)
+	buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
 	ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
 }
 

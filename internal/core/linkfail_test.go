@@ -30,7 +30,7 @@ func failPair(t *testing.T, n int, tweak func(*cluster.Config)) (*cluster.Cluste
 	fill(ep0.Mem()[src:src+uint64(n)], 11)
 	doneAt := new(sim.Time)
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		*doneAt = cl.Env.Now()
 		if !bytes.Equal(ep1.Mem()[dst:dst+uint64(n)], ep0.Mem()[src:src+uint64(n)]) {
 			t.Error("delivered data corrupted")
@@ -218,7 +218,7 @@ func TestFailLinkBothDirections(t *testing.T) {
 	cl.FailLink(0, 1) // node 0's rail 1, both directions
 	done := false
 	cl.Env.Go("sender", func(p *sim.Proc) {
-		c10.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+		c10.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 		done = true
 	})
 	cl.Env.RunUntil(2 * sim.Second)
@@ -322,7 +322,7 @@ func TestLinkFailureScheduleProperty(t *testing.T) {
 
 		var doneAt sim.Time
 		cl.Env.Go("xfer", func(p *sim.Proc) {
-			c01.RDMAOperation(p, dst, src, n, frame.OpWrite, 0).Wait(p)
+			c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
 			doneAt = cl.Env.Now()
 		})
 		cl.Env.RunUntil(30 * sim.Second)

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"multiedge/internal/frame"
+	"multiedge/internal/obs"
+	"multiedge/internal/sim"
+)
+
+// Op describes one remote memory operation: the options-struct form of
+// the paper's positional RDMA_operation arguments. The same struct is
+// accepted by the eager issue path (Conn.Do) and the submission-queue
+// path (Conn.Post + Conn.Ring), so the two surfaces compose.
+type Op struct {
+	// Remote is the destination virtual address in the peer's address
+	// space (writes) or the source address to fetch from (reads).
+	Remote uint64
+	// Local is the source address of a write or the destination address
+	// of a read in this endpoint's address space.
+	Local uint64
+	// Size is the transfer length in bytes. A zero-size write is legal
+	// and useful as a pure notification.
+	Size int
+	// Kind is frame.OpWrite or frame.OpRead.
+	Kind frame.OpType
+	// Flags combines frame.FenceBefore, frame.FenceAfter, frame.Notify
+	// and frame.Solicit.
+	Flags frame.OpFlags
+}
+
+// MaxOpSize bounds a single operation's transfer length (the protocol
+// header carries a 32-bit total; staying far below the wrap keeps
+// arithmetic safe).
+const MaxOpSize = 1 << 30
+
+// Errors returned by the Op issue paths (Do, DoOn, Post, Ring). Each is
+// wrapped with context; test with errors.Is.
+var (
+	// ErrNotEstablished: the connection handshake has not completed.
+	ErrNotEstablished = errors.New("connection not established")
+	// ErrClosed: the connection has been torn down.
+	ErrClosed = errors.New("connection closed")
+	// ErrBadOpKind: Op.Kind is neither OpWrite nor OpRead.
+	ErrBadOpKind = errors.New("op kind must be OpWrite or OpRead")
+	// ErrBadSize: negative transfer size.
+	ErrBadSize = errors.New("negative transfer size")
+	// ErrOversized: transfer larger than MaxOpSize.
+	ErrOversized = errors.New("transfer exceeds MaxOpSize")
+	// ErrBadRange: the local buffer lies outside the endpoint's address
+	// space.
+	ErrBadRange = errors.New("address range outside memory")
+	// ErrUnregistered: Config.EnforceRegistration is on and the local
+	// buffer is not inside a registered region.
+	ErrUnregistered = errors.New("local buffer not registered")
+)
+
+// checkOp validates an operation against the connection and endpoint
+// state. It has no side effects; the checks (and their order) mirror the
+// panics of the legacy RDMAOperation path.
+func (c *Conn) checkOp(op Op) error {
+	if !c.established.Fired() {
+		return fmt.Errorf("core: operation on unestablished connection to node %d: %w", c.remoteNode, ErrNotEstablished)
+	}
+	if c.closed {
+		return fmt.Errorf("core: operation on closed connection to node %d: %w", c.remoteNode, ErrClosed)
+	}
+	if c.ep.cfg.EnforceRegistration && !c.ep.registered(op.Local, op.Size) {
+		return fmt.Errorf("core: local buffer [%d,%d): %w", op.Local, op.Local+uint64(op.Size), ErrUnregistered)
+	}
+	if op.Size < 0 {
+		return fmt.Errorf("core: size %d: %w", op.Size, ErrBadSize)
+	}
+	if op.Size > MaxOpSize {
+		return fmt.Errorf("core: size %d > %d: %w", op.Size, MaxOpSize, ErrOversized)
+	}
+	switch op.Kind {
+	case frame.OpWrite:
+		if op.Local+uint64(op.Size) > uint64(len(c.ep.mem)) {
+			return fmt.Errorf("core: write source [%d,%d) outside the %d-byte memory: %w",
+				op.Local, op.Local+uint64(op.Size), len(c.ep.mem), ErrBadRange)
+		}
+	case frame.OpRead:
+		if op.Local+uint64(op.Size) > uint64(len(c.ep.mem)) {
+			return fmt.Errorf("core: read destination [%d,%d) outside the %d-byte memory: %w",
+				op.Local, op.Local+uint64(op.Size), len(c.ep.mem), ErrBadRange)
+		}
+	default:
+		return fmt.Errorf("core: kind %v: %w", op.Kind, ErrBadOpKind)
+	}
+	return nil
+}
+
+// Do initiates op eagerly on the connection and returns its progress
+// handle, charging the full per-operation issue cost (syscall,
+// descriptor, user→kernel copy for writes) to the calling process on the
+// application CPU. It is the options-struct successor of RDMAOperation
+// and returns an error — ErrNotEstablished, ErrClosed, ErrBadRange,
+// ErrOversized, ... — instead of panicking on invalid use. Many small
+// operations to one peer are cheaper through Post + Ring.
+func (c *Conn) Do(p *sim.Proc, op Op) (*Handle, error) {
+	return c.DoOn(p, c.ep.cpus.App, op)
+}
+
+// DoOn is Do with an explicit CPU to charge the initiation to.
+// User-level callers run in syscall context on the application CPU (use
+// Do); handler-style callers — e.g. a DSM protocol handler servicing
+// remote requests — run on the protocol CPU, like the kernel thread
+// they model.
+func (c *Conn) DoOn(p *sim.Proc, cpu *sim.Resource, op Op) (*Handle, error) {
+	if err := c.checkOp(op); err != nil {
+		return nil, err
+	}
+	ep := c.ep
+	var data []byte
+	if op.Kind == frame.OpWrite {
+		data = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+	}
+	copyBytes := 0
+	if op.Kind == frame.OpWrite && !ep.cfg.Offload {
+		// Offloading NICs gather payload straight from user memory, so
+		// only the host path pays the user->kernel copy.
+		copyBytes = op.Size
+	}
+	cost := ep.costs.Initiation(copyBytes)
+	if cpu == ep.cpus.App {
+		ep.Stats.AppProtoTime += cost
+	}
+	p.Exec(cpu, cost)
+	return c.enqueueOp(op, data, false), nil
+}
+
+// MustDo is Do for callers that guarantee the operation is valid; it
+// panics on error, preserving the legacy RDMAOperation contract.
+func (c *Conn) MustDo(p *sim.Proc, op Op) *Handle {
+	h, err := c.Do(p, op)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// MustDoOn is DoOn with the MustDo panic-on-error contract.
+func (c *Conn) MustDoOn(p *sim.Proc, cpu *sim.Resource, op Op) *Handle {
+	h, err := c.DoOn(p, cpu, op)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// enqueueOp creates the send-side record for a validated, paid-for
+// operation and hands it to the protocol thread. viaCQ marks operations
+// issued through the submission queue, whose completions surface on the
+// connection's completion queue as well as the returned handle.
+func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
+	ep := c.ep
+	t := &txOp{
+		id: c.nextOpID, opType: op.Kind, flags: op.Flags,
+		remote: op.Remote, local: op.Local, data: data, total: uint32(op.Size),
+	}
+	c.nextOpID++
+	t.h = &Handle{c: c, opID: t.id, size: op.Size}
+	if viaCQ {
+		t.h.cq = true
+		t.h.op = op
+	}
+	if op.Kind == frame.OpRead {
+		c.pendingReads[t.id] = t.h
+	}
+	if op.Flags&frame.FenceAfter != 0 {
+		// Forward fence, sender side: operations issued after t must
+		// not be transmitted until t is fully acknowledged. Otherwise a
+		// later op's frames could be performed at a receiver that has
+		// not yet seen any frame of t and so cannot know to hold them.
+		c.txFenced = append(c.txFenced, t.id)
+	}
+	if ep.obs.SpansEnabled() {
+		name := "write"
+		switch {
+		case op.Kind == frame.OpRead:
+			name = "read"
+		case op.Flags&frame.Notify != 0:
+			name = "write-notify"
+		}
+		t.span = ep.obs.StartOpSpan(
+			obs.SpanID{Node: ep.node, Conn: c.localID, Op: t.id}, "core", name, op.Size)
+	}
+	c.txOps = append(c.txOps, t)
+	ep.Stats.OpsStarted++
+	ep.wakeThread()
+	return t.h
+}
+
+// ---------------------------------------------------------------------
+// Submission queue, doorbell, completion queue.
+//
+// The eager path charges a full kernel crossing per operation. The SQ
+// path splits issue in two: Post appends a descriptor to a user-mapped
+// queue (cheap, no host-cost charge — the validation is a library-level
+// check), and Ring pays ONE doorbell crossing for the whole batch. While
+// walking the batch, runs of small writes are coalesced into shared
+// MultiData frames (Config.CoalesceLimit), amortizing per-frame protocol
+// and wire overhead as well. Completions fan out per operation on the
+// connection's completion queue.
+// ---------------------------------------------------------------------
+
+// Completion reports one submission-queue operation that has completed:
+// writes once every frame is acknowledged end-to-end, reads once the
+// reply data has landed in local memory.
+type Completion struct {
+	OpID uint64 // the operation's connection-local id, in issue order
+	Op   Op     // the posted descriptor
+}
+
+// Post validates op and appends it to the connection's submission queue.
+// Nothing is charged and nothing is transmitted until Ring; the
+// descriptor store is treated as free at simulation resolution (the
+// calibrated SQPost cost is charged per descriptor by Ring).
+func (c *Conn) Post(op Op) error {
+	if err := c.checkOp(op); err != nil {
+		return err
+	}
+	c.sq = append(c.sq, op)
+	c.ep.noteSQDepth(1)
+	return nil
+}
+
+// MustPost is Post for callers that guarantee the descriptor is valid.
+func (c *Conn) MustPost(op Op) {
+	if err := c.Post(op); err != nil {
+		panic(err)
+	}
+}
+
+// Ring rings the connection's doorbell on the application CPU: every
+// posted descriptor is issued under a single batched charge
+// (hostmodel.Costs.BatchIssue) and the submission queue empties. It
+// returns the number of operations issued; ringing an empty queue is a
+// free no-op. Completions surface on the completion queue (PollCQ /
+// WaitCQ) in issue order.
+func (c *Conn) Ring(p *sim.Proc) (int, error) {
+	return c.RingOn(p, c.ep.cpus.App)
+}
+
+// MustRing is Ring for callers that guarantee the connection is open.
+func (c *Conn) MustRing(p *sim.Proc) int {
+	n, err := c.Ring(p)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// RingOn is Ring with an explicit CPU to charge the doorbell to.
+func (c *Conn) RingOn(p *sim.Proc, cpu *sim.Resource) (int, error) {
+	if c.closed {
+		return 0, fmt.Errorf("core: doorbell on closed connection to node %d: %w", c.remoteNode, ErrClosed)
+	}
+	n := len(c.sq)
+	if n == 0 {
+		return 0, nil
+	}
+	batch := c.sq
+	c.sq = nil
+	ep := c.ep
+	ep.noteSQDepth(-n)
+	// Snapshot write payloads at ring time (the doorbell is the issue
+	// point), before the batched cost is charged — mirroring DoOn's
+	// snapshot-before-Exec order.
+	data := make([][]byte, n)
+	copyBytes := 0
+	for i, op := range batch {
+		if op.Kind != frame.OpWrite {
+			continue
+		}
+		data[i] = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+		if !ep.cfg.Offload {
+			copyBytes += op.Size
+		}
+	}
+	cost := ep.costs.BatchIssue(n, copyBytes)
+	if cpu == ep.cpus.App {
+		ep.Stats.AppProtoTime += cost
+	}
+	p.Exec(cpu, cost)
+	ep.Stats.Doorbells++
+	ep.Stats.SQOps += uint64(n)
+	if ep.doorbellHist != nil {
+		ep.doorbellHist.Observe(float64(n))
+	}
+	// Walk the batch in issue order, coalescing runs of small writes
+	// into shared MultiData frames.
+	lim := ep.cfg.CoalesceLimit
+	for i := 0; i < n; {
+		if lim > 0 && coalescable(batch[i], lim) {
+			j, bytes := i, multiPayloadBase
+			for j < n && coalescable(batch[j], lim) &&
+				bytes+frame.SubOpOverhead+batch[j].Size <= frame.MaxPayload {
+				bytes += frame.SubOpOverhead + batch[j].Size
+				j++
+			}
+			if j > i+1 {
+				c.enqueueMulti(batch[i:j], data[i:j])
+				i = j
+				continue
+			}
+		}
+		c.enqueueOp(batch[i], data[i], true)
+		i++
+	}
+	return n, nil
+}
+
+// MustRingOn is RingOn with the MustRing panic-on-error contract.
+func (c *Conn) MustRingOn(p *sim.Proc, cpu *sim.Resource) int {
+	n, err := c.RingOn(p, cpu)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// multiPayloadBase is the fixed MultiData payload overhead (the sub-op
+// count field).
+const multiPayloadBase = 2
+
+// coalescable reports whether op may share a MultiData frame: a write no
+// larger than the coalesce limit. Flags pose no obstacle — the receive
+// side honors fences, Notify and Solicit per sub-op.
+func coalescable(op Op, limit int) bool {
+	return op.Kind == frame.OpWrite && op.Size <= limit
+}
+
+// enqueueMulti packs a run of small writes into one MultiData txOp. Each
+// sub-op keeps its own operation id (allocated contiguously in issue
+// order); the container reuses the LAST sub-op's id, so sender-side
+// forward-fence ordering (txFenced is sorted by id) holds any later
+// operation until the whole batch — and therefore every fenced sub-op in
+// it — is acknowledged.
+func (c *Conn) enqueueMulti(ops []Op, data [][]byte) {
+	ep := c.ep
+	subs := make([]frame.SubOp, len(ops))
+	recs := make([]multiSub, len(ops))
+	fenced := false
+	for i, op := range ops {
+		id := c.nextOpID
+		c.nextOpID++
+		subs[i] = frame.SubOp{OpID: id, Flags: op.Flags, Remote: op.Remote, Data: data[i]}
+		recs[i] = multiSub{id: id, op: op}
+		if op.Flags&frame.FenceAfter != 0 {
+			fenced = true
+		}
+		if ep.obs.SpansEnabled() {
+			name := "write-coalesced"
+			if op.Flags&frame.Notify != 0 {
+				name = "write-notify-coalesced"
+			}
+			recs[i].span = ep.obs.StartOpSpan(
+				obs.SpanID{Node: ep.node, Conn: c.localID, Op: id}, "core", name, op.Size)
+		}
+		ep.Stats.OpsStarted++
+	}
+	payload, err := frame.EncodeMultiPayload(subs)
+	if err != nil {
+		panic(err) // Ring's packer keeps the batch under MaxPayload
+	}
+	t := &txOp{
+		id: recs[len(recs)-1].id, opType: frame.OpWrite,
+		data: payload, total: uint32(len(payload)), subs: recs,
+	}
+	if fenced {
+		// One frame carries every sub-op, so one txFenced entry (the
+		// container id) covers all fenced sub-ops in the batch.
+		t.flags |= frame.FenceAfter
+		c.txFenced = append(c.txFenced, t.id)
+	}
+	ep.Stats.CoalescedFrames++
+	ep.Stats.CoalescedSubOps += uint64(len(ops))
+	if ep.coalesceHist != nil {
+		ep.coalesceHist.Observe(float64(len(ops)))
+	}
+	c.txOps = append(c.txOps, t)
+	ep.wakeThread()
+}
+
+// SQLen returns the number of descriptors posted but not yet rung.
+func (c *Conn) SQLen() int { return len(c.sq) }
+
+// CQLen returns the number of completions waiting to be polled.
+func (c *Conn) CQLen() int { return c.cq.Len() }
+
+// PollCQ returns the oldest pending completion without blocking. Polling
+// is free: the protocol thread deposits completion records into the
+// user-visible queue as part of acknowledgement processing, and reading
+// them needs no kernel crossing.
+func (c *Conn) PollCQ() (Completion, bool) {
+	comp, ok := c.cq.TryRecv()
+	if ok {
+		c.ep.noteCQDepth(-1)
+	}
+	return comp, ok
+}
+
+// WaitCQ blocks the process until a completion is available and returns
+// it. A blocked waiter is woken by the protocol CPU at UserWake cost,
+// like a handle Wait.
+func (c *Conn) WaitCQ(p *sim.Proc) Completion {
+	comp := c.cq.Recv(p)
+	c.ep.noteCQDepth(-1)
+	return comp
+}
+
+// pushCompletion deposits one completion record. The CPU cost of the
+// store is part of the acknowledgement processing already charged; a
+// wakeup is paid only if a process is blocked in WaitCQ (mirrors handle
+// and notification delivery), and ONE wake covers every record
+// deposited while it is in flight — a cumulative acknowledgement that
+// completes a whole batch wakes the waiter once, and the waiter reads
+// the rest of the queue without further kernel involvement.
+func (c *Conn) pushCompletion(comp Completion) {
+	ep := c.ep
+	ep.noteCQDepth(1)
+	if !c.cq.HasWaiters() && !c.cqFlush {
+		c.cq.Send(ep.env, comp)
+		return
+	}
+	c.cqStage = append(c.cqStage, comp)
+	if c.cqFlush {
+		return
+	}
+	c.cqFlush = true
+	ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() {
+		c.cqFlush = false
+		stage := c.cqStage
+		c.cqStage = nil
+		for _, s := range stage {
+			c.cq.Send(ep.env, s)
+		}
+	})
+}

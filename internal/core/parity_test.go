@@ -1,0 +1,95 @@
+package core_test
+
+// Golden parity between the options-struct Op API and the legacy
+// positional RDMAOperation wrapper: the wrapper delegates to MustDoOn,
+// so an identical workload issued through either surface must produce
+// bit-identical simulations — same virtual end time, same protocol
+// statistics on both endpoints — even on lossy, reordering two-rail
+// hardware. This file is the one sanctioned caller of RDMAOperation
+// outside the compat wrapper itself (the CI ratchet greps for others).
+
+import (
+	"testing"
+
+	"multiedge/internal/cluster"
+	"multiedge/internal/core"
+	"multiedge/internal/frame"
+	"multiedge/internal/sim"
+)
+
+// parityOp is one step of the parity workload.
+type parityOp struct {
+	remote, local uint64
+	size          int
+	kind          frame.OpType
+	flags         frame.OpFlags
+	wait          bool
+}
+
+// parityWorkload mixes sizes, kinds and every flag across both rails.
+func parityWorkload(src, dst uint64) []parityOp {
+	return []parityOp{
+		{dst, src, 64, frame.OpWrite, 0, false},
+		{dst + 64, src, 9000, frame.OpWrite, frame.FenceAfter, false},
+		{dst, src, 8, frame.OpWrite, frame.FenceBefore | frame.Notify, false},
+		{dst + 64*1024, src + 128*1024, 4096, frame.OpRead, 0, true},
+		{dst, src, 200 * 1024, frame.OpWrite, 0, false},
+		{dst + 32, src, 0, frame.OpWrite, frame.Notify, false},
+		{dst + 128, src, 1500, frame.OpWrite, frame.Solicit, true},
+		{dst, src, 32 * 1024, frame.OpWrite, frame.FenceBefore | frame.FenceAfter, true},
+	}
+}
+
+func runParity(t *testing.T, issue func(*sim.Proc, *core.Conn, parityOp) *core.Handle) (sim.Time, core.Stats, core.Stats) {
+	t.Helper()
+	cfg := cluster.TwoLinkUnordered1G(0)
+	cfg.Link.LossProb = 0.03
+	cfg.Seed = 271
+	cfg.Nodes = 2
+	cl := cluster.New(cfg)
+	c01, c10 := cl.Pair()
+	const n = 256 * 1024
+	src := cl.Nodes[0].EP.Alloc(n)
+	dst := cl.Nodes[1].EP.Alloc(n)
+	for i := range cl.Nodes[0].EP.Mem()[src : src+n] {
+		cl.Nodes[0].EP.Mem()[src+uint64(i)] = byte(i * 13)
+	}
+	cl.Env.Go("sender", func(p *sim.Proc) {
+		var hs []*core.Handle
+		for _, op := range parityWorkload(src, dst) {
+			h := issue(p, c01, op)
+			if op.wait {
+				h.Wait(p)
+			} else {
+				hs = append(hs, h)
+			}
+		}
+		for _, h := range hs {
+			h.Wait(p)
+		}
+	})
+	cl.Env.Go("receiver", func(p *sim.Proc) {
+		c10.WaitNotify(p)
+		c10.WaitNotify(p)
+	})
+	end := cl.Env.RunUntil(30 * sim.Second)
+	return end, cl.Nodes[0].EP.Stats, cl.Nodes[1].EP.Stats
+}
+
+func TestOpAPIParityWithLegacy(t *testing.T) {
+	tLegacy, aLegacy, bLegacy := runParity(t, func(p *sim.Proc, c *core.Conn, op parityOp) *core.Handle {
+		return c.RDMAOperation(p, op.remote, op.local, op.size, op.kind, op.flags)
+	})
+	tOp, aOp, bOp := runParity(t, func(p *sim.Proc, c *core.Conn, op parityOp) *core.Handle {
+		return c.MustDo(p, core.Op{Remote: op.remote, Local: op.local, Size: op.size, Kind: op.kind, Flags: op.flags})
+	})
+	if tLegacy != tOp {
+		t.Errorf("end time diverged: legacy %v vs Op %v", tLegacy, tOp)
+	}
+	if aLegacy != aOp {
+		t.Errorf("sender stats diverged:\nlegacy %+v\nOp     %+v", aLegacy, aOp)
+	}
+	if bLegacy != bOp {
+		t.Errorf("receiver stats diverged:\nlegacy %+v\nOp     %+v", bLegacy, bOp)
+	}
+}

@@ -15,6 +15,12 @@ type Stats struct {
 	ReadsServed  uint64
 	Notifies     uint64
 
+	// Submission-queue path.
+	Doorbells       uint64 // Ring calls that issued at least one descriptor
+	SQOps           uint64 // descriptors issued via doorbells
+	CoalescedFrames uint64 // MultiData container frames created
+	CoalescedSubOps uint64 // small writes packed into MultiData frames
+
 	// Send path.
 	DataFramesSent  uint64
 	DataBytesSent   uint64 // payload bytes in data frames, first transmissions
@@ -75,6 +81,10 @@ func (s *Stats) Add(o *Stats) {
 	s.OpsCompleted += o.OpsCompleted
 	s.ReadsServed += o.ReadsServed
 	s.Notifies += o.Notifies
+	s.Doorbells += o.Doorbells
+	s.SQOps += o.SQOps
+	s.CoalescedFrames += o.CoalescedFrames
+	s.CoalescedSubOps += o.CoalescedSubOps
 	s.DataFramesSent += o.DataFramesSent
 	s.DataBytesSent += o.DataBytesSent
 	s.CtrlAcksSent += o.CtrlAcksSent
@@ -110,6 +120,10 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_ops_completed_total", s.OpsCompleted)
 		c("core_reads_served_total", s.ReadsServed)
 		c("core_notifies_total", s.Notifies)
+		c("core_doorbells_total", s.Doorbells)
+		c("core_sq_ops_total", s.SQOps)
+		c("core_coalesced_frames_total", s.CoalescedFrames)
+		c("core_coalesced_subops_total", s.CoalescedSubOps)
 		c("core_data_frames_sent_total", s.DataFramesSent)
 		c("core_data_bytes_sent_total", s.DataBytesSent)
 		c("core_ctrl_acks_sent_total", s.CtrlAcksSent)

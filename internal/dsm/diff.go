@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"multiedge/internal/core"
 	"multiedge/internal/frame"
 	"multiedge/internal/sim"
 )
@@ -137,7 +138,7 @@ func (in *Instance) sendDiff(p *sim.Proc, home int, b diffBatch) {
 	copy(mem[in.outDiff:], b.buf)
 	dst := in.diffBufAddr(in.self, home)
 	c := in.conns[home]
-	c.RDMAOperation(p, dst, in.outDiff, len(b.buf), frame.OpWrite, 0)
+	c.MustDo(p, core.Op{Remote: dst, Local: in.outDiff, Size: len(b.buf), Kind: frame.OpWrite})
 	in.sendMsg(p, home, msgDiff, b.pages, 0, nil, false)
 	in.Stats.DiffMsgs++
 }

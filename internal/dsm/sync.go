@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"multiedge/internal/core"
 	"multiedge/internal/frame"
 	"multiedge/internal/sim"
 )
@@ -83,6 +84,7 @@ func (in *Instance) sendMsg(p *sim.Proc, to, class, lock int, epoch uint32, noti
 	}
 	c := in.conns[to]
 	mem := in.mem()
+	useSQ := in.useSQ()
 	if len(notices) > 0 {
 		if len(notices) > in.maxNotices {
 			panic("dsm: notice array overflow")
@@ -90,18 +92,35 @@ func (in *Instance) sendMsg(p *sim.Proc, to, class, lock int, epoch uint32, noti
 		for i, e := range notices {
 			binary.LittleEndian.PutUint32(mem[in.outNotice+uint64(4*i):], e)
 		}
-		dst := in.noticeAddr(in.inboxNotice, in.self, to, class)
-		c.RDMAOn(p, cpu, dst, in.outNotice, 4*len(notices), frame.OpWrite, 0)
+		op := core.Op{
+			Remote: in.noticeAddr(in.inboxNotice, in.self, to, class),
+			Local:  in.outNotice, Size: 4 * len(notices), Kind: frame.OpWrite,
+		}
+		if useSQ {
+			c.MustPost(op)
+		} else {
+			c.MustDoOn(p, cpu, op)
+		}
 	}
 	b := mem[in.outCtrl : in.outCtrl+ctrlSlotBytes]
 	b[0] = byte(class)
 	binary.LittleEndian.PutUint32(b[1:], uint32(lock))
 	binary.LittleEndian.PutUint32(b[5:], epoch)
 	binary.LittleEndian.PutUint32(b[9:], uint32(len(notices)))
-	dst := in.slotAddr(in.inboxCtrl, in.self, to, class)
 	// Backward fence: performed only after the notice write above (and
 	// anything else outstanding on this connection) has been performed.
-	c.RDMAOn(p, cpu, dst, in.outCtrl, ctrlSlotBytes, frame.OpWrite, frame.FenceBefore|frame.Notify)
+	op := core.Op{
+		Remote: in.slotAddr(in.inboxCtrl, in.self, to, class),
+		Local:  in.outCtrl, Size: ctrlSlotBytes, Kind: frame.OpWrite,
+		Flags: frame.FenceBefore | frame.Notify,
+	}
+	if useSQ {
+		// Notice array and control slot issue under a single doorbell.
+		c.MustPost(op)
+		in.ringSQ(p, cpu, to)
+	} else {
+		c.MustDoOn(p, cpu, op)
+	}
 	in.Stats.RemoteMsgs++
 }
 

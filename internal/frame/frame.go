@@ -51,7 +51,9 @@ type Type uint8
 // Frame types. Data frames carry payload bytes of a remote write or a
 // remote-read reply; ReadReq frames request data from remote memory; Ack
 // and Nack are explicit acknowledgement frames sent when there is no data
-// traffic to piggy-back on; ConnReq/ConnAck set up connections.
+// traffic to piggy-back on; ConnReq/ConnAck set up connections; MultiData
+// frames carry several small coalesced write operations as sub-op
+// records (see EncodeMultiPayload).
 const (
 	TypeData Type = 1 + iota
 	TypeReadReq
@@ -61,6 +63,7 @@ const (
 	TypeConnAck
 	TypeConnClose
 	TypeConnCloseAck
+	TypeMultiData
 )
 
 func (t Type) String() string {
@@ -81,6 +84,8 @@ func (t Type) String() string {
 		return "CONNCLOSE"
 	case TypeConnCloseAck:
 		return "CONNCLOSEACK"
+	case TypeMultiData:
+		return "MULTIDATA"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -205,21 +210,22 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Errors returned by Decode.
+// Errors returned by Encode and Decode.
 var (
 	ErrTooShort    = errors.New("frame: buffer shorter than headers")
 	ErrBadChecksum = errors.New("frame: checksum mismatch")
 	ErrBadLength   = errors.New("frame: payload length field disagrees with buffer")
 	ErrBadType     = errors.New("frame: unknown frame type")
+	ErrOversize    = errors.New("frame: payload exceeds MaxPayload")
 )
 
 // Encode serializes a frame into a fresh buffer: Ethernet header
 // (dst, src, ethertype), MultiEdge header h, payload, with the CRC filled
-// in. It panics if payload exceeds MaxPayload — callers fragment
-// operations into frames before encoding.
-func Encode(dst, src Addr, h *Header, payload []byte) []byte {
+// in. A payload longer than MaxPayload returns ErrOversize — callers
+// fragment operations into frames before encoding.
+func Encode(dst, src Addr, h *Header, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
-		panic(fmt.Sprintf("frame: payload %d exceeds MaxPayload %d", len(payload), MaxPayload))
+		return nil, fmt.Errorf("%w: %d > %d", ErrOversize, len(payload), MaxPayload)
 	}
 	buf := make([]byte, EthHeaderLen+HeaderLen+len(payload))
 	// Ethernet header: 6-byte MACs with our 2 significant bytes in the
@@ -247,6 +253,16 @@ func Encode(dst, src Addr, h *Header, payload []byte) []byte {
 	binary.BigEndian.PutUint16(p[offPayLen:], uint16(len(payload)))
 	copy(p[HeaderLen:], payload)
 	binary.BigEndian.PutUint32(p[offCRC:], checksum(buf))
+	return buf, nil
+}
+
+// MustEncode is Encode for internal fragmenting callers that guarantee
+// the payload fits in one frame; it panics on oversize.
+func MustEncode(dst, src Addr, h *Header, payload []byte) []byte {
+	buf, err := Encode(dst, src, h, payload)
+	if err != nil {
+		panic(err)
+	}
 	return buf
 }
 
@@ -273,7 +289,7 @@ func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
 		return 0, 0, Header{}, nil, ErrBadChecksum
 	}
 	h.Type = Type(p[offType])
-	if h.Type < TypeData || h.Type > TypeConnCloseAck {
+	if h.Type < TypeData || h.Type > TypeMultiData {
 		return 0, 0, Header{}, nil, ErrBadType
 	}
 	h.HasAck = p[offFlags]&flagHasAck != 0
@@ -307,6 +323,80 @@ func EncodeNackPayload(missing []uint32) []byte {
 		binary.BigEndian.PutUint32(out[2+4*i:], s)
 	}
 	return out
+}
+
+// SubOp is one coalesced small-write operation carried inside a
+// TypeMultiData frame. Each sub-op keeps its own operation id and flag
+// bits, so the receive side fans completion, fences, Notify and Solicit
+// out per operation exactly as if each had travelled in its own frame.
+type SubOp struct {
+	OpID   uint64
+	Flags  OpFlags
+	Remote uint64
+	Data   []byte
+}
+
+// SubOpOverhead is the per-sub-op encoding overhead inside a MultiData
+// payload: opID(8) + flags(1) + remote(8) + length(2).
+const SubOpOverhead = 19
+
+// multiCountLen is the leading sub-op count field.
+const multiCountLen = 2
+
+// EncodeMultiPayload serializes coalesced sub-ops into a MultiData frame
+// payload: count(2) then per sub-op opID(8) flags(1) remote(8) len(2)
+// data. It returns ErrOversize when the records do not fit in one
+// frame's payload — the coalescing sender packs under MaxPayload by
+// construction.
+func EncodeMultiPayload(subs []SubOp) ([]byte, error) {
+	total := multiCountLen
+	for _, s := range subs {
+		total += SubOpOverhead + len(s.Data)
+	}
+	if total > MaxPayload {
+		return nil, fmt.Errorf("%w: %d coalesced sub-ops need %d > %d", ErrOversize, len(subs), total, MaxPayload)
+	}
+	out := make([]byte, total)
+	binary.BigEndian.PutUint16(out, uint16(len(subs)))
+	o := multiCountLen
+	for _, s := range subs {
+		binary.BigEndian.PutUint64(out[o:], s.OpID)
+		out[o+8] = byte(s.Flags)
+		binary.BigEndian.PutUint64(out[o+9:], s.Remote)
+		binary.BigEndian.PutUint16(out[o+17:], uint16(len(s.Data)))
+		copy(out[o+SubOpOverhead:], s.Data)
+		o += SubOpOverhead + len(s.Data)
+	}
+	return out, nil
+}
+
+// DecodeMultiPayload parses a MultiData payload back into sub-ops. The
+// returned Data slices alias p.
+func DecodeMultiPayload(p []byte) ([]SubOp, error) {
+	if len(p) < multiCountLen {
+		return nil, ErrTooShort
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	subs := make([]SubOp, 0, n)
+	o := multiCountLen
+	for i := 0; i < n; i++ {
+		if len(p) < o+SubOpOverhead {
+			return nil, ErrTooShort
+		}
+		s := SubOp{
+			OpID:   binary.BigEndian.Uint64(p[o:]),
+			Flags:  OpFlags(p[o+8]),
+			Remote: binary.BigEndian.Uint64(p[o+9:]),
+		}
+		dn := int(binary.BigEndian.Uint16(p[o+17:]))
+		if len(p) < o+SubOpOverhead+dn {
+			return nil, ErrTooShort
+		}
+		s.Data = p[o+SubOpOverhead : o+SubOpOverhead+dn]
+		subs = append(subs, s)
+		o += SubOpOverhead + dn
+	}
+	return subs, nil
 }
 
 // DecodeNackPayload parses a NACK payload back into sequence numbers.

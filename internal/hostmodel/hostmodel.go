@@ -56,6 +56,16 @@ type Costs struct {
 	// UserWake is the cost of waking the user process when an operation
 	// completes or a notification arrives.
 	UserWake sim.Time
+	// SQPost is the app-CPU cost to append one descriptor to a
+	// user-mapped submission queue: no kernel crossing, just the
+	// descriptor store and a memory barrier.
+	SQPost sim.Time
+	// Doorbell is the cost of ringing a submission-queue doorbell once
+	// per batch: one kernel crossing (or MMIO write) regardless of how
+	// many descriptors the batch carries. Calibrated below Syscall +
+	// Descriptor so a batch of one is already slightly cheaper than the
+	// eager RDMA_operation path, and large batches amortize it to noise.
+	Doorbell sim.Time
 }
 
 // Default returns the calibrated cost table used in all experiments.
@@ -71,6 +81,8 @@ func Default() Costs {
 		Interrupt:     2200 * sim.Nanosecond,
 		Wakeup:        7000 * sim.Nanosecond,
 		UserWake:      4500 * sim.Nanosecond,
+		SQPost:        150 * sim.Nanosecond,
+		Doorbell:      1250 * sim.Nanosecond,
 	}
 }
 
@@ -85,6 +97,15 @@ func (c Costs) Copy(n int) sim.Time {
 // remote reads copy nothing).
 func (c Costs) Initiation(n int) sim.Time {
 	return c.Syscall + c.Descriptor + c.Copy(n)
+}
+
+// BatchIssue returns the app-CPU time to ring a doorbell covering ops
+// posted descriptors whose write payloads copy copyBytes in total: one
+// Doorbell crossing, one SQPost per descriptor, plus the user→kernel
+// copies. Compare Initiation, which pays Syscall + Descriptor per
+// operation.
+func (c Costs) BatchIssue(ops, copyBytes int) sim.Time {
+	return c.Doorbell + sim.Time(ops)*c.SQPost + c.Copy(copyBytes)
 }
 
 // CPUs bundles the two modelled processors of a node.

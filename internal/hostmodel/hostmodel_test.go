@@ -90,3 +90,22 @@ func TestCostMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBatchIssueAmortizes: a doorbell batch of one is already cheaper
+// than the eager per-op initiation, and the per-op cost of a large batch
+// falls well below it (the submission-queue win the SQ path models).
+func TestBatchIssueAmortizes(t *testing.T) {
+	c := Default()
+	if c.BatchIssue(1, 64) >= c.Initiation(64) {
+		t.Errorf("BatchIssue(1) = %v not below Initiation = %v", c.BatchIssue(1, 64), c.Initiation(64))
+	}
+	const n = 32
+	perOp := c.BatchIssue(n, n*64) / n
+	if perOp*4 >= c.Initiation(64) {
+		t.Errorf("batched per-op cost %v not at least 4x below eager %v", perOp, c.Initiation(64))
+	}
+	// Monotonic and additive in descriptor count.
+	if c.BatchIssue(2, 0)-c.BatchIssue(1, 0) != c.SQPost {
+		t.Error("BatchIssue not linear in descriptor count")
+	}
+}

@@ -22,7 +22,7 @@ func (s *sink) DeliverFrame(f *Frame) {
 
 func mkFrame(dst, src frame.Addr, payload int) *Frame {
 	h := frame.Header{Type: frame.TypeData, OpType: frame.OpWrite}
-	buf := frame.Encode(dst, src, &h, make([]byte, payload))
+	buf := frame.MustEncode(dst, src, &h, make([]byte, payload))
 	return &Frame{Buf: buf, Dst: dst, Src: src}
 }
 
@@ -444,7 +444,7 @@ func TestEndToEndThroughSwitch(t *testing.T) {
 	na.SetHost(&testHost{drain: true, unmask: true})
 	payload := []byte("cross-switch payload")
 	hdr := frame.Header{Type: frame.TypeData, OpType: frame.OpWrite, Total: uint32(len(payload))}
-	buf := frame.Encode(bAddr, aAddr, &hdr, payload)
+	buf := frame.MustEncode(bAddr, aAddr, &hdr, payload)
 	e.After(0, func() { na.Transmit(&Frame{Buf: buf, Dst: bAddr, Src: aAddr}) })
 	e.Run()
 	if hb.gotRx != 1 {

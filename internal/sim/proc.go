@@ -156,6 +156,11 @@ type Mailbox[T any] struct {
 // Len returns the number of queued items.
 func (m *Mailbox[T]) Len() int { return len(m.items) }
 
+// HasWaiters reports whether any process is blocked in Recv. Senders
+// that charge a wakeup cost only when someone is actually asleep (e.g.
+// completion-queue delivery) test this before paying it.
+func (m *Mailbox[T]) HasWaiters() bool { return len(m.waiters) > 0 }
+
 // Send enqueues v and wakes one waiting receiver, if any.
 func (m *Mailbox[T]) Send(e *Env, v T) {
 	m.items = append(m.items, v)

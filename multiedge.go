@@ -22,7 +22,10 @@
 //	src, dst := ep0.Alloc(64), ep1.Alloc(64)
 //	copy(ep0.Mem()[src:], []byte("hello"))
 //	cl.Env.Go("app", func(p *multiedge.Proc) {
-//	    h := c01.RDMAOperation(p, dst, src, 5, multiedge.OpWrite, multiedge.Notify)
+//	    h := c01.MustDo(p, multiedge.Op{
+//	        Remote: dst, Local: src, Size: 5,
+//	        Kind: multiedge.OpWrite, Flags: multiedge.Notify,
+//	    })
 //	    h.Wait(p)
 //	})
 //	cl.Env.Go("peer", func(p *multiedge.Proc) {
@@ -81,6 +84,13 @@ type (
 	Conn = core.Conn
 	// Handle tracks an issued operation's progress.
 	Handle = core.Handle
+	// Op describes one remote operation for Conn.Do and Conn.Post,
+	// mirroring the paper's RDMA_operation(connection, remote_va,
+	// local_va, size, op, flags) primitive as an options struct.
+	Op = core.Op
+	// Completion reports one finished submission-queue operation on a
+	// connection's completion queue (Conn.PollCQ / Conn.WaitCQ).
+	Completion = core.Completion
 	// Notification reports a completed notifying remote write.
 	Notification = core.Notification
 	// ProtocolConfig holds the protocol parameters (window, delayed
@@ -90,9 +100,8 @@ type (
 	ProtocolStats = core.Stats
 )
 
-// Operation types and flags for Conn.RDMAOperation, mirroring the
-// paper's RDMA_operation(connection, remote_va, local_va, size, op,
-// flags) primitive.
+// Operation types and flags for Op.Kind and Op.Flags (used with
+// Conn.Do, Conn.MustDo and Conn.Post).
 const (
 	OpWrite = frame.OpWrite
 	OpRead  = frame.OpRead
