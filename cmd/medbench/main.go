@@ -11,6 +11,7 @@
 //	medbench -netstats      # out-of-order / extra-traffic statistics
 //	medbench -ablate        # striping, ARQ, window and delayed-ack sweeps
 //	medbench -smallops      # eager vs submission-queue small-op rate
+//	medbench -chaos         # randomized fault-injection soaks, per-seed report
 //	medbench -one ping-pong -config 1L-10G -size 65536
 //	medbench -one ping-pong -spans -obs-out /tmp/spans.json
 package main
@@ -22,7 +23,9 @@ import (
 	"strings"
 
 	"multiedge/internal/bench"
+	"multiedge/internal/chaos"
 	"multiedge/internal/cluster"
+	"multiedge/internal/sim"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 	blkFlag := flag.Bool("blk", false, "run the block-storage domain benchmarks")
 	latFlag := flag.Bool("lat", false, "print round-trip latency percentile tables")
 	smallops := flag.Bool("smallops", false, "compare eager vs submission-queue small-operation throughput")
+	chaosFlag := flag.Bool("chaos", false, "run randomized chaos soaks across the cluster configurations")
+	chaosSeeds := flag.Int("chaos-seeds", 4, "seeds per configuration for -chaos")
 	one := flag.String("one", "", "run a single micro-benchmark: ping-pong, one-way or two-way")
 	config := flag.String("config", "1L-1G", "configuration for -one: 1L-1G, 2L-1G, 2Lu-1G or 1L-10G")
 	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
@@ -100,6 +105,12 @@ func main() {
 			count = 2048
 		}
 		fmt.Print(bench.RenderSmallOps(count))
+	case *chaosFlag:
+		transfers := 30
+		if *quick {
+			transfers = 10
+		}
+		fmt.Print(renderChaos(*chaosSeeds, transfers))
 	case *ablate:
 		fmt.Print(bench.RenderAblation(*size))
 	case *one != "":
@@ -130,6 +141,52 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// renderChaos runs the standard flap-heavy randomized soak (24 faults
+// in the first 3 s, outages capped at 500 ms, DeadInterval 5 s, adaptive
+// RTO on) for `seeds` seeds per configuration and reports each run.
+func renderChaos(seeds, transfers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak: %d transfers x 32 KiB under 24 randomized faults "+
+		"(flap/loss/corrupt/reorder/dup), outages <= 500 ms, DeadInterval 5 s\n\n", transfers)
+	fmt.Fprintf(&b, "%-7s %5s  %9s %7s %8s %8s %9s %10s  %s\n",
+		"config", "seed", "completed", "dataOK", "retrans", "rtoExp", "dupDrops", "failDrops", "violations")
+	for _, cfg := range bench.Configs() {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			soak := cfg
+			soak.Core.DeadInterval = 5 * sim.Second
+			soak.Core.RTOMax = 100 * sim.Millisecond
+			res, vs := chaos.Run(chaos.Options{
+				Config:    soak,
+				Seed:      seed,
+				Transfers: transfers,
+				Bytes:     32 << 10,
+				Gap:       100 * sim.Millisecond,
+				Horizon:   60 * sim.Second,
+				Script: func(r *chaos.Runner) {
+					r.Randomize(chaos.RandomizeOptions{
+						From:      sim.Millisecond,
+						To:        3 * sim.Second,
+						Events:    24,
+						MaxOutage: 500 * sim.Millisecond,
+					})
+				},
+			})
+			viol := "none"
+			if len(vs) > 0 {
+				viol = vs[0].String()
+				if len(vs) > 1 {
+					viol = fmt.Sprintf("%s (+%d more)", viol, len(vs)-1)
+				}
+			}
+			fmt.Fprintf(&b, "%-7s %5d  %5d/%-3d %7v %8d %8d %9d %10d  %s\n",
+				cfg.Name, seed, res.Completed, transfers, res.DataOK,
+				res.Report.Proto.Retransmissions, res.Report.Proto.RtoExpiries,
+				res.Report.Proto.DupFramesDropped, res.Report.LinkFailDrops, viol)
+		}
+	}
+	return b.String()
 }
 
 func configByName(name string) (cluster.Config, bool) {

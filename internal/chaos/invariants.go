@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"fmt"
+
+	"multiedge/internal/cluster"
+)
+
+// Violation is one broken invariant found during or after a chaos run.
+type Violation struct {
+	Name   string // short invariant identifier, e.g. "data-integrity"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Detail }
+
+// CheckReport verifies cross-counter consistency of an aggregated
+// cluster report: relations that must hold for any run, faulty or not.
+// Workload-level invariants (data integrity, exactly-once notification,
+// no stuck operation) are checked by the soak driver, which knows what
+// was sent.
+func CheckReport(rep cluster.NetReport) []Violation {
+	var vs []Violation
+	add := func(name, format string, args ...interface{}) {
+		vs = append(vs, Violation{Name: name, Detail: fmt.Sprintf(format, args...)})
+	}
+	p := rep.Proto
+	if p.OpsCompleted > p.OpsStarted {
+		add("stats", "OpsCompleted %d > OpsStarted %d", p.OpsCompleted, p.OpsStarted)
+	}
+	if p.OOOArrivals > p.Arrivals {
+		add("stats", "OOOArrivals %d > Arrivals %d", p.OOOArrivals, p.Arrivals)
+	}
+	// Cluster-wide, no Reset can be received that was not sent: faults
+	// lose frames, and a duplicated Reset lands on a connection the
+	// first copy already closed, where it is dropped before counting.
+	// (Heartbeats have no such bound — an injected duplicate of one is
+	// indistinguishable from a fresh heartbeat and counts twice.)
+	if p.ResetsRecv > p.ResetsSent {
+		add("stats", "ResetsRecv %d > ResetsSent %d", p.ResetsRecv, p.ResetsSent)
+	}
+	// DataFramesRecv counts only ARQ-accepted frames, so under retransmit
+	// storms dup drops can exceed accepts; but every dropped duplicate
+	// entered through a NIC.
+	if p.DupFramesDropped > rep.NICRxFrames {
+		add("stats", "DupFramesDropped %d > NICRxFrames %d", p.DupFramesDropped, rep.NICRxFrames)
+	}
+	return vs
+}

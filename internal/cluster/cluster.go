@@ -259,10 +259,11 @@ func New(cfg Config) *Cluster {
 	return cl
 }
 
-// linkPorts returns both transmit directions of node's rail link: the
+// RailPorts returns both transmit directions of node's rail link: the
 // NIC's uplink port (node → switch) and the station port on whichever
-// switch serves that address (switch → node).
-func (cl *Cluster) linkPorts(node, link int) []*phys.OutPort {
+// switch serves that address (switch → node). Fault injectors use it to
+// attach manglers or fail individual directions.
+func (cl *Cluster) RailPorts(node, link int) []*phys.OutPort {
 	ports := []*phys.OutPort{cl.Nodes[node].NICs[link].OutPort()}
 	addr := frame.NewAddr(node, link)
 	for _, sw := range cl.Switches {
@@ -278,7 +279,7 @@ func (cl *Cluster) linkPorts(node, link int) []*phys.OutPort {
 // RestoreLink. The protocol's dead-link detection reroutes traffic to
 // the surviving rails.
 func (cl *Cluster) FailLink(node, link int) {
-	for _, p := range cl.linkPorts(node, link) {
+	for _, p := range cl.RailPorts(node, link) {
 		p.Fail()
 	}
 }
@@ -286,8 +287,27 @@ func (cl *Cluster) FailLink(node, link int) {
 // RestoreLink repairs a link failed with FailLink. Senders re-admit the
 // rail after their next successful probe.
 func (cl *Cluster) RestoreLink(node, link int) {
-	for _, p := range cl.linkPorts(node, link) {
+	for _, p := range cl.RailPorts(node, link) {
 		p.Restore()
+	}
+}
+
+// PauseNode fails every rail of a node in both directions — the node
+// has stopped (crash, power loss, live-migration pause) as far as the
+// rest of the cluster can tell. Its peers' failure detection declares it
+// dead after DeadInterval.
+func (cl *Cluster) PauseNode(node int) {
+	for l := 0; l < cl.Cfg.LinksPerNode; l++ {
+		cl.FailLink(node, l)
+	}
+}
+
+// ResumeNode restores every rail of a node paused with PauseNode.
+// Connections its peers already declared dead stay dead (the Failed
+// state is terminal); new traffic needs fresh connections.
+func (cl *Cluster) ResumeNode(node int) {
+	for l := 0; l < cl.Cfg.LinksPerNode; l++ {
+		cl.RestoreLink(node, l)
 	}
 }
 
@@ -432,6 +452,17 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.Arrivals -= b.Arrivals
 	a.OOOArrivals -= b.OOOArrivals
 	a.HeldFrames -= b.HeldFrames
+	a.RttSamples -= b.RttSamples
+	a.RtoExpiries -= b.RtoExpiries
+	a.PeerDeadEvents -= b.PeerDeadEvents
+	a.ResetsSent -= b.ResetsSent
+	a.ResetsRecv -= b.ResetsRecv
+	a.HeartbeatsSent -= b.HeartbeatsSent
+	a.HeartbeatsRecv -= b.HeartbeatsRecv
+	a.OpsFailed -= b.OpsFailed
+	a.OpDeadlinesExpired -= b.OpDeadlinesExpired
+	a.DupFramesDropped -= b.DupFramesDropped
 	a.AppProtoTime -= b.AppProtoTime
+	// HoldMax and RtoBackoffMax are peaks, not counters: left as-is.
 	return a
 }

@@ -37,7 +37,44 @@ type Config struct {
 	// RTO is the coarse retransmission timeout of §2.4: if no positive
 	// acknowledgement progress happens for this long while frames are
 	// outstanding, the sender retransmits the last transmitted frame.
+	// With adaptive mode enabled (RTOMax > 0) this becomes the initial
+	// timeout only; the effective value tracks the measured RTT.
 	RTO sim.Time
+	// RTOMax enables adaptive retransmission timing: when positive, the
+	// effective timeout follows a per-connection Jacobson estimate
+	// (SRTT + 4*RTTVAR from ack timestamps, Karn-filtered to first
+	// transmissions), doubles on each consecutive expiry, and is clamped
+	// to [RTOMin, RTOMax]. Zero keeps the paper's fixed RTO — the
+	// default, because the go-back-N ablation's repair cadence is part
+	// of the pinned results (its clean runs are RTO-paced).
+	RTOMax sim.Time
+	// RTOMin floors the adaptive timeout. Zero falls back to RTO, so
+	// enabling adaptation can only slow a timer down unless a tighter
+	// floor is requested explicitly.
+	RTOMin sim.Time
+	// MaxRetries is the peer-failure retry budget: after this many
+	// consecutive timeout expiries without any acknowledgement progress
+	// the connection transitions to Failed and every queued or in-flight
+	// operation completes with ErrPeerDead. 0 (the default) disables the
+	// budget and leaves detection to DeadInterval: with the fixed RTO a
+	// small expiry count spans only milliseconds and would condemn live
+	// links under heavy loss, whereas with adaptive backoff (RTOMax > 0)
+	// each retry doubles the wait and a small budget is meaningful.
+	// MaxRetries also bounds connection-setup and close-handshake
+	// retries, which otherwise repeat forever against a dead host.
+	MaxRetries int
+	// DeadInterval bounds how long a connection tolerates total silence:
+	// if frames are outstanding (or heartbeats are enabled) and no
+	// progress is observed for DeadInterval, the peer is declared dead.
+	// 0 disables the bound.
+	DeadInterval sim.Time
+	// HeartbeatInterval enables idle-side liveness: an established
+	// connection that has not transmitted for this long sends a
+	// lightweight Heartbeat frame, and a connection that has heard
+	// nothing for DeadInterval fails even with no traffic of its own.
+	// 0 (the default) disables heartbeats entirely, so benchmark runs
+	// carry no extra frames.
+	HeartbeatInterval sim.Time
 	// ConnRetry is the connection-setup retransmission interval.
 	ConnRetry sim.Time
 	// Strict applies every frame in exact sequence order at the
@@ -122,6 +159,7 @@ func DefaultConfig() Config {
 		AckDelay:          500 * sim.Microsecond,
 		NackDelay:         200 * sim.Microsecond,
 		RTO:               2 * sim.Millisecond,
+		DeadInterval:      sim.Second,
 		ConnRetry:         5 * sim.Millisecond,
 		MemBytes:          16 << 20,
 		DeadLinkThreshold: 16,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"multiedge/internal/frame"
 	"multiedge/internal/obs"
@@ -30,6 +31,21 @@ type Conn struct {
 	closed      bool
 	closedSig   sim.Signal
 	closeTimer  *sim.Timer
+
+	// Failure handling: adaptive retransmission timing (Config.RTOMax)
+	// and peer-death detection (Config.MaxRetries / DeadInterval /
+	// HeartbeatInterval).
+	failed       bool  // peer declared dead; failErr says why
+	failErr      error // wraps ErrPeerDead
+	srtt         sim.Time
+	rttvar       sim.Time
+	rto          sim.Time // clamped SRTT+4*RTTVAR estimate (armed in adaptive mode)
+	expiries     int      // consecutive RTO expiries without ack progress
+	lastProgress sim.Time // last ack advance, or first transmit of a fresh burst
+	lastHeard    sim.Time // last frame received on this conn
+	lastTx       sim.Time // last frame transmitted on this conn
+	hbTimer      *sim.Timer
+	readGuard    *sim.Timer // daemon liveness check while read replies are pending
 
 	// Transmit side.
 	nextOpID     uint64
@@ -146,6 +162,7 @@ type txFrame struct {
 	inQ     bool     // queued for retransmission
 	link    int      // link of the most recent transmission (failure attribution)
 	txAt    sim.Time // time of the most recent transmission
+	retx    bool     // ever retransmitted: its ack is ambiguous (Karn), no RTT sample
 }
 
 // rxOp tracks one operation at the receive side for ordering, fences,
@@ -182,13 +199,15 @@ type Notification struct {
 // "each operation can also, when initiated, return a handle ... the
 // programmer can query the progress of each issued operation").
 type Handle struct {
-	c     *Conn
-	opID  uint64
-	size  int
-	acked int // bytes acknowledged so far (writes) or received (reads)
-	done  sim.Signal
-	cq    bool // issued via the SQ: completion also fans out to the CQ
-	op    Op   // the posted descriptor (SQ path only)
+	c       *Conn
+	opID    uint64
+	size    int
+	acked   int // bytes acknowledged so far (writes) or received (reads)
+	done    sim.Signal
+	cq      bool // issued via the SQ: completion also fans out to the CQ
+	op      Op   // the posted descriptor (SQ path only)
+	err     error
+	dlTimer *sim.Timer // Op.Deadline expiry (nil without a deadline)
 }
 
 // Progress returns how many of the operation's bytes have been
@@ -210,9 +229,16 @@ func (h *Handle) Done() *sim.Signal { return &h.done }
 // OpID returns the operation's connection-local id.
 func (h *Handle) OpID() uint64 { return h.opID }
 
+// Err returns the operation's terminal error: nil while in flight or
+// after success; wrapping ErrPeerDead when the connection failed with
+// the operation pending, or ErrDeadlineExceeded when Op.Deadline
+// released the waiter first. Check after Wait returns.
+func (h *Handle) Err() error { return h.err }
+
 func newConn(ep *Endpoint, localID uint32, remoteNode, links int) *Conn {
 	return &Conn{
 		ep: ep, localID: localID, remoteNode: remoteNode, links: links,
+		rto:          ep.cfg.RTO, // adaptive mode starts from the paper's fixed value
 		retrans:      make(map[uint32]*txFrame),
 		pendingReads: make(map[uint64]*Handle),
 		rcvSeen:      make(map[uint32]bool),
@@ -248,23 +274,50 @@ func (c *Conn) Inflight() int { return c.inflight() }
 // initiated or by the peer).
 func (c *Conn) Closed() bool { return c.closed }
 
+// Failed reports whether the connection transitioned to the Failed
+// state (peer declared dead or the conn reset by the peer). A failed
+// connection is also Closed; talking to the peer again requires a fresh
+// Dial/Accept pair.
+func (c *Conn) Failed() bool { return c.failed }
+
+// Err returns why the connection failed (wrapping ErrPeerDead), or nil
+// while it is healthy or merely closed.
+func (c *Conn) Err() error { return c.failErr }
+
+// RTO returns the retransmission timeout the next expiry timer arms:
+// the fixed Config.RTO, or in adaptive mode the Jacobson estimate with
+// the current backoff applied.
+func (c *Conn) RTO() sim.Time { return c.currentRTO() }
+
 // Close tears the connection down gracefully: it blocks until every
 // locally issued operation has completed, then exchanges a close
 // handshake with the peer (retried under loss). Initiating operations
 // on a closed connection panics; late frames for it are discarded.
+//
+// Close is bounded: if the peer dies mid-drain the failure machinery
+// fails the outstanding operations and Close returns, and a close
+// handshake the peer never acknowledges gives up after the MaxRetries
+// budget instead of retrying forever.
 func (c *Conn) Close(p *sim.Proc) {
 	if c.closed {
 		return
 	}
-	// Drain: all issued operations fully acknowledged.
-	for len(c.txOps) > 0 || c.inflight() > 0 || len(c.pendingReads) > 0 {
+	// Drain: all issued operations fully acknowledged — or the peer
+	// declared dead, which fails them all and unblocks the closer.
+	for !c.failed && (len(c.txOps) > 0 || c.inflight() > 0 || len(c.pendingReads) > 0) {
 		p.Sleep(50 * sim.Microsecond)
 	}
+	if c.failed {
+		return // nothing left to hand-shake with; failConn cleaned up
+	}
 	c.closed = true
-	if c.probeTimer != nil {
-		c.probeTimer.Stop()
+	for _, t := range []*sim.Timer{c.probeTimer, c.hbTimer, c.readGuard} {
+		if t != nil {
+			t.Stop()
+		}
 	}
 	ep := c.ep
+	attempts := 0
 	var retry func()
 	send := func() {
 		h := frame.Header{Type: frame.TypeConnClose, ConnID: c.remoteID, OpID: uint64(c.localID)}
@@ -276,6 +329,13 @@ func (c *Conn) Close(p *sim.Proc) {
 		if c.closedSig.Fired() {
 			return
 		}
+		if mr := ep.cfg.MaxRetries; mr > 0 && attempts > mr {
+			// The peer never acknowledged the close: give up unilaterally
+			// rather than retrying forever against a dead host.
+			c.closedSig.Fire(ep.env)
+			return
+		}
+		attempts++
 		send()
 		c.closeTimer = ep.env.After(ep.cfg.ConnRetry, retry)
 	}
@@ -335,7 +395,18 @@ func (c *Conn) frameSpan(opType frame.OpType, opID, local uint64) *obs.Span {
 }
 
 // WaitNotify blocks until a notification arrives on the connection.
-func (c *Conn) WaitNotify(p *sim.Proc) Notification { return c.notifyQ.Recv(p) }
+// When the connection fails it never blocks forever: queued
+// notifications drain first, then a poison Notification with Len < 0 is
+// returned (and peer death is also observable via Failed/Err).
+func (c *Conn) WaitNotify(p *sim.Proc) Notification {
+	if c.failed {
+		if n, ok := c.notifyQ.TryRecv(); ok {
+			return n
+		}
+		return Notification{From: c.remoteNode, Len: -1}
+	}
+	return c.notifyQ.Recv(p)
+}
 
 // PollNotify returns a pending notification without blocking.
 func (c *Conn) PollNotify() (Notification, bool) { return c.notifyQ.TryRecv() }
@@ -452,9 +523,16 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 		Offset: tf.offset, Total: op.total,
 	}
 	if isRetrans {
+		tf.retx = true
 		c.ep.Stats.Retransmissions++
 		c.ep.trc(c.localID, trace.TxRetransmit, tf.seq, len(tf.payload))
 	} else {
+		if c.inflight() == 1 {
+			// Sole outstanding frame: a fresh burst after an idle gap.
+			// Progress tracking (DeadInterval) anchors here, not at the
+			// last acknowledgement of the previous burst.
+			c.lastProgress = c.ep.env.Now()
+		}
 		c.ep.trc(c.localID, trace.TxData, tf.seq, len(tf.payload))
 	}
 	li := -1 // normal round-robin pick
@@ -554,6 +632,7 @@ func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
 	dst := frame.NewAddr(c.remoteNode, li)
 	buf := frame.MustEncode(dst, nic.Addr(), h, payload)
 	nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
+	c.lastTx = c.ep.env.Now()
 	if h.HasAck {
 		c.unackedRx = 0
 		c.ackDue = false
@@ -680,19 +759,105 @@ func (c *Conn) sendProbe(li int) {
 	c.transmit(tf, false)
 }
 
-// armRTO (re)starts the coarse retransmission timer (§2.4).
+// updateRTT feeds one ack-derived round-trip sample into the Jacobson
+// estimator (RFC 6298 coefficients: srtt ← 7/8·srtt + 1/8·s, rttvar ←
+// 3/4·rttvar + 1/4·|srtt − s|, rto = srtt + 4·rttvar clamped to
+// [RTOMin, RTOMax]). The estimate is always maintained for statistics;
+// it is only *armed* in adaptive mode (Config.RTOMax > 0).
+func (c *Conn) updateRTT(sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.ep.Stats.RttSamples++
+	cfg := &c.ep.cfg
+	rto := c.srtt + 4*c.rttvar
+	floor := cfg.RTOMin
+	if floor <= 0 {
+		floor = cfg.RTO
+	}
+	if rto < floor {
+		rto = floor
+	}
+	if cfg.RTOMax > 0 && rto > cfg.RTOMax {
+		rto = cfg.RTOMax
+	}
+	c.rto = rto
+	if c.ep.rtoHist != nil {
+		c.ep.rtoHist.Observe(float64(rto) / 1000)
+	}
+}
+
+// currentRTO returns the timeout the next expiry timer should use: the
+// fixed Config.RTO outside adaptive mode, otherwise the Jacobson
+// estimate doubled once per consecutive expiry (exponential backoff)
+// and capped at RTOMax.
+func (c *Conn) currentRTO() sim.Time {
+	cfg := &c.ep.cfg
+	if cfg.RTOMax <= 0 {
+		return cfg.RTO
+	}
+	d := c.rto
+	for i := 0; i < c.expiries && d < cfg.RTOMax; i++ {
+		d *= 2
+	}
+	if d > cfg.RTOMax {
+		d = cfg.RTOMax
+	}
+	return d
+}
+
+// armRTO (re)starts the coarse retransmission timer (§2.4). With
+// DeadInterval set the timer never sleeps past the death deadline, so
+// peer-failure detection latency is bounded by DeadInterval itself and
+// not by DeadInterval plus one (possibly backed-off) timeout.
 func (c *Conn) armRTO() {
 	if c.rtoTimer != nil {
 		c.rtoTimer.Stop()
 	}
-	c.rtoTimer = c.ep.env.After(c.ep.cfg.RTO, c.onRTO)
+	d := c.currentRTO()
+	if di := c.ep.cfg.DeadInterval; di > 0 {
+		if rem := c.lastProgress + di - c.ep.env.Now(); rem < d {
+			d = rem
+			if d < 0 {
+				d = 0
+			}
+		}
+	}
+	c.rtoTimer = c.ep.env.After(d, c.onRTO)
 }
 
 func (c *Conn) onRTO() {
-	if c.inflight() == 0 {
+	if c.closed || c.inflight() == 0 {
 		return
 	}
-	if c.ep.cfg.GoBackN {
+	cfg := &c.ep.cfg
+	now := c.ep.env.Now()
+	c.ep.Stats.RtoExpiries++
+	c.expiries++
+	if c.expiries > c.ep.Stats.RtoBackoffMax {
+		c.ep.Stats.RtoBackoffMax = c.expiries
+	}
+	if c.ep.backoffHist != nil {
+		c.ep.backoffHist.Observe(float64(c.expiries))
+	}
+	if (cfg.MaxRetries > 0 && c.expiries > cfg.MaxRetries) ||
+		(cfg.DeadInterval > 0 && now-c.lastProgress >= cfg.DeadInterval) {
+		c.failConn(fmt.Errorf("core: connection to node %d: no ack progress after %d timeouts over %v: %w",
+			c.remoteNode, c.expiries, now-c.lastProgress, ErrPeerDead), true)
+		return
+	}
+	if cfg.GoBackN {
 		// Go-back-N baseline: resend everything outstanding.
 		for s := c.sndUna; s != c.sndNxt; s++ {
 			c.queueRetrans(s, obs.EvRtoRepair)
@@ -720,6 +885,7 @@ func (c *Conn) handleAck(ack uint32) {
 	if int32(ack-c.sndNxt) > 0 {
 		ack = c.sndNxt // defensive: never ack beyond what was sent
 	}
+	var newest *txFrame // newest never-retransmitted acked frame (Karn)
 	for s := c.sndUna; s != ack; s++ {
 		tf := c.retrans[s]
 		delete(c.retrans, s)
@@ -732,10 +898,18 @@ func (c *Conn) handleAck(ack uint32) {
 				sp.Event(c.ep.env.Now(), obs.EvAck, c.ep.node, tf.link, s, len(tf.payload))
 			})
 			c.clearLinkFault(tf.link, tf.txAt)
+			if !tf.retx && (newest == nil || tf.txAt > newest.txAt) {
+				newest = tf
+			}
 			c.checkTxOpDone(tf.op)
 		}
 	}
 	c.sndUna = ack
+	c.expiries = 0
+	c.lastProgress = c.ep.env.Now()
+	if newest != nil {
+		c.updateRTT(c.ep.env.Now() - newest.txAt)
+	}
 	if c.inflight() > 0 {
 		c.armRTO()
 	} else if c.rtoTimer != nil {
@@ -788,6 +962,10 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 	}
 	c.ep.Stats.OpsCompleted++
 	if op.opType == frame.OpRead {
+		// The request is fully acknowledged but nothing is in flight any
+		// more: the RTO machinery is quiet while we wait for the reply, so
+		// a daemon guard keeps DeadInterval protection over the wait.
+		c.armReadGuard()
 		return // handle fires when the reply arrives
 	}
 	// Writes are complete once fully acknowledged; reads (and the read
@@ -797,6 +975,9 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 	}
 	if op.h != nil {
 		h := op.h
+		if h.dlTimer != nil {
+			h.dlTimer.Stop()
+		}
 		// Waking the user process costs CPU only if someone is blocked
 		// on the handle; a poll-later handle just flips state.
 		if h.done.HasWaiters() {
@@ -808,6 +989,239 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 			c.pushCompletion(Completion{OpID: h.opID, Op: h.op})
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Failure handling: peer death, deadlines, liveness (ISSUE 3).
+// ---------------------------------------------------------------------
+
+// finishHandle terminates a handle with err: deadline expiry or
+// connection failure. The waiter (if any) is woken exactly once; a CQ
+// handle also fans the error out as a Completion.
+func (c *Conn) finishHandle(h *Handle, err error) {
+	if h == nil || h.done.Fired() {
+		return
+	}
+	if h.dlTimer != nil {
+		h.dlTimer.Stop()
+	}
+	h.err = err
+	ep := c.ep
+	if h.done.HasWaiters() {
+		ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { h.done.Fire(ep.env) })
+	} else {
+		h.done.Fire(ep.env)
+	}
+	if h.cq {
+		c.pushCompletion(Completion{OpID: h.opID, Op: h.op, Err: err})
+	}
+}
+
+// failTxOp terminates one send-side operation with cause, releasing its
+// buffers and delivering error completions to every waiter — the
+// handle, the CQ, and each sub-op of a coalesced batch.
+func (c *Conn) failTxOp(t *txOp, cause error) {
+	if t == nil || t.completed {
+		return
+	}
+	t.completed = true
+	t.data = nil
+	if t.probe {
+		return // internal probe: no user-visible completion
+	}
+	now := c.ep.env.Now()
+	if t.subs != nil {
+		for i := range t.subs {
+			s := &t.subs[i]
+			c.ep.Stats.OpsFailed++
+			s.span.EndAt(now)
+			c.pushCompletion(Completion{OpID: s.id, Op: s.op, Err: cause})
+		}
+		return
+	}
+	if t.opType != frame.OpReadReply {
+		t.span.EndAt(now)
+	}
+	if t.opType == frame.OpRead {
+		delete(c.pendingReads, t.id)
+	}
+	h := t.h
+	t.h = nil
+	if h != nil {
+		c.ep.Stats.OpsFailed++
+		c.finishHandle(h, cause)
+	}
+}
+
+// expireHandle fires when an operation's Op.Deadline passes before it
+// completes. Only the waiter is released: the transfer itself keeps
+// running, because cancelling a partially transmitted operation would
+// leave a hole in the receiver's sequence and fence frontier. t is the
+// operation the handle belongs to (nil for an already-detached handle).
+func (c *Conn) expireHandle(h *Handle, t *txOp) {
+	if h.done.Fired() || c.failed {
+		return // completed (or conn-failed) in the meantime
+	}
+	ep := c.ep
+	ep.Stats.OpDeadlinesExpired++
+	ep.Stats.OpsFailed++
+	if t != nil && t.h == h {
+		t.h = nil // detach: completion machinery no longer owns the waiter
+	}
+	if t != nil && t.opType == frame.OpRead {
+		delete(c.pendingReads, t.id)
+		if len(c.pendingReads) == 0 && c.readGuard != nil {
+			c.readGuard.Stop()
+		}
+	}
+	c.finishHandle(h, fmt.Errorf("core: op %d to node %d: %w", h.opID, c.remoteNode, ErrDeadlineExceeded))
+}
+
+// failConn transitions the connection to the Failed state: every queued
+// and in-flight operation, pending read and posted descriptor completes
+// with cause (which wraps ErrPeerDead), all timers stop, and — when the
+// failure was detected locally — a Reset ctrl frame tells the peer on
+// every rail so its side fails promptly too instead of burning its own
+// retry budget. Iteration orders are deterministic (sequence walk, FIFO
+// slices, sorted read ids) so failure runs replay bit-identically.
+func (c *Conn) failConn(cause error, sendReset bool) {
+	if c.closed {
+		return
+	}
+	ep := c.ep
+	c.failed = true
+	c.failErr = cause
+	c.closed = true
+	ep.Stats.PeerDeadEvents++
+	ep.trc(c.localID, trace.PeerDead, 0, 0)
+	for _, t := range []*sim.Timer{c.rtoTimer, c.probeTimer, c.ackTimer, c.nackTimer,
+		c.connTimer, c.closeTimer, c.hbTimer, c.readGuard} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	c.ackDue = false
+	c.nackDue = nil
+	if sendReset && c.established.Fired() {
+		h := frame.Header{Type: frame.TypeReset, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
+		for li := 0; li < c.links; li++ {
+			nic := ep.nics[li]
+			dst := frame.NewAddr(c.remoteNode, li)
+			buf := frame.MustEncode(dst, nic.Addr(), &h, nil)
+			nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
+			ep.Stats.ResetsSent++
+		}
+	}
+	// Outstanding window frames, then queued operations.
+	for s := c.sndUna; s != c.sndNxt; s++ {
+		if tf := c.retrans[s]; tf != nil {
+			c.failTxOp(tf.op, cause)
+		}
+	}
+	for _, t := range c.txOps {
+		c.failTxOp(t, cause)
+	}
+	// Reads whose requests were fully acknowledged (their txOps are gone;
+	// only the reply was pending).
+	if len(c.pendingReads) > 0 {
+		ids := make([]uint64, 0, len(c.pendingReads))
+		for id := range c.pendingReads {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			h := c.pendingReads[id]
+			delete(c.pendingReads, id)
+			ep.Stats.OpsFailed++
+			c.finishHandle(h, cause)
+		}
+	}
+	// Posted-but-unrung descriptors never received ids; their error
+	// completions carry OpID 0 and the original Op for correlation.
+	for _, op := range c.sq {
+		ep.Stats.OpsFailed++
+		c.pushCompletion(Completion{Op: op, Err: cause})
+	}
+	if n := len(c.sq); n > 0 {
+		c.sq = nil
+		ep.noteSQDepth(-n)
+	}
+	c.retrans = make(map[uint32]*txFrame)
+	c.retransQ = nil
+	c.txOps = nil
+	c.txFenced = nil
+	c.held = nil
+	// Wake processes parked in WaitNotify with one poison notification
+	// each; with c.failed set, later calls return the poison without
+	// parking. No caller may hang on a dead peer.
+	for c.notifyQ.HasWaiters() {
+		c.notifyQ.Send(ep.env, Notification{From: c.remoteNode, Len: -1})
+	}
+}
+
+// startKeepalive initializes liveness tracking at connection
+// establishment and, with heartbeats enabled, arms the idle-side tick.
+// The tick is a daemon timer: an idle heart-beating connection never
+// keeps an otherwise-finished simulation alive.
+func (c *Conn) startKeepalive() {
+	now := c.ep.env.Now()
+	c.lastHeard = now
+	c.lastTx = now
+	c.lastProgress = now
+	hb := c.ep.cfg.HeartbeatInterval
+	if hb <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if c.closed {
+			return
+		}
+		now := c.ep.env.Now()
+		if di := c.ep.cfg.DeadInterval; di > 0 && now-c.lastHeard >= di {
+			c.failConn(fmt.Errorf("core: connection to node %d: peer silent for %v: %w",
+				c.remoteNode, now-c.lastHeard, ErrPeerDead), true)
+			return
+		}
+		if now-c.lastTx >= hb {
+			c.sendHeartbeat()
+		}
+		c.hbTimer = c.ep.env.AfterDaemon(hb, tick)
+	}
+	c.hbTimer = c.ep.env.AfterDaemon(hb, tick)
+}
+
+// sendHeartbeat emits one liveness ctrl frame. Like every control
+// frame it carries the cumulative acknowledgement for free.
+func (c *Conn) sendHeartbeat() {
+	h := frame.Header{Type: frame.TypeHeartbeat, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
+	c.ep.Stats.HeartbeatsSent++
+	c.sendFrame(&h, nil)
+}
+
+// armReadGuard starts the daemon liveness check that covers reads whose
+// requests are acknowledged: nothing is in flight, so neither the RTO
+// path nor (with heartbeats off) any other timer would notice the peer
+// dying before the reply.
+func (c *Conn) armReadGuard() {
+	if c.ep.cfg.DeadInterval <= 0 || (c.readGuard != nil && c.readGuard.Pending()) {
+		return
+	}
+	c.readGuard = c.ep.env.AfterDaemon(c.ep.cfg.DeadInterval, c.checkReadLiveness)
+}
+
+func (c *Conn) checkReadLiveness() {
+	if c.closed || len(c.pendingReads) == 0 {
+		return
+	}
+	di := c.ep.cfg.DeadInterval
+	now := c.ep.env.Now()
+	if silent := now - c.lastHeard; silent >= di {
+		c.failConn(fmt.Errorf("core: connection to node %d: read reply outstanding, peer silent for %v: %w",
+			c.remoteNode, silent, ErrPeerDead), true)
+		return
+	}
+	c.readGuard = c.ep.env.AfterDaemon(c.lastHeard+di-now, c.checkReadLiveness)
 }
 
 // ---------------------------------------------------------------------
@@ -832,6 +1246,10 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 	if ep.cfg.GoBackN {
 		if seq != c.rcvNxt {
 			ep.Stats.GbnDropped++
+			if int32(seq-c.rcvNxt) < 0 && len(payload) > 0 {
+				// Below the cumulative ack: its payload was already applied.
+				ep.Stats.DupFramesDropped++
+			}
 			c.forceAck()
 			return
 		}
@@ -844,6 +1262,11 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 	// Selective repeat.
 	if int32(seq-c.rcvNxt) < 0 || c.rcvSeen[seq] {
 		ep.Stats.Duplicates++
+		if len(payload) > 0 {
+			// The payload was applied when the first copy arrived; this
+			// copy is dropped here, before the ordering/apply machinery.
+			ep.Stats.DupFramesDropped++
+		}
 		ep.trc(c.localID, trace.RxDuplicate, seq, len(payload))
 		// The sender is resending: our ACKs — and possibly our NACKs —
 		// were lost. Re-advertise both promptly so repair converges.
@@ -1208,6 +1631,15 @@ func (c *Conn) applyFrame(h frame.Header, payload []byte) {
 		c.completeRxOp(op)
 		return
 	case frame.TypeData:
+		if op.complete {
+			// Last line of defence: the ARQ already suppresses duplicates,
+			// so a payload for a completed operation must never be
+			// re-applied over newer data.
+			if len(payload) > 0 {
+				ep.Stats.DupFramesDropped++
+			}
+			return
+		}
 		if len(payload) > 0 {
 			end := h.Remote + uint64(h.Offset) + uint64(len(payload))
 			if end > uint64(len(ep.mem)) {
@@ -1269,7 +1701,16 @@ func (c *Conn) completeRxOp(op *rxOp) {
 	if op.opType == frame.OpReadReply {
 		if h, ok := c.pendingReads[op.local]; ok {
 			delete(c.pendingReads, op.local)
+			if len(c.pendingReads) == 0 && c.readGuard != nil {
+				// No replies outstanding: cancel the liveness guard so its
+				// (daemon) tick does not advance a drained simulation's
+				// clock under RunUntil.
+				c.readGuard.Stop()
+			}
 			h.acked = int(op.applied)
+			if h.dlTimer != nil {
+				h.dlTimer.Stop()
+			}
 			if h.done.HasWaiters() {
 				ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { h.done.Fire(ep.env) })
 			} else {

@@ -50,6 +50,8 @@ type Endpoint struct {
 	cqDepth      *obs.Gauge     // unpolled completions, all conns
 	doorbellHist *obs.Histogram // descriptors issued per doorbell
 	coalesceHist *obs.Histogram // sub-ops packed per MultiData frame
+	rtoHist      *obs.Histogram // adaptive RTO estimate at each update, µs
+	backoffHist  *obs.Histogram // consecutive-expiry depth at each RTO firing
 
 	Stats Stats
 }
@@ -136,6 +138,8 @@ func (ep *Endpoint) SetObs(r *obs.Registry) {
 	ep.cqDepth = r.Gauge("core_cq_depth", obs.NodeLabel(ep.node))
 	ep.doorbellHist = r.Histogram("core_doorbell_batch_ops", nil, obs.NodeLabel(ep.node))
 	ep.coalesceHist = r.Histogram("core_coalesce_subops", nil, obs.NodeLabel(ep.node))
+	ep.rtoHist = r.Histogram("core_rto_us", nil, obs.NodeLabel(ep.node))
+	ep.backoffHist = r.Histogram("core_rto_backoff", nil, obs.NodeLabel(ep.node))
 	r.AddCollector(ep.Stats.Collector(ep.node))
 }
 
@@ -383,8 +387,9 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		return
 	}
 	if c.closed {
-		return // late frames for a torn-down connection
+		return // late frames for a torn-down (or failed) connection
 	}
+	c.lastHeard = ep.env.Now()
 	switch h.Type {
 	case frame.TypeData, frame.TypeReadReq, frame.TypeMultiData:
 		c.handleData(h, payload, link)
@@ -397,6 +402,17 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		if missing, err := frame.DecodeNackPayload(payload); err == nil {
 			c.handleNack(missing)
 		}
+	case frame.TypeHeartbeat:
+		ep.Stats.CtrlRecv++
+		ep.Stats.HeartbeatsRecv++
+		c.handleAck(h.Ack)
+	case frame.TypeReset:
+		// The peer abandoned the connection (its failure detector fired).
+		// Fail our side too — without echoing a Reset back, which would
+		// ping-pong between two live endpoints after a healed partition.
+		ep.Stats.CtrlRecv++
+		ep.Stats.ResetsRecv++
+		c.failConn(fmt.Errorf("core: connection to node %d reset by peer: %w", c.remoteNode, ErrPeerDead), false)
 	}
 }
 
@@ -416,6 +432,7 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 		links = len(ep.nics)
 	}
 	c := ep.newConn(remoteNode, links)
+	attempts := 0
 	var retry func()
 	send := func() {
 		h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID, OpID: uint64(links)}
@@ -426,6 +443,20 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 		if c.established.Fired() {
 			return
 		}
+		if mr := ep.cfg.MaxRetries; mr > 0 && attempts > mr {
+			// The peer never answered: fail the dial instead of retrying
+			// forever. The waiter is released; callers detect the outcome
+			// via Conn.Failed / Conn.Err (operations on the conn error out).
+			c.failed = true
+			c.failErr = fmt.Errorf("core: dial to node %d: no answer after %d attempts: %w",
+				remoteNode, attempts, ErrPeerDead)
+			c.closed = true
+			ep.Stats.PeerDeadEvents++
+			ep.trc(c.localID, trace.PeerDead, 0, 0)
+			c.established.Fire(ep.env)
+			return
+		}
+		attempts++
 		send()
 		c.connTimer = ep.env.After(ep.cfg.ConnRetry, retry)
 	}
@@ -475,6 +506,7 @@ func (ep *Endpoint) handleConnReq(src frame.Addr, h frame.Header) {
 		c.remoteID = h.ConnID
 		ep.byPeer[key] = c
 		c.established.Fire(ep.env)
+		c.startKeepalive()
 		ep.accepted.Send(ep.env, c)
 	}
 	// Always (re-)send the ConnAck: the previous one may have been lost.
@@ -493,4 +525,5 @@ func (ep *Endpoint) handleConnAck(_ frame.Addr, h frame.Header) {
 		c.connTimer.Stop()
 	}
 	c.established.Fire(ep.env)
+	c.startKeepalive()
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -181,26 +182,76 @@ func TestStaleLinkNackEscape(t *testing.T) {
 // 0 the absolute per-link FIFO veto applies, the receiver never NACKs
 // the frames lost on the dead rail, and the sender's retransmit-last
 // RTO rule keeps resending a frame the receiver already has — a
-// livelock. The transfer must NOT complete; only the escape (or
-// sender-side detection) makes hard link failure survivable.
+// livelock. With peer-death detection also disabled the transfer simply
+// never completes (the legacy hang); under the default DeadInterval the
+// same livelock is detected as lack of ack progress and surfaces as a
+// loud ErrPeerDead within the detection bound instead.
 func TestStaleLinkEscapeDisabled(t *testing.T) {
-	const n = 64 << 10
-	cl, _, doneAt := failPair(t, n, func(cfg *cluster.Config) {
+	t.Run("detection-off-livelocks", func(t *testing.T) {
+		const n = 64 << 10
+		cl, _, doneAt := failPair(t, n, func(cfg *cluster.Config) {
+			cfg.Core.DeadLinkThreshold = 0
+			cfg.Core.LinkStaleAge = 0
+			cfg.Core.DeadInterval = 0 // legacy behaviour: livelock forever
+		})
+		cl.FailLink(0, 1)
+		cl.Env.RunUntil(5 * sim.Second)
+		if *doneAt != 0 {
+			t.Fatal("transfer finished without the stale escape; control invalid")
+		}
+		st := cl.Nodes[0].EP.Stats
+		if st.Retransmissions == 0 {
+			t.Error("expected RTO-driven retransmissions during the livelock")
+		}
+		if cl.Nodes[1].EP.Stats.CtrlNacksSent != 0 {
+			t.Error("receiver NACKed despite the absolute veto; control invalid")
+		}
+		if st.PeerDeadEvents != 0 {
+			t.Error("peer declared dead with detection disabled")
+		}
+	})
+	t.Run("default-fails-loudly", func(t *testing.T) {
+		const n = 64 << 10
+		cfg := cluster.TwoLinkUnordered1G(2)
+		cfg.Core.MemBytes = 64 << 20
 		cfg.Core.DeadLinkThreshold = 0
 		cfg.Core.LinkStaleAge = 0
+		cl := cluster.New(cfg)
+		c01, _ := cl.Pair()
+		ep0, ep1 := cl.Nodes[0].EP, cl.Nodes[1].EP
+		src := ep0.Alloc(n)
+		dst := ep1.Alloc(n)
+		fill(ep0.Mem()[src:src+uint64(n)], 11)
+		var opErr error
+		var returnedAt sim.Time
+		cl.Env.Go("sender", func(p *sim.Proc) {
+			h := c01.MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite})
+			h.Wait(p)
+			opErr = h.Err()
+			returnedAt = cl.Env.Now()
+		})
+		cl.FailLink(0, 1)
+		cl.Env.RunUntil(5 * sim.Second)
+		if returnedAt == 0 {
+			t.Fatal("Wait never returned: the livelock is no longer bounded")
+		}
+		if !errors.Is(opErr, core.ErrPeerDead) {
+			t.Fatalf("op error = %v, want ErrPeerDead", opErr)
+		}
+		if !c01.Failed() || c01.Err() == nil {
+			t.Error("conn not marked Failed with a cause")
+		}
+		di := ep0.Config().DeadInterval
+		if di <= 0 {
+			t.Fatal("default DeadInterval disabled; test premise invalid")
+		}
+		if returnedAt > 2*di {
+			t.Errorf("failure surfaced at %v, want within ~%v of the stall", returnedAt, di)
+		}
+		if ep0.Stats.PeerDeadEvents == 0 {
+			t.Error("no PeerDeadEvents counted")
+		}
 	})
-	cl.FailLink(0, 1)
-	cl.Env.RunUntil(5 * sim.Second)
-	if *doneAt != 0 {
-		t.Fatal("transfer finished without the stale escape; control invalid")
-	}
-	st := cl.Nodes[0].EP.Stats
-	if st.Retransmissions == 0 {
-		t.Error("expected RTO-driven retransmissions during the livelock")
-	}
-	if cl.Nodes[1].EP.Stats.CtrlNacksSent != 0 {
-		t.Error("receiver NACKed despite the absolute veto; control invalid")
-	}
 }
 
 // TestFailLinkBothDirections verifies the cluster helper kills both

@@ -28,6 +28,14 @@ type Op struct {
 	// Flags combines frame.FenceBefore, frame.FenceAfter, frame.Notify
 	// and frame.Solicit.
 	Flags frame.OpFlags
+	// Deadline, when non-zero, is an absolute simulation time by which
+	// the issuer must be released: if the operation has not completed by
+	// then, its handle fires with ErrDeadlineExceeded (and an errored
+	// completion record if it was rung through the submission queue).
+	// The transmission itself is not cancelled — frames already on the
+	// wire stay valid and the transfer may still land — only the caller
+	// stops waiting. A deadline already in the past expires immediately.
+	Deadline sim.Time
 }
 
 // MaxOpSize bounds a single operation's transfer length (the protocol
@@ -54,6 +62,16 @@ var (
 	// ErrUnregistered: Config.EnforceRegistration is on and the local
 	// buffer is not inside a registered region.
 	ErrUnregistered = errors.New("local buffer not registered")
+	// ErrPeerDead: the peer stopped responding (retry budget or
+	// DeadInterval exhausted, or a Reset frame arrived) and the
+	// connection transitioned to Failed. Every queued and in-flight
+	// operation completes with this error; the connection is unusable
+	// and a fresh Dial/Accept pair is required to talk to the peer again.
+	ErrPeerDead = errors.New("peer dead")
+	// ErrDeadlineExceeded: Op.Deadline passed before the operation
+	// completed; the waiter was released but the transfer itself was not
+	// cancelled.
+	ErrDeadlineExceeded = errors.New("op deadline exceeded")
 )
 
 // checkOp validates an operation against the connection and endpoint
@@ -62,6 +80,9 @@ var (
 func (c *Conn) checkOp(op Op) error {
 	if !c.established.Fired() {
 		return fmt.Errorf("core: operation on unestablished connection to node %d: %w", c.remoteNode, ErrNotEstablished)
+	}
+	if c.failed {
+		return fmt.Errorf("core: operation on failed connection to node %d: %w", c.remoteNode, c.failErr)
 	}
 	if c.closed {
 		return fmt.Errorf("core: operation on closed connection to node %d: %w", c.remoteNode, ErrClosed)
@@ -187,6 +208,13 @@ func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
 		t.span = ep.obs.StartOpSpan(
 			obs.SpanID{Node: ep.node, Conn: c.localID, Op: t.id}, "core", name, op.Size)
 	}
+	if op.Deadline > 0 {
+		h, d := t.h, op.Deadline-ep.env.Now()
+		if d < 0 {
+			d = 0
+		}
+		h.dlTimer = ep.env.After(d, func() { c.expireHandle(h, t) })
+	}
 	c.txOps = append(c.txOps, t)
 	ep.Stats.OpsStarted++
 	ep.wakeThread()
@@ -212,6 +240,10 @@ func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
 type Completion struct {
 	OpID uint64 // the operation's connection-local id, in issue order
 	Op   Op     // the posted descriptor
+	// Err is nil for a successful completion; ErrPeerDead when the
+	// connection failed with the operation pending, ErrDeadlineExceeded
+	// when Op.Deadline released the waiter first (test with errors.Is).
+	Err error
 }
 
 // Post validates op and appends it to the connection's submission queue.
@@ -328,9 +360,10 @@ const multiPayloadBase = 2
 
 // coalescable reports whether op may share a MultiData frame: a write no
 // larger than the coalesce limit. Flags pose no obstacle — the receive
-// side honors fences, Notify and Solicit per sub-op.
+// side honors fences, Notify and Solicit per sub-op. Deadline ops stay
+// un-coalesced so their expiry timers track exactly one operation.
 func coalescable(op Op, limit int) bool {
-	return op.Kind == frame.OpWrite && op.Size <= limit
+	return op.Kind == frame.OpWrite && op.Size <= limit && op.Deadline == 0
 }
 
 // enqueueMulti packs a run of small writes into one MultiData txOp. Each

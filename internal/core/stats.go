@@ -43,6 +43,19 @@ type Stats struct {
 	HeldFrames  uint64 // frames buffered awaiting order/fences
 	HoldMax     int    // peak held-frame count
 
+	// Failure handling.
+	RttSamples         uint64 // ack-derived round-trip samples fed to the estimator
+	RtoExpiries        uint64 // retransmission-timeout firings
+	RtoBackoffMax      int    // peak consecutive-expiry depth (backoff exponent)
+	PeerDeadEvents     uint64 // connections transitioned to Failed
+	ResetsSent         uint64 // Reset ctrl frames emitted on peer death
+	ResetsRecv         uint64 // Reset ctrl frames received (peer abandoned the conn)
+	HeartbeatsSent     uint64 // idle-liveness ctrl frames sent
+	HeartbeatsRecv     uint64 // idle-liveness ctrl frames received
+	OpsFailed          uint64 // operations completed with an error (peer death, deadline)
+	OpDeadlinesExpired uint64 // operations whose Op.Deadline released the waiter
+	DupFramesDropped   uint64 // duplicate payload-bearing frames dropped before apply
+
 	// CPU time charged on the application CPU on behalf of the
 	// protocol (operation initiation: syscall, descriptor, copy).
 	AppProtoTime sim.Time
@@ -103,6 +116,19 @@ func (s *Stats) Add(o *Stats) {
 	if o.HoldMax > s.HoldMax {
 		s.HoldMax = o.HoldMax
 	}
+	s.RttSamples += o.RttSamples
+	s.RtoExpiries += o.RtoExpiries
+	if o.RtoBackoffMax > s.RtoBackoffMax {
+		s.RtoBackoffMax = o.RtoBackoffMax
+	}
+	s.PeerDeadEvents += o.PeerDeadEvents
+	s.ResetsSent += o.ResetsSent
+	s.ResetsRecv += o.ResetsRecv
+	s.HeartbeatsSent += o.HeartbeatsSent
+	s.HeartbeatsRecv += o.HeartbeatsRecv
+	s.OpsFailed += o.OpsFailed
+	s.OpDeadlinesExpired += o.OpDeadlinesExpired
+	s.DupFramesDropped += o.DupFramesDropped
 	s.AppProtoTime += o.AppProtoTime
 }
 
@@ -139,8 +165,20 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_arrivals_total", s.Arrivals)
 		c("core_ooo_arrivals_total", s.OOOArrivals)
 		c("core_held_frames_total", s.HeldFrames)
+		c("core_rtt_samples_total", s.RttSamples)
+		c("core_rto_expiries_total", s.RtoExpiries)
+		c("core_peer_dead_events_total", s.PeerDeadEvents)
+		c("core_resets_sent_total", s.ResetsSent)
+		c("core_resets_recv_total", s.ResetsRecv)
+		c("core_heartbeats_sent_total", s.HeartbeatsSent)
+		c("core_heartbeats_recv_total", s.HeartbeatsRecv)
+		c("core_ops_failed_total", s.OpsFailed)
+		c("core_op_deadlines_expired_total", s.OpDeadlinesExpired)
+		c("core_dup_frames_dropped_total", s.DupFramesDropped)
 		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
 			Value: float64(s.HoldMax), Type: obs.TypeGauge})
+		emit(obs.Sample{Name: "core_rto_backoff_max", Labels: []obs.Label{nl},
+			Value: float64(s.RtoBackoffMax), Type: obs.TypeGauge})
 		emit(obs.Sample{Name: "core_app_proto_time_ns", Labels: []obs.Label{nl},
 			Value: float64(s.AppProtoTime), Type: obs.TypeCounter})
 	}

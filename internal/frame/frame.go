@@ -53,7 +53,9 @@ type Type uint8
 // and Nack are explicit acknowledgement frames sent when there is no data
 // traffic to piggy-back on; ConnReq/ConnAck set up connections; MultiData
 // frames carry several small coalesced write operations as sub-op
-// records (see EncodeMultiPayload).
+// records (see EncodeMultiPayload); Heartbeat frames keep an idle
+// connection's liveness tracking fed; Reset tells the peer the sender
+// has abandoned the connection (peer-failure surfacing).
 const (
 	TypeData Type = 1 + iota
 	TypeReadReq
@@ -64,6 +66,8 @@ const (
 	TypeConnClose
 	TypeConnCloseAck
 	TypeMultiData
+	TypeHeartbeat
+	TypeReset
 )
 
 func (t Type) String() string {
@@ -86,6 +90,10 @@ func (t Type) String() string {
 		return "CONNCLOSEACK"
 	case TypeMultiData:
 		return "MULTIDATA"
+	case TypeHeartbeat:
+		return "HEARTBEAT"
+	case TypeReset:
+		return "RESET"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -289,7 +297,7 @@ func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
 		return 0, 0, Header{}, nil, ErrBadChecksum
 	}
 	h.Type = Type(p[offType])
-	if h.Type < TypeData || h.Type > TypeMultiData {
+	if h.Type < TypeData || h.Type > TypeReset {
 		return 0, 0, Header{}, nil, ErrBadType
 	}
 	h.HasAck = p[offFlags]&flagHasAck != 0

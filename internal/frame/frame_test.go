@@ -188,7 +188,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 	f := func(connID, seq, ack uint32, opID, remote, local uint64,
 		offset, total uint32, typ, opTyp, opFl uint8, hasAck bool, n uint16) bool {
 		h := Header{
-			Type:   Type(typ%9) + TypeData,
+			Type:   Type(typ%11) + TypeData,
 			ConnID: connID, Seq: seq, Ack: ack, HasAck: hasAck,
 			OpID: opID, OpType: OpType(opTyp % 4), OpFlags: OpFlags(opFl & 7),
 			Remote: remote, Local: local, Offset: offset, Total: total,
@@ -288,9 +288,28 @@ func TestMultiPayloadFramed(t *testing.T) {
 	}
 }
 
+func TestCtrlTypesRoundTrip(t *testing.T) {
+	// Heartbeat and Reset are the newest header types: both must pass the
+	// decoder's type-range check (they extend the upper bound).
+	for _, typ := range []Type{TypeHeartbeat, TypeReset} {
+		h := Header{Type: typ, ConnID: 5, Ack: 77, HasAck: typ == TypeHeartbeat}
+		buf := MustEncode(NewAddr(1, 0), NewAddr(2, 0), &h, nil)
+		_, _, got, pl, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", typ, err)
+		}
+		if got != h || len(pl) != 0 {
+			t.Errorf("%v: got %+v payload %d bytes", typ, got, len(pl))
+		}
+	}
+}
+
 func TestStringers(t *testing.T) {
 	if TypeData.String() != "DATA" || TypeNack.String() != "NACK" {
 		t.Error("Type.String wrong")
+	}
+	if TypeHeartbeat.String() != "HEARTBEAT" || TypeReset.String() != "RESET" {
+		t.Error("ctrl Type.String wrong")
 	}
 	if OpWrite.String() != "write" || OpReadReply.String() != "readreply" {
 		t.Error("OpType.String wrong")

@@ -85,11 +85,13 @@ type OutPort struct {
 	peer     Receiver
 	capacity int
 
-	queued int      // frames accepted but not yet fully transmitted
-	avail  sim.Time // when the wire becomes free
-	onTx   func(f *Frame)
-	failed bool // hard link failure: everything transmitted is lost
-	drop   func(f *Frame) bool
+	queued    int      // frames accepted but not yet fully transmitted
+	avail     sim.Time // when the wire becomes free
+	onTx      func(f *Frame)
+	failed    bool // hard link failure: everything transmitted is lost
+	condemned int  // frames queued while failed: lost even if Restore precedes their tx
+	drop      func(f *Frame) bool
+	mangler   Mangler
 
 	// Counters.
 	TxFrames    uint64
@@ -131,7 +133,16 @@ func (o *OutPort) Backlog() sim.Time {
 // Fail hard-fails the port: every frame that reaches the head of its
 // queue from now on is lost (a dead cable, a wedged switch port). The
 // upper layers see it as 100% loss in this direction until Restore.
-func (o *OutPort) Fail() { o.failed = true }
+//
+// Frames queued when Fail is called — and any accepted while the port
+// stays failed — are condemned: they count in DropsFailed even if
+// Restore runs before they finish serializing, so failure accounting is
+// a deterministic function of the fault timeline and not of how Restore
+// races the serialization backlog.
+func (o *OutPort) Fail() {
+	o.failed = true
+	o.condemned = o.queued
+}
 
 // Restore clears a hard failure injected with Fail.
 func (o *OutPort) Restore() { o.failed = false }
@@ -147,6 +158,34 @@ func (o *OutPort) IsFailed() bool { return o.failed }
 // the filter. The filter runs when the frame finishes serializing.
 func (o *OutPort) SetDropFilter(fn func(f *Frame) bool) { o.drop = fn }
 
+// Mangle is the fate a fault injector assigns one frame. The zero value
+// delivers the frame untouched.
+type Mangle struct {
+	// Drop loses the frame (counted in DropsErr, like a transient
+	// error).
+	Drop bool
+	// Corrupt flips one byte of the delivered copy, exercising the
+	// protocol checksum (counted in Corrupted).
+	Corrupt bool
+	// Dup delivers the frame a second time one wire-time later
+	// (counted in Duplicated).
+	Dup bool
+	// Delay adds extra one-way latency before delivery. Frames given
+	// different delays may reorder.
+	Delay sim.Time
+}
+
+// Mangler decides per frame what the fault injector does to it. It runs
+// when the frame finishes serializing, before the port's probabilistic
+// loss/corrupt/dup draws, so a scripted fault timeline composes with the
+// link's own error model. A nil mangler adds no work and — critically
+// for reproducibility — no random-number draws, so installing faults
+// only in chaos runs leaves every clean run bit-identical.
+type Mangler func(f *Frame) Mangle
+
+// SetMangler installs (or with nil removes) the port's fault injector.
+func (o *OutPort) SetMangler(fn Mangler) { o.mangler = fn }
+
 // Send queues a frame for transmission. It reports false if the queue is
 // full, in which case the frame is dropped (congestion loss).
 func (o *OutPort) Send(f *Frame) bool {
@@ -157,6 +196,9 @@ func (o *OutPort) Send(f *Frame) bool {
 	o.queued++
 	if o.queued > o.MaxQueue {
 		o.MaxQueue = o.queued
+	}
+	if o.failed {
+		o.condemned++
 	}
 	e := o.env
 	start := e.Now()
@@ -172,6 +214,14 @@ func (o *OutPort) Send(f *Frame) bool {
 		if o.onTx != nil {
 			o.onTx(f)
 		}
+		if o.condemned > 0 {
+			// Serialization completes in FIFO order, so the first
+			// `condemned` completions after Fail are exactly the frames
+			// that were queued when the failure hit.
+			o.condemned--
+			o.DropsFailed++
+			return
+		}
 		if o.failed {
 			o.DropsFailed++
 			return
@@ -180,12 +230,24 @@ func (o *OutPort) Send(f *Frame) bool {
 			o.DropsErr++
 			return
 		}
+		var m Mangle
+		if o.mangler != nil {
+			m = o.mangler(f)
+		}
+		if m.Drop {
+			o.DropsErr++
+			return
+		}
 		if o.params.LossProb > 0 && e.Rand().Float64() < o.params.LossProb {
 			o.DropsErr++
 			return
 		}
 		deliver := f
+		corrupt := m.Corrupt
 		if o.params.CorruptProb > 0 && e.Rand().Float64() < o.params.CorruptProb {
+			corrupt = true
+		}
+		if corrupt {
 			// Flip one byte in a copy (the original buffer may be a
 			// retransmit source at the sender).
 			buf := append([]byte(nil), f.Buf...)
@@ -193,9 +255,13 @@ func (o *OutPort) Send(f *Frame) bool {
 			deliver = &Frame{Buf: buf, Dst: f.Dst, Src: f.Src}
 			o.Corrupted++
 		}
-		arrive := o.params.Delay
+		arrive := o.params.Delay + m.Delay
 		e.After(arrive, func() { o.peer.DeliverFrame(deliver) })
+		dup := m.Dup
 		if o.params.DupProb > 0 && e.Rand().Float64() < o.params.DupProb {
+			dup = true
+		}
+		if dup {
 			o.Duplicated++
 			e.After(arrive+o.params.wireTime(f.Len()), func() { o.peer.DeliverFrame(f) })
 		}

@@ -560,3 +560,141 @@ func TestOutPortFailQueuedFrames(t *testing.T) {
 		t.Errorf("delivered+dropped = %d, want 5", got)
 	}
 }
+
+func TestOutPortFailCondemnsQueued(t *testing.T) {
+	// Restore racing the serialization backlog must not resurrect
+	// frames: everything queued at Fail time — and anything accepted
+	// while failed — drops, with accounting pinned to the fault
+	// timeline rather than to when Restore happens to land.
+	e := sim.NewEnv(1)
+	s := &sink{env: e}
+	lp := LinkParams{PsPerByte: 8000, Delay: 100}
+	o := NewOutPort(e, "t", lp, s, 0)
+	f := mkFrame(1, 2, 1000)
+	wt := lp.wireTime(f.Len())
+	e.After(0, func() {
+		for i := 0; i < 6; i++ {
+			o.Send(f)
+		}
+	})
+	// Fail at 2.5 frame-times: frames 1-2 have serialized (delivered),
+	// frames 3-6 are queued and condemned.
+	e.After(wt*5/2, func() {
+		o.Fail()
+		if o.Queued() != 4 {
+			t.Errorf("queued at fail = %d, want 4", o.Queued())
+		}
+		o.Send(f) // accepted while failed: condemned too
+	})
+	// Restore immediately — long before the condemned frames finish
+	// serializing.
+	e.After(wt*5/2+1, func() {
+		o.Restore()
+		o.Send(f) // queued behind the condemned backlog, delivered
+	})
+	e.Run()
+	if got := len(s.times); got != 3 {
+		t.Fatalf("delivered %d frames, want 3 (two pre-fail, one post-restore)", got)
+	}
+	if o.DropsFailed != 5 {
+		t.Errorf("DropsFailed = %d, want 5 (four condemned at fail + one sent while failed)", o.DropsFailed)
+	}
+	if o.TxFrames != 8 {
+		t.Errorf("TxFrames = %d, want 8", o.TxFrames)
+	}
+}
+
+func TestOutPortMangler(t *testing.T) {
+	e := sim.NewEnv(1)
+	s := &sink{env: e}
+	lp := LinkParams{PsPerByte: 8000, Delay: 100}
+	o := NewOutPort(e, "t", lp, s, 0)
+	f := mkFrame(1, 2, 1000)
+	wt := lp.wireTime(f.Len())
+	n := 0
+	o.SetMangler(func(_ *Frame) Mangle {
+		n++
+		switch n {
+		case 1:
+			return Mangle{Drop: true}
+		case 2:
+			return Mangle{Dup: true}
+		case 3:
+			return Mangle{Corrupt: true}
+		case 4:
+			return Mangle{Delay: 10 * wt}
+		}
+		return Mangle{}
+	})
+	e.After(0, func() {
+		for i := 0; i < 5; i++ {
+			o.Send(f)
+		}
+	})
+	e.Run()
+	// Frame 1 dropped; frame 2 delivered twice; frames 3-5 once each.
+	if got := len(s.frames); got != 5 {
+		t.Fatalf("delivered %d frames, want 5", got)
+	}
+	if o.DropsErr != 1 || o.Duplicated != 1 || o.Corrupted != 1 {
+		t.Errorf("DropsErr/Duplicated/Corrupted = %d/%d/%d, want 1/1/1",
+			o.DropsErr, o.Duplicated, o.Corrupted)
+	}
+	// The corrupted copy must fail the frame checksum; the original
+	// buffer (a retransmit source at the sender) stays intact.
+	bad := 0
+	for _, df := range s.frames {
+		if _, _, _, _, err := frame.Decode(df.Buf); err != nil {
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Errorf("%d delivered frames fail the checksum, want exactly 1", bad)
+	}
+	if _, _, _, _, err := frame.Decode(f.Buf); err != nil {
+		t.Errorf("mangler corrupted the sender's buffer: %v", err)
+	}
+	// The delayed frame (mangled #4 — serialized fourth, at 4wt) lands
+	// last, 10wt later than undelayed delivery: manglers can reorder
+	// frames past ones serialized after them.
+	last := s.times[len(s.times)-1]
+	if want := 14*wt + lp.Delay; last != want {
+		t.Errorf("delayed frame arrived at %v, want %v", last, want)
+	}
+	if prev := s.times[len(s.times)-2]; prev >= 10*wt {
+		t.Errorf("second-to-last delivery at %v; delayed frame did not reorder", prev)
+	}
+}
+
+func TestManglerRemovedIsFree(t *testing.T) {
+	// Two identical lossy runs, one with a mangler installed and then
+	// removed before traffic: RNG draws must match, i.e. the hook costs
+	// nothing when unset. Guards the goldens.
+	run := func(install bool) (uint64, []sim.Time) {
+		e := sim.NewEnv(7)
+		s := &sink{env: e}
+		lp := LinkParams{PsPerByte: 8000, Delay: 100, LossProb: 0.3, DupProb: 0.1, CorruptProb: 0.1}
+		o := NewOutPort(e, "t", lp, s, 0)
+		if install {
+			o.SetMangler(func(_ *Frame) Mangle { return Mangle{} })
+			o.SetMangler(nil)
+		}
+		e.After(0, func() {
+			for i := 0; i < 200; i++ {
+				o.Send(mkFrame(1, 2, 100))
+			}
+		})
+		e.Run()
+		return o.DropsErr, s.times
+	}
+	d1, t1 := run(false)
+	d2, t2 := run(true)
+	if d1 != d2 || len(t1) != len(t2) {
+		t.Fatalf("runs diverge: drops %d vs %d, deliveries %d vs %d", d1, d2, len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}

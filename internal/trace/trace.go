@@ -31,6 +31,7 @@ const (
 	RxHeld      // buffered awaiting ordering or fences
 	LinkDead    // sender declared a link dead (seq field = link index)
 	LinkRestore // sender re-admitted a dead link (seq field = link index)
+	PeerDead    // conn transitioned to Failed: retry budget or liveness exhausted
 	kindCount
 )
 
@@ -40,6 +41,7 @@ var kindNames = [kindCount]string{
 	TxNack: "tx-nack", RxData: "rx-data", RxDuplicate: "rx-dup",
 	RxOutOfOrder: "rx-ooo", RxHeld: "rx-held",
 	LinkDead: "link-dead", LinkRestore: "link-restore",
+	PeerDead: "peer-dead",
 }
 
 func (k Kind) String() string {
