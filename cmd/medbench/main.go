@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"multiedge/internal/bench"
@@ -40,6 +41,10 @@ func main() {
 	smallops := flag.Bool("smallops", false, "compare eager vs submission-queue small-operation throughput")
 	chaosFlag := flag.Bool("chaos", false, "run randomized chaos soaks across the cluster configurations")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "seeds per configuration for -chaos")
+	faninFlag := flag.Bool("fanin", false, "run the many-connection fan-in scaling sweep (exits 1 on data corruption or post-close leaks)")
+	faninConns := flag.String("fanin-conns", "1,16,64,256,512", "comma-separated connection counts for -fanin")
+	faninOps := flag.Int("fanin-ops", 24, "closed-loop operations per connection for -fanin")
+	faninChaos := flag.Bool("fanin-chaos", false, "with -fanin: inject loss/duplication bursts mid-run")
 	one := flag.String("one", "", "run a single micro-benchmark: ping-pong, one-way or two-way")
 	config := flag.String("config", "1L-1G", "configuration for -one: 1L-1G, 2L-1G, 2Lu-1G or 1L-10G")
 	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
@@ -105,6 +110,27 @@ func main() {
 			count = 2048
 		}
 		fmt.Print(bench.RenderSmallOps(count))
+	case *faninFlag:
+		counts, err := parseConns(*faninConns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medbench: -fanin-conns: %v\n", err)
+			os.Exit(2)
+		}
+		if *quick {
+			max := 64
+			trimmed := counts[:0]
+			for _, n := range counts {
+				if n <= max {
+					trimmed = append(trimmed, n)
+				}
+			}
+			counts = trimmed
+		}
+		out, ok := bench.RenderFanin(counts, *faninOps, 256, *faninChaos)
+		fmt.Print(out)
+		if !ok {
+			os.Exit(1)
+		}
 	case *chaosFlag:
 		transfers := 30
 		if *quick {
@@ -187,6 +213,26 @@ func renderChaos(seeds, transfers int) string {
 		}
 	}
 	return b.String()
+}
+
+// parseConns parses the -fanin-conns list.
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad connection count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func configByName(name string) (cluster.Config, bool) {

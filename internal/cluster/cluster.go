@@ -462,6 +462,7 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.OpsFailed -= b.OpsFailed
 	a.OpDeadlinesExpired -= b.OpDeadlinesExpired
 	a.DupFramesDropped -= b.DupFramesDropped
+	a.NackGapsDropped -= b.NackGapsDropped
 	a.AppProtoTime -= b.AppProtoTime
 	// HoldMax and RtoBackoffMax are peaks, not counters: left as-is.
 	return a

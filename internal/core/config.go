@@ -142,6 +142,24 @@ type Config struct {
 	// (Conn.Post / Conn.Ring) instead of a full kernel crossing each.
 	// Off by default: every existing run stays bit-identical.
 	UseSQ bool
+	// SchedQueue replaces the protocol thread's O(conns) round-robin
+	// scans for control and data work with explicit FIFO service queues:
+	// a connection enqueues itself when it gains work and the thread
+	// pops the head, so per-step cost is O(1) regardless of how many
+	// connections the endpoint carries. Service order is still fair
+	// (a connection re-enqueues at the tail after each frame) but
+	// differs from the scan order, so the flag is off by default to
+	// keep the pinned golden results byte-identical.
+	SchedQueue bool
+	// TimerWheelTick coalesces the per-connection ACK, NACK, RTO and
+	// heartbeat timers into one per-endpoint timer wheel with this tick
+	// granularity: the event heap carries at most one event per occupied
+	// tick bucket instead of O(conns) timer events. Firing times round
+	// up to the next tick boundary, which perturbs timer-paced schedules
+	// slightly, so 0 (plain heap timers, the pinned behavior) is the
+	// default. 50µs is a good value for fan-in runs: ~1% of AckDelay
+	// rounding error, and hundreds of conns share each bucket.
+	TimerWheelTick sim.Time
 	// CoalesceLimit enables small-op frame coalescing on the doorbell
 	// path: consecutive posted writes of at most this many bytes to the
 	// same peer share MultiData frames, amortizing per-frame protocol

@@ -32,6 +32,11 @@ type Conn struct {
 	closedSig   sim.Signal
 	closeTimer  *sim.Timer
 
+	// Scheduler membership (Config.SchedQueue): whether the conn is
+	// currently queued for control/data service at the endpoint.
+	inCtrlQ bool
+	inSendQ bool
+
 	// Failure handling: adaptive retransmission timing (Config.RTOMax)
 	// and peer-death detection (Config.MaxRetries / DeadInterval /
 	// HeartbeatInterval).
@@ -44,8 +49,8 @@ type Conn struct {
 	lastProgress sim.Time // last ack advance, or first transmit of a fresh burst
 	lastHeard    sim.Time // last frame received on this conn
 	lastTx       sim.Time // last frame transmitted on this conn
-	hbTimer      *sim.Timer
-	readGuard    *sim.Timer // daemon liveness check while read replies are pending
+	hbTimer      timer
+	readGuard    timer // daemon liveness check while read replies are pending
 
 	// Transmit side.
 	nextOpID     uint64
@@ -56,7 +61,7 @@ type Conn struct {
 	retransQ     []uint32 // sequence numbers queued for retransmission
 	txFenced     []uint64 // sorted ids of forward-fenced ops not yet fully acked
 	rr           int      // round-robin link cursor
-	rtoTimer     *sim.Timer
+	rtoTimer     timer
 	pendingReads map[uint64]*Handle
 
 	// Transmit side: link-failure handling. A link accumulating repair
@@ -90,8 +95,8 @@ type Conn struct {
 	// vetoing loss detection (see Config.LinkStaleAge).
 	linkLast  []sim.Time
 	unackedRx int
-	ackTimer  *sim.Timer
-	nackTimer *sim.Timer
+	ackTimer  timer
+	nackTimer timer
 	ackDue    bool
 	nackDue   []uint32
 
@@ -311,11 +316,7 @@ func (c *Conn) Close(p *sim.Proc) {
 		return // nothing left to hand-shake with; failConn cleaned up
 	}
 	c.closed = true
-	for _, t := range []*sim.Timer{c.probeTimer, c.hbTimer, c.readGuard} {
-		if t != nil {
-			t.Stop()
-		}
-	}
+	c.stopTimers()
 	ep := c.ep
 	attempts := 0
 	var retry func()
@@ -332,6 +333,7 @@ func (c *Conn) Close(p *sim.Proc) {
 		if mr := ep.cfg.MaxRetries; mr > 0 && attempts > mr {
 			// The peer never acknowledged the close: give up unilaterally
 			// rather than retrying forever against a dead host.
+			ep.removeConn(c)
 			c.closedSig.Fire(ep.env)
 			return
 		}
@@ -342,6 +344,41 @@ func (c *Conn) Close(p *sim.Proc) {
 	ep.env.After(0, retry)
 	p.Wait(&c.closedSig)
 }
+
+// stopTimers cancels every protocol timer the connection owns and clears
+// the pending-ctrl state that would arm new ones. It runs on every exit
+// from the live state — local Close, peer-initiated close, and failConn —
+// so a torn-down conn can never fire a callback or emit a frame again,
+// and no stray event keeps the simulation alive. closeTimer is exempt:
+// the close handshake itself still needs it (failConn stops it too, via
+// stopCloseTimer).
+func (c *Conn) stopTimers() {
+	for _, t := range []interface{ Stop() bool }{
+		c.ackTimer, c.nackTimer, c.rtoTimer, c.hbTimer,
+		c.probeTimer, c.readGuard, c.connTimer,
+	} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	c.ackDue = false
+	c.nackDue = nil
+	// Gap-tracking state would re-arm the NACK machinery if any late
+	// frame slipped through; drop it with the timers.
+	c.missingSince = make(map[uint32]sim.Time)
+	c.nackedAt = make(map[uint32]sim.Time)
+}
+
+func (c *Conn) stopCloseTimer() {
+	if c.closeTimer != nil {
+		c.closeTimer.Stop()
+	}
+}
+
+// kick routes every "this conn may have work now" notification to the
+// endpoint: under Config.SchedQueue the conn enqueues itself for O(1)
+// service, otherwise this is just the legacy thread wakeup.
+func (c *Conn) kick() { c.ep.kickConn(c) }
 
 // ---------------------------------------------------------------------
 // Operation initiation (the paper's RDMA_operation primitive).
@@ -822,6 +859,9 @@ func (c *Conn) currentRTO() sim.Time {
 // peer-failure detection latency is bounded by DeadInterval itself and
 // not by DeadInterval plus one (possibly backed-off) timeout.
 func (c *Conn) armRTO() {
+	if c.closed {
+		return
+	}
 	if c.rtoTimer != nil {
 		c.rtoTimer.Stop()
 	}
@@ -834,7 +874,7 @@ func (c *Conn) armRTO() {
 			}
 		}
 	}
-	c.rtoTimer = c.ep.env.After(d, c.onRTO)
+	c.rtoTimer = c.ep.afterTimer(d, c.onRTO)
 }
 
 func (c *Conn) onRTO() {
@@ -872,7 +912,7 @@ func (c *Conn) onRTO() {
 		c.queueRetrans(seq, obs.EvRtoRepair)
 	}
 	c.armRTO()
-	c.ep.wakeThread()
+	c.kick()
 }
 
 // handleAck processes a cumulative acknowledgement (piggy-backed or
@@ -915,7 +955,7 @@ func (c *Conn) handleAck(ack uint32) {
 	} else if c.rtoTimer != nil {
 		c.rtoTimer.Stop()
 	}
-	c.ep.wakeThread() // the window may have opened
+	c.kick() // the window may have opened
 }
 
 // handleNack retransmits the frames a NACK reports missing (selective
@@ -924,7 +964,7 @@ func (c *Conn) handleNack(missing []uint32) {
 	for _, s := range missing {
 		c.queueRetrans(s, obs.EvNackRepair)
 	}
-	c.ep.wakeThread()
+	c.kick()
 }
 
 // checkTxOpDone completes a send-side operation once fully fragmented
@@ -946,7 +986,7 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 				break
 			}
 		}
-		c.ep.wakeThread() // stalled operations may proceed now
+		c.kick() // stalled operations may proceed now
 	}
 	if op.subs != nil {
 		// Coalesced batch: every sub-op completes with the shared frame.
@@ -1094,14 +1134,8 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 	c.closed = true
 	ep.Stats.PeerDeadEvents++
 	ep.trc(c.localID, trace.PeerDead, 0, 0)
-	for _, t := range []*sim.Timer{c.rtoTimer, c.probeTimer, c.ackTimer, c.nackTimer,
-		c.connTimer, c.closeTimer, c.hbTimer, c.readGuard} {
-		if t != nil {
-			t.Stop()
-		}
-	}
-	c.ackDue = false
-	c.nackDue = nil
+	c.stopTimers()
+	c.stopCloseTimer()
 	if sendReset && c.established.Fired() {
 		h := frame.Header{Type: frame.TypeReset, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
 		for li := 0; li < c.links; li++ {
@@ -1157,6 +1191,7 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 	for c.notifyQ.HasWaiters() {
 		c.notifyQ.Send(ep.env, Notification{From: c.remoteNode, Len: -1})
 	}
+	ep.removeConn(c)
 }
 
 // startKeepalive initializes liveness tracking at connection
@@ -1186,9 +1221,9 @@ func (c *Conn) startKeepalive() {
 		if now-c.lastTx >= hb {
 			c.sendHeartbeat()
 		}
-		c.hbTimer = c.ep.env.AfterDaemon(hb, tick)
+		c.hbTimer = c.ep.afterDaemonTimer(hb, tick)
 	}
-	c.hbTimer = c.ep.env.AfterDaemon(hb, tick)
+	c.hbTimer = c.ep.afterDaemonTimer(hb, tick)
 }
 
 // sendHeartbeat emits one liveness ctrl frame. Like every control
@@ -1204,10 +1239,10 @@ func (c *Conn) sendHeartbeat() {
 // path nor (with heartbeats off) any other timer would notice the peer
 // dying before the reply.
 func (c *Conn) armReadGuard() {
-	if c.ep.cfg.DeadInterval <= 0 || (c.readGuard != nil && c.readGuard.Pending()) {
+	if c.closed || c.ep.cfg.DeadInterval <= 0 || (c.readGuard != nil && c.readGuard.Pending()) {
 		return
 	}
-	c.readGuard = c.ep.env.AfterDaemon(c.ep.cfg.DeadInterval, c.checkReadLiveness)
+	c.readGuard = c.ep.afterDaemonTimer(c.ep.cfg.DeadInterval, c.checkReadLiveness)
 }
 
 func (c *Conn) checkReadLiveness() {
@@ -1221,7 +1256,7 @@ func (c *Conn) checkReadLiveness() {
 			c.remoteNode, silent, ErrPeerDead), true)
 		return
 	}
-	c.readGuard = c.ep.env.AfterDaemon(c.lastHeard+di-now, c.checkReadLiveness)
+	c.readGuard = c.ep.afterDaemonTimer(c.lastHeard+di-now, c.checkReadLiveness)
 }
 
 // ---------------------------------------------------------------------
@@ -1285,10 +1320,10 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 		ep.trc(c.localID, trace.RxOutOfOrder, seq, len(payload))
 	} else {
 		// In-order extension: any sequence numbers it skips over become
-		// missing as of now.
+		// missing as of now (bounded by the tracked-gap cap).
 		for s := c.maxSeenPlus1; s != seq; s++ {
 			if !c.rcvSeen[s] && int32(s-c.rcvNxt) >= 0 {
-				c.missingSince[s] = ep.env.Now()
+				c.trackGap(s, ep.env.Now())
 			}
 		}
 		c.maxSeenPlus1 = seq + 1
@@ -1316,14 +1351,71 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 // the timer path uses the full NackDelay.
 func (c *Conn) nackAge() sim.Time { return c.ep.cfg.NackDelay / 4 }
 
+const (
+	// maxNack bounds the missing list one NACK frame may carry. Gaps
+	// beyond it are repaired by later rounds: explicit repairs advance
+	// the cumulative ACK, which slides the window over the remainder.
+	maxNack = 64
+	// maxTrackedGaps bounds the receive-side missing-sequence map. A
+	// long outage on one rail can open a gap as wide as the sender's
+	// window every round trip; tracking more than this many sequence
+	// numbers buys nothing (a NACK reports at most maxNack anyway) and
+	// would let protocol state grow without bound at fan-in scale.
+	// Untracked gaps are counted (Stats.NackGapsDropped) and repaired
+	// by the cumulative-ACK/RTO fallback as the window slides.
+	maxTrackedGaps = 256
+)
+
+// trackGap records sequence number s as missing since now, subject to
+// the maxTrackedGaps cap.
+func (c *Conn) trackGap(s uint32, now sim.Time) {
+	if len(c.missingSince) >= maxTrackedGaps {
+		c.ep.Stats.NackGapsDropped++
+		return
+	}
+	c.missingSince[s] = now
+}
+
+// mergeNacks merges two ascending missing-sequence lists into one
+// deduplicated ascending list, capped at maxNack entries. Merging (vs
+// the old overwrite) means a NACK prompted by a duplicate cannot erase
+// still-unrepaired sequence numbers queued by an earlier gap report.
+func mergeNacks(a, b []uint32) []uint32 {
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch d := int32(a[i] - b[j]); {
+		case d == 0:
+			out = append(out, a[i])
+			i++
+			j++
+		case d < 0:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	if len(out) > maxNack {
+		out = out[:maxNack]
+	}
+	return out
+}
+
 // armNackTimer keeps a gap-age check pending while anything is missing,
 // so NACKs are re-sent if they (or the retransmissions) are lost.
 func (c *Conn) armNackTimer() {
-	if c.nackTimer != nil && c.nackTimer.Pending() {
+	if c.closed || (c.nackTimer != nil && c.nackTimer.Pending()) {
 		return
 	}
-	c.nackTimer = c.ep.env.After(c.ep.cfg.NackDelay, func() {
-		if len(c.missingSince) == 0 {
+	c.nackTimer = c.ep.afterTimer(c.ep.cfg.NackDelay, func() {
+		if c.closed || len(c.missingSince) == 0 {
 			return
 		}
 		c.queueNack(true)
@@ -1336,7 +1428,9 @@ func (c *Conn) armNackTimer() {
 // prevents repeated NACKs for the same loss within one repair
 // round-trip; force bypasses the age filter half-way (timer path).
 func (c *Conn) queueNack(force bool) {
-	const maxNack = 64
+	if c.closed {
+		return
+	}
 	now := c.ep.env.Now()
 	minAge := c.nackAge()
 	if force {
@@ -1352,7 +1446,7 @@ func (c *Conn) queueNack(force bool) {
 		}
 		since, ok := c.missingSince[s]
 		if !ok {
-			c.missingSince[s] = now
+			c.trackGap(s, now)
 			continue
 		}
 		if now-since < minAge {
@@ -1388,25 +1482,28 @@ func (c *Conn) queueNack(force bool) {
 	}
 	if len(missing) > 0 {
 		c.lastNack = now
-		c.nackDue = missing
-		c.ep.wakeThread()
+		c.nackDue = mergeNacks(c.nackDue, missing)
+		c.kick()
 	}
 }
 
 // ackPolicy implements delayed acknowledgements (§2.4): explicit ACKs
 // only after AckEvery frames or AckDelay without reverse traffic.
 func (c *Conn) ackPolicy() {
+	if c.closed {
+		return
+	}
 	c.unackedRx++
 	if c.unackedRx >= c.ep.cfg.AckEvery {
 		c.ackDue = true
-		c.ep.wakeThread()
+		c.kick()
 		return
 	}
 	if c.ackTimer == nil || !c.ackTimer.Pending() {
-		c.ackTimer = c.ep.env.After(c.ep.cfg.AckDelay, func() {
-			if c.unackedRx > 0 {
+		c.ackTimer = c.ep.afterTimer(c.ep.cfg.AckDelay, func() {
+			if !c.closed && c.unackedRx > 0 {
 				c.ackDue = true
-				c.ep.wakeThread()
+				c.kick()
 			}
 		})
 	}
@@ -1415,8 +1512,11 @@ func (c *Conn) ackPolicy() {
 // forceAck schedules an immediate explicit acknowledgement (duplicate
 // seen or go-back-N discard: the sender needs our state now).
 func (c *Conn) forceAck() {
+	if c.closed {
+		return
+	}
 	c.ackDue = true
-	c.ep.wakeThread()
+	c.kick()
 }
 
 // ---------------------------------------------------------------------
@@ -1749,5 +1849,5 @@ func (c *Conn) serveRead(h frame.Header) {
 	c.nextOpID++
 	c.txOps = append(c.txOps, t)
 	ep.Stats.OpsStarted++
-	ep.wakeThread()
+	c.kick()
 }

@@ -1,0 +1,47 @@
+package core
+
+// connShards is the shard count of the endpoint connection table. A
+// power of two, so the shard pick is a mask. 16 shards keep each map
+// small (≤64 entries at the 1024-conn design point), which bounds both
+// lookup probe lengths and the rehash pauses Go maps take as they grow.
+const connShards = 16
+
+// connTable is the endpoint's connection demux, sharded by connection
+// id. Only keyed operations exist — iteration goes through the
+// endpoint's connOrder slice, which preserves the deterministic
+// creation order the scheduler's fairness (and golden runs) rely on.
+type connTable struct {
+	shards [connShards]map[uint32]*Conn
+	n      int
+}
+
+func newConnTable() *connTable {
+	t := &connTable{}
+	for i := range t.shards {
+		t.shards[i] = make(map[uint32]*Conn)
+	}
+	return t
+}
+
+func (t *connTable) get(id uint32) (*Conn, bool) {
+	c, ok := t.shards[id&(connShards-1)][id]
+	return c, ok
+}
+
+func (t *connTable) put(id uint32, c *Conn) {
+	s := t.shards[id&(connShards-1)]
+	if _, ok := s[id]; !ok {
+		t.n++
+	}
+	s[id] = c
+}
+
+func (t *connTable) del(id uint32) {
+	s := t.shards[id&(connShards-1)]
+	if _, ok := s[id]; ok {
+		t.n--
+		delete(s, id)
+	}
+}
+
+func (t *connTable) len() int { return t.n }

@@ -25,16 +25,26 @@ type Endpoint struct {
 	mem    []byte
 	memBrk uint64
 
-	conns      map[uint32]*Conn  // by local connection id
+	conns      *connTable        // by local connection id, sharded
 	connOrder  []*Conn           // stable iteration order for fairness
 	byPeer     map[peerKey]*Conn // handshake dedupe
 	nextConnID uint32
 	acceptAll  bool
 	accepted   sim.Mailbox[*Conn]
 
+	wheel *sim.Wheel // coalesced protocol timers (Config.TimerWheelTick)
+
 	threadActive bool
 	txRR         int // round-robin cursor over connections for send work
 	rxPrefer     int // NIC to poll first (the one that interrupted, NAPI-style)
+
+	// Connection scheduler (Config.SchedQueue): FIFO queues of
+	// connections with pending control or data work. A connection sits
+	// in each queue at most once (inCtrlQ/inSendQ); entries are
+	// re-validated on pop, so a conn whose work evaporated (acked,
+	// closed) costs one skip instead of an O(conns) rescan.
+	ctrlQ []*Conn
+	sendQ []*Conn
 
 	notifyAll *sim.Mailbox[Notification]
 
@@ -76,10 +86,13 @@ func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus
 	ep := &Endpoint{
 		env: env, node: node, cfg: cfg, costs: costs, cpus: cpus, nics: nics,
 		mem:        make([]byte, cfg.MemBytes),
-		conns:      make(map[uint32]*Conn),
+		conns:      newConnTable(),
 		byPeer:     make(map[peerKey]*Conn),
 		nextConnID: 1,
 		acceptAll:  true,
+	}
+	if cfg.TimerWheelTick > 0 {
+		ep.wheel = sim.NewWheel(env, cfg.TimerWheelTick)
 	}
 	for _, n := range nics {
 		n.SetHost(ep)
@@ -115,6 +128,108 @@ func (ep *Endpoint) protoCost(t sim.Time) sim.Time {
 // utilization reporting.
 func (ep *Endpoint) Engine() *sim.Resource { return ep.engine }
 
+// timer is the common handle for protocol timers, satisfied by both
+// plain heap timers (*sim.Timer) and wheel timers (*sim.WheelTimer) so
+// connections need not know which backing Config selected.
+type timer interface {
+	Stop() bool
+	Pending() bool
+}
+
+// afterTimer schedules a protocol timer: through the endpoint's timer
+// wheel when Config.TimerWheelTick is set, else as a plain heap event.
+func (ep *Endpoint) afterTimer(d sim.Time, fn func()) timer {
+	if ep.wheel != nil {
+		return ep.wheel.After(d, fn)
+	}
+	return ep.env.After(d, fn)
+}
+
+// afterDaemonTimer is afterTimer with daemon semantics: the timer never
+// keeps a drained simulation alive (heartbeats, liveness guards).
+func (ep *Endpoint) afterDaemonTimer(d sim.Time, fn func()) timer {
+	if ep.wheel != nil {
+		return ep.wheel.AfterDaemon(d, fn)
+	}
+	return ep.env.AfterDaemon(d, fn)
+}
+
+// kickConn notes that c may have gained control or data work and makes
+// sure the protocol thread will look at it: under Config.SchedQueue the
+// connection enqueues itself (once per queue), otherwise the thread's
+// scan will find it. Every conn-side state change that can create work
+// funnels through here via Conn.kick.
+func (ep *Endpoint) kickConn(c *Conn) {
+	if ep.cfg.SchedQueue {
+		if !c.inCtrlQ && c.ctrlPending() {
+			c.inCtrlQ = true
+			ep.ctrlQ = append(ep.ctrlQ, c)
+		}
+		if !c.inSendQ && c.sendable() {
+			c.inSendQ = true
+			ep.sendQ = append(ep.sendQ, c)
+		}
+	}
+	ep.wakeThread()
+}
+
+// popCtrl returns the next connection with a pending explicit ACK/NACK,
+// discarding entries whose work evaporated since they were queued.
+func (ep *Endpoint) popCtrl() *Conn {
+	for len(ep.ctrlQ) > 0 {
+		c := ep.ctrlQ[0]
+		ep.ctrlQ = ep.ctrlQ[1:]
+		c.inCtrlQ = false
+		if c.ctrlPending() {
+			return c
+		}
+	}
+	ep.ctrlQ = nil // release the drained backing array
+	return nil
+}
+
+// popSend returns the next connection with transmittable data work.
+func (ep *Endpoint) popSend() *Conn {
+	for len(ep.sendQ) > 0 {
+		c := ep.sendQ[0]
+		ep.sendQ = ep.sendQ[1:]
+		c.inSendQ = false
+		if c.sendable() {
+			return c
+		}
+	}
+	ep.sendQ = nil
+	return nil
+}
+
+// removeConn unlinks a torn-down connection from the endpoint: demux
+// table, fairness order and handshake dedupe. Scheduler queue entries
+// are left to lazy invalidation (closed conns fail the pop re-check).
+// Idempotent; frames that arrive for a removed connection are dropped
+// at dispatch, except retransmitted ConnClose frames, which get a
+// stateless acknowledgement so the peer's close handshake still
+// terminates.
+func (ep *Endpoint) removeConn(c *Conn) {
+	if _, ok := ep.conns.get(c.localID); !ok {
+		return
+	}
+	ep.conns.del(c.localID)
+	for i, cc := range ep.connOrder {
+		if cc == c {
+			ep.connOrder = append(ep.connOrder[:i], ep.connOrder[i+1:]...)
+			break
+		}
+	}
+	k := peerKey{node: c.remoteNode, connID: c.remoteID}
+	if ep.byPeer[k] == c {
+		delete(ep.byPeer, k)
+	}
+}
+
+// ActiveConns returns how many connections the endpoint currently
+// carries (closed and failed conns are removed from the table).
+func (ep *Endpoint) ActiveConns() int { return ep.conns.len() }
+
 // SetTrace attaches a frame-level event trace (nil disables). Tracing
 // records transmit/receive/reorder/retransmission events for the
 // paper-style network-traffic analysis.
@@ -141,6 +256,17 @@ func (ep *Endpoint) SetObs(r *obs.Registry) {
 	ep.rtoHist = r.Histogram("core_rto_us", nil, obs.NodeLabel(ep.node))
 	ep.backoffHist = r.Histogram("core_rto_backoff", nil, obs.NodeLabel(ep.node))
 	r.AddCollector(ep.Stats.Collector(ep.node))
+	// Scaling gauges are sampled at gather time straight from the live
+	// structures, so the hot path (kick/pop/arm) pays nothing for them.
+	nl := obs.NodeLabel(ep.node)
+	r.AddCollector(func(emit func(obs.Sample)) {
+		g := func(name string, v float64) {
+			emit(obs.Sample{Name: name, Labels: []obs.Label{nl}, Value: v, Type: obs.TypeGauge})
+		}
+		g("core_active_conns", float64(ep.conns.len()))
+		g("core_sched_queue_depth", float64(len(ep.ctrlQ)+len(ep.sendQ)))
+		g("core_timer_wheel_entries", float64(ep.wheel.Len()))
+	})
 }
 
 // noteSQDepth tracks the node-wide submission-queue depth gauge (nil-safe
@@ -295,28 +421,51 @@ func (ep *Endpoint) threadStep() {
 			return
 		}
 	}
-	// 3. Send pending control frames (ACK/NACK), round-robin.
-	for i := 0; i < len(ep.connOrder); i++ {
-		c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
-		if c.ctrlPending() {
-			ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
+	// 3+4. Send pending control frames (ACK/NACK), then one data frame
+	// from a connection with window space. Under Config.SchedQueue both
+	// come from O(1) FIFO pops; a connection with more work re-enqueues
+	// at the tail, so service stays fair round-robin. The legacy path
+	// scans every connection per step, which is fine for a handful of
+	// conns and byte-identical to the pinned golden runs.
+	if ep.cfg.SchedQueue {
+		if c := ep.popCtrl(); c != nil {
 			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
 				c.sendCtrl()
+				ep.kickConn(c)
 				ep.threadStep()
 			})
 			return
 		}
-	}
-	// 4. Send one data frame from a connection with window space.
-	for i := 0; i < len(ep.connOrder); i++ {
-		c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
-		if c.sendable() {
-			ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
+		if c := ep.popSend(); c != nil {
 			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
 				c.sendNextDataFrame()
+				ep.kickConn(c)
 				ep.threadStep()
 			})
 			return
+		}
+	} else {
+		for i := 0; i < len(ep.connOrder); i++ {
+			c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
+			if c.ctrlPending() {
+				ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
+				ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
+					c.sendCtrl()
+					ep.threadStep()
+				})
+				return
+			}
+		}
+		for i := 0; i < len(ep.connOrder); i++ {
+			c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
+			if c.sendable() {
+				ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
+				ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
+					c.sendNextDataFrame()
+					ep.threadStep()
+				})
+				return
+			}
 		}
 	}
 	// No work: sleep and unmask (re-raises if anything slipped in).
@@ -364,25 +513,43 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		ep.handleConnAck(src, h)
 		return
 	}
-	c, ok := ep.conns[h.ConnID]
+	c, ok := ep.conns.get(h.ConnID)
 	if !ok {
+		if h.Type == frame.TypeConnClose {
+			// A retransmitted close for a connection we already tore
+			// down and removed: re-acknowledge statelessly (the reply
+			// is built purely from the incoming header) so the peer's
+			// handshake terminates instead of retrying into silence.
+			ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID)}
+			buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
+			ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
+		}
 		return // stale frame for a connection we do not know
 	}
 	if h.Type == frame.TypeConnClose {
 		// Peer-initiated teardown: acknowledge (idempotently — the
-		// close may be retransmitted) and mark closed.
+		// close may be retransmitted), stop every timer the conn owns,
+		// and drop it from the tables. In a simultaneous close our own
+		// handshake completes here too: the peer has committed to
+		// teardown, and its side answers our retransmitted ConnClose
+		// statelessly even after it forgets the conn.
+		if c.closed && !c.failed && !c.closedSig.Fired() {
+			c.stopCloseTimer()
+			c.closedSig.Fire(ep.env)
+		}
 		c.closed = true
+		c.stopTimers()
 		ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID)}
 		buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
+		ep.removeConn(c)
 		return
 	}
 	if h.Type == frame.TypeConnCloseAck {
 		if !c.closedSig.Fired() {
-			if c.closeTimer != nil {
-				c.closeTimer.Stop()
-			}
+			c.stopCloseTimer()
 			c.closedSig.Fire(ep.env)
+			ep.removeConn(c)
 		}
 		return
 	}
@@ -453,6 +620,7 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 			c.closed = true
 			ep.Stats.PeerDeadEvents++
 			ep.trc(c.localID, trace.PeerDead, 0, 0)
+			ep.removeConn(c)
 			c.established.Fire(ep.env)
 			return
 		}
@@ -486,7 +654,7 @@ func (ep *Endpoint) Accept(p *sim.Proc) *Conn {
 func (ep *Endpoint) newConn(remoteNode, links int) *Conn {
 	c := newConn(ep, ep.nextConnID, remoteNode, links)
 	ep.nextConnID++
-	ep.conns[c.localID] = c
+	ep.conns.put(c.localID, c)
 	ep.connOrder = append(ep.connOrder, c)
 	return c
 }
@@ -516,7 +684,7 @@ func (ep *Endpoint) handleConnReq(src frame.Addr, h frame.Header) {
 }
 
 func (ep *Endpoint) handleConnAck(_ frame.Addr, h frame.Header) {
-	c, ok := ep.conns[h.ConnID]
+	c, ok := ep.conns.get(h.ConnID)
 	if !ok || c.established.Fired() {
 		return
 	}

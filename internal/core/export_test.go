@@ -1,0 +1,41 @@
+package core
+
+// Test hooks: white-box visibility into connection timer and gap state
+// for the teardown-leak regression tests, without exporting any of it.
+
+// PendingTimersForTest counts the connection's protocol timers that are
+// still armed. After Close or failure it must be zero: a pending timer
+// on a torn-down conn is exactly the leak class this suite guards
+// against.
+func (c *Conn) PendingTimersForTest() int {
+	n := 0
+	for _, t := range []interface{ Pending() bool }{
+		c.ackTimer, c.nackTimer, c.rtoTimer, c.hbTimer,
+		c.probeTimer, c.readGuard, c.connTimer, c.closeTimer,
+	} {
+		if t != nil && t.Pending() {
+			n++
+		}
+	}
+	return n
+}
+
+// TrackedGapsForTest returns how many missing sequence numbers the
+// receive side currently tracks (bounded by maxTrackedGaps).
+func (c *Conn) TrackedGapsForTest() int { return len(c.missingSince) }
+
+// NackDueForTest returns the length of the queued NACK list (bounded by
+// maxNack).
+func (c *Conn) NackDueForTest() int { return len(c.nackDue) }
+
+// CtrlStateForTest reports the pending delayed-ACK flag and NACK list
+// size, the state the post-close no-frame regression stages.
+func (c *Conn) CtrlStateForTest() (ackDue bool, nacks int) {
+	return c.ackDue, len(c.nackDue)
+}
+
+// MaxNackForTest and MaxTrackedGapsForTest expose the protocol caps.
+const (
+	MaxNackForTest        = maxNack
+	MaxTrackedGapsForTest = maxTrackedGaps
+)

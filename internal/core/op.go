@@ -217,7 +217,7 @@ func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
 	}
 	c.txOps = append(c.txOps, t)
 	ep.Stats.OpsStarted++
-	ep.wakeThread()
+	c.kick()
 	return t.h
 }
 
@@ -415,7 +415,7 @@ func (c *Conn) enqueueMulti(ops []Op, data [][]byte) {
 		ep.coalesceHist.Observe(float64(len(ops)))
 	}
 	c.txOps = append(c.txOps, t)
-	ep.wakeThread()
+	c.kick()
 }
 
 // SQLen returns the number of descriptors posted but not yet rung.

@@ -55,6 +55,7 @@ type Stats struct {
 	OpsFailed          uint64 // operations completed with an error (peer death, deadline)
 	OpDeadlinesExpired uint64 // operations whose Op.Deadline released the waiter
 	DupFramesDropped   uint64 // duplicate payload-bearing frames dropped before apply
+	NackGapsDropped    uint64 // gaps left untracked because the missing-list cap was hit
 
 	// CPU time charged on the application CPU on behalf of the
 	// protocol (operation initiation: syscall, descriptor, copy).
@@ -129,6 +130,7 @@ func (s *Stats) Add(o *Stats) {
 	s.OpsFailed += o.OpsFailed
 	s.OpDeadlinesExpired += o.OpDeadlinesExpired
 	s.DupFramesDropped += o.DupFramesDropped
+	s.NackGapsDropped += o.NackGapsDropped
 	s.AppProtoTime += o.AppProtoTime
 }
 
@@ -175,6 +177,7 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_ops_failed_total", s.OpsFailed)
 		c("core_op_deadlines_expired_total", s.OpDeadlinesExpired)
 		c("core_dup_frames_dropped_total", s.DupFramesDropped)
+		c("core_nack_gaps_dropped_total", s.NackGapsDropped)
 		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
 			Value: float64(s.HoldMax), Type: obs.TypeGauge})
 		emit(obs.Sample{Name: "core_rto_backoff_max", Labels: []obs.Label{nl},

@@ -240,3 +240,21 @@ func (e *Env) run(horizon Time, untilLiveDrained bool) Time {
 
 // Idle reports whether no events remain queued.
 func (e *Env) Idle() bool { return len(e.events) == 0 }
+
+// PendingLive returns the number of pending events that would keep Run
+// going: scheduled, not canceled, and not daemon.
+func (e *Env) PendingLive() int { return e.live }
+
+// PendingEvents returns the number of scheduled, non-canceled events
+// still queued, daemon or not. Teardown leak gates use it: after every
+// connection is closed and Run has drained, a nonzero count means some
+// timer survived its owner.
+func (e *Env) PendingEvents() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

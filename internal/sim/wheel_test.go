@@ -1,0 +1,184 @@
+package sim
+
+import "testing"
+
+func TestWheelFiresInOrderAndRoundsUp(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	var order []int
+	env.After(0, func() {
+		w.After(12*Microsecond, func() { order = append(order, 1) }) // rounds to 20us
+		w.After(15*Microsecond, func() { order = append(order, 2) }) // same bucket, later arm
+		w.After(5*Microsecond, func() { order = append(order, 3) })  // rounds to 10us
+	})
+	end := env.Run()
+	if got, want := len(order), 3; got != want {
+		t.Fatalf("fired %d timers, want %d", got, want)
+	}
+	if order[0] != 3 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("firing order %v, want [3 1 2] (bucket time, then arming order)", order)
+	}
+	if end != 20*Microsecond {
+		t.Errorf("last event at %v, want 20us", end)
+	}
+	if w.Len() != 0 {
+		t.Errorf("wheel still holds %d timers", w.Len())
+	}
+}
+
+func TestWheelOneHeapEventPerBucket(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	fired := 0
+	env.After(0, func() {
+		for i := 0; i < 100; i++ {
+			w.After(10*Microsecond, func() { fired++ })
+		}
+		// 100 timers in one bucket: the heap should hold the bucket
+		// event plus nothing else from the wheel.
+		if got := env.PendingEvents(); got != 1 {
+			t.Errorf("pending heap events = %d, want 1 (one per occupied bucket)", got)
+		}
+	})
+	env.Run()
+	if fired != 100 {
+		t.Fatalf("fired %d, want 100", fired)
+	}
+}
+
+func TestWheelStop(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	fired := false
+	env.After(0, func() {
+		wt := w.After(30*Microsecond, func() { fired = true })
+		if !wt.Pending() {
+			t.Error("armed timer not pending")
+		}
+		if !wt.Stop() {
+			t.Error("Stop on a pending timer returned false")
+		}
+		if wt.Pending() {
+			t.Error("stopped timer still pending")
+		}
+		if wt.Stop() {
+			t.Error("second Stop returned true")
+		}
+	})
+	env.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if w.Len() != 0 {
+		t.Errorf("wheel Len = %d after stop", w.Len())
+	}
+	// A fully stopped bucket must not keep any heap event pending.
+	if got := env.PendingEvents(); got != 0 {
+		t.Errorf("pending heap events = %d after stopping the only timer", got)
+	}
+}
+
+func TestWheelStopSiblingDuringFire(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	var t2 *WheelTimer
+	fired2 := false
+	env.After(0, func() {
+		w.After(10*Microsecond, func() { t2.Stop() })
+		t2 = w.After(10*Microsecond, func() { fired2 = true })
+		w.After(10*Microsecond, func() {}) // third sibling keeps the loop going
+	})
+	env.Run()
+	if fired2 {
+		t.Error("timer stopped by a same-bucket sibling still fired")
+	}
+	if w.Len() != 0 {
+		t.Errorf("wheel Len = %d", w.Len())
+	}
+}
+
+func TestWheelOverflowFallsBackToHeap(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	firedAt := Time(-1)
+	env.After(0, func() {
+		// Far beyond the 512-slot horizon: exact heap timing, no rounding.
+		wt := w.After(123456789*Nanosecond, func() { firedAt = env.Now() })
+		if !wt.Pending() {
+			t.Error("overflow timer not pending")
+		}
+	})
+	env.Run()
+	if firedAt != 123456789*Nanosecond {
+		t.Errorf("overflow timer fired at %v, want exactly 123456789ns", firedAt)
+	}
+	if w.Len() != 0 {
+		t.Errorf("wheel Len = %d", w.Len())
+	}
+}
+
+func TestWheelDaemonDoesNotKeepRunAlive(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	daemonFired := false
+	env.After(5*Microsecond, func() {}) // the only live work
+	env.After(0, func() {
+		w.AfterDaemon(100*Microsecond, func() { daemonFired = true })
+	})
+	end := env.Run()
+	if daemonFired {
+		t.Error("daemon wheel timer fired with no live work to carry it")
+	}
+	if end != 5*Microsecond {
+		t.Errorf("Run ended at %v, want 5us (daemon bucket must not extend it)", end)
+	}
+}
+
+func TestWheelDaemonnessFollowsContents(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	liveFired := false
+	env.After(0, func() {
+		// One daemon and one live timer share a bucket: the bucket event
+		// must be live. Stopping the live one must demote it to daemon.
+		w.AfterDaemon(50*Microsecond, func() {})
+		lt := w.After(50*Microsecond, func() { liveFired = true })
+		if env.PendingLive() == 0 {
+			t.Error("bucket with a live timer reported no live events")
+		}
+		env.After(1*Microsecond, func() {
+			lt.Stop()
+			if env.PendingLive() != 0 {
+				t.Errorf("pending live = %d after stopping the only live timer", env.PendingLive())
+			}
+		})
+	})
+	end := env.Run()
+	if liveFired {
+		t.Error("stopped live timer fired")
+	}
+	if end != 1*Microsecond {
+		t.Errorf("Run ended at %v, want 1us", end)
+	}
+}
+
+func TestWheelRearmFromCallback(t *testing.T) {
+	env := NewEnv(1)
+	w := NewWheel(env, 10*Microsecond)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			w.After(10*Microsecond, tick)
+		}
+	}
+	env.After(0, func() { w.After(10*Microsecond, tick) })
+	end := env.Run()
+	if count != 5 {
+		t.Fatalf("ticked %d times, want 5", count)
+	}
+	if end != 50*Microsecond {
+		t.Errorf("last tick at %v, want 50us", end)
+	}
+}
