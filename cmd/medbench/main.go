@@ -45,6 +45,9 @@ func main() {
 	faninConns := flag.String("fanin-conns", "1,16,64,256,512", "comma-separated connection counts for -fanin")
 	faninOps := flag.Int("fanin-ops", 24, "closed-loop operations per connection for -fanin")
 	faninChaos := flag.Bool("fanin-chaos", false, "with -fanin: inject loss/duplication bursts mid-run")
+	crashloop := flag.Bool("crashloop", false, "run the crash-restart recovery sweep (exits 1 on corruption, unrecovered cycles, or post-close leaks)")
+	crashCycles := flag.Int("crashloop-cycles", 5, "crash-restart cycles per setting for -crashloop")
+	crashDownMs := flag.Int("crashloop-down-ms", 150, "node downtime per cycle in milliseconds for -crashloop")
 	one := flag.String("one", "", "run a single micro-benchmark: ping-pong, one-way or two-way")
 	config := flag.String("config", "1L-1G", "configuration for -one: 1L-1G, 2L-1G, 2Lu-1G or 1L-10G")
 	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
@@ -127,6 +130,16 @@ func main() {
 			counts = trimmed
 		}
 		out, ok := bench.RenderFanin(counts, *faninOps, 256, *faninChaos)
+		fmt.Print(out)
+		if !ok {
+			os.Exit(1)
+		}
+	case *crashloop:
+		cycles := *crashCycles
+		if *quick {
+			cycles = 2
+		}
+		out, ok := bench.RenderCrashloop(cycles, sim.Time(*crashDownMs)*sim.Millisecond, 256<<10)
 		fmt.Print(out)
 		if !ok {
 			os.Exit(1)

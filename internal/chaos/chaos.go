@@ -95,6 +95,42 @@ func (r *Runner) ResumeNode(at sim.Time, node int) {
 // use: every path to the node dies at once and stays dead.
 func (r *Runner) KillAllRails(at sim.Time, node int) { r.PauseNode(at, node) }
 
+// CrashRestart models a node crash-restart: every rail dies at once at
+// time at and comes back after down. With core.Config.Reconnect the
+// surviving connections park, renegotiate an incarnation and replay;
+// without it any outage past DeadInterval legitimately kills them
+// (pair with Options.ExpectDeath).
+func (r *Runner) CrashRestart(at, down sim.Time, node int) {
+	r.at(at, fmt.Sprintf("crash node n%d (down %v)", node, down), func() { r.cl.PauseNode(node) })
+	r.at(at+down, fmt.Sprintf("restart node n%d", node), func() { r.cl.ResumeNode(node) })
+}
+
+// SeverDirection kills only the from→to direction of a rail during
+// [at, at+down): from's uplink and the switch ports feeding to go dark,
+// while to→from traffic still flows. The classic ack-starvation fault:
+// the sender sees total silence and (under Reconnect) parks and
+// redials, while the receiver keeps applying data and — once reborn —
+// heartbeats into the sender's parked epoch, exercising the stale-
+// incarnation fence. On clusters larger than two nodes the downlink
+// kill also severs third parties → to; use it on pairwise scenarios.
+func (r *Runner) SeverDirection(at, down sim.Time, from, to, link int) {
+	oneWay := func(fail bool) {
+		ports := []*phys.OutPort{r.cl.RailPorts(from, link)[0]}
+		ports = append(ports, r.cl.RailPorts(to, link)[1:]...)
+		for _, p := range ports {
+			if fail {
+				p.Fail()
+			} else {
+				p.Restore()
+			}
+		}
+	}
+	r.at(at, fmt.Sprintf("sever n%d→n%d l%d (down %v)", from, to, link, down),
+		func() { oneWay(true) })
+	r.at(at+down, fmt.Sprintf("heal n%d→n%d l%d", from, to, link),
+		func() { oneWay(false) })
+}
+
 // ---------------------------------------------------------------------
 // Soft faults (mangler based), active on a [from, to) window.
 // ---------------------------------------------------------------------
@@ -214,6 +250,19 @@ type RandomizeOptions struct {
 	From, To  sim.Time // window the faults land in
 	Events    int      // number of faults to schedule
 	MaxOutage sim.Time // longest flap/burst duration
+
+	// CrashRestarts additionally schedules that many whole-node
+	// crash→restart cycles (PauseNode → ResumeNode after a downtime in
+	// [CrashDownMin, CrashDownMax]) spread across the window. With
+	// core.Config.Reconnect each cycle is a full park → redial →
+	// incarnation bump → replay exercise; without it any downtime past
+	// DeadInterval kills connections for real. Zero (the default) draws
+	// nothing extra from the seed stream, so timelines built by earlier
+	// revisions stay bit-identical.
+	CrashRestarts              int
+	CrashDownMin, CrashDownMax sim.Time
+	// CrashNodes limits which nodes crash; nil means any node.
+	CrashNodes []int
 }
 
 // Randomize schedules opts.Events random faults — flaps, loss bursts,
@@ -246,6 +295,35 @@ func (r *Runner) Randomize(opts RandomizeOptions) {
 			r.ReorderSpike(at, at+dur, node, link, 50*sim.Microsecond+sim.Time(r.rng.Int63n(int64(sim.Millisecond))))
 		case 4:
 			r.DuplicateEveryNth(at, at+dur, node, link, 2+r.rng.Intn(8))
+		}
+	}
+	if opts.CrashRestarts > 0 {
+		eligible := opts.CrashNodes
+		if len(eligible) == 0 {
+			for n := 0; n < nodes; n++ {
+				eligible = append(eligible, n)
+			}
+		}
+		lo, hi := opts.CrashDownMin, opts.CrashDownMax
+		if lo <= 0 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// One crash per slot of the window keeps cycles from stacking on
+		// the same node; a downtime running past its slot merely overlaps
+		// the next crash, which (like overlapping flaps) can only shorten
+		// an outage — a restore always clears the ports.
+		slot := (opts.To - opts.From) / sim.Time(opts.CrashRestarts)
+		for i := 0; i < opts.CrashRestarts; i++ {
+			at := opts.From + sim.Time(i)*slot
+			if jitter := int64(slot / 4); jitter > 0 {
+				at += sim.Time(r.rng.Int63n(jitter))
+			}
+			down := lo + sim.Time(r.rng.Int63n(int64(hi-lo)+1))
+			node := eligible[r.rng.Intn(len(eligible))]
+			r.CrashRestart(at, down, node)
 		}
 	}
 }

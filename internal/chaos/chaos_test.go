@@ -81,6 +81,87 @@ func TestSoakFlapHeavy(t *testing.T) {
 	}
 }
 
+// crashRestartSoak is the recovery scenario: supervised reconnect on, a
+// deterministic one-way ack-starvation window (guaranteeing the stale-
+// incarnation fence fires every seed), then randomized whole-node
+// crash-restart cycles, under a paced 30-transfer verified stream.
+func crashRestartSoak(cfg cluster.Config, seed int64) Options {
+	cfg.Core.Reconnect = true
+	cfg.Core.DeadInterval = 50 * sim.Millisecond
+	cfg.Core.HeartbeatInterval = 10 * sim.Millisecond
+	cfg.Core.MaxReconnects = 20 // overlapping faults can burn several redials
+	links := cfg.LinksPerNode
+	return Options{
+		Config:    cfg,
+		Seed:      seed,
+		Transfers: 30,
+		Bytes:     32 << 10,
+		Gap:       100 * sim.Millisecond,
+		Horizon:   60 * sim.Second,
+		Script: func(r *Runner) {
+			// Acks die, data flows: the writer parks and redials while the
+			// receiver keeps applying, is reborn by the first ConnReq, and
+			// heartbeats into the writer's parked epoch once the direction
+			// heals — deterministic StaleEpochDrops.
+			for l := 0; l < links; l++ {
+				r.SeverDirection(100*sim.Millisecond, 300*sim.Millisecond, 1, 0, l)
+			}
+			r.Randomize(RandomizeOptions{
+				From:          500 * sim.Millisecond,
+				To:            3 * sim.Second,
+				Events:        8,
+				MaxOutage:     30 * sim.Millisecond, // soft faults stay sub-DeadInterval
+				CrashRestarts: 3,
+				CrashDownMin:  100 * sim.Millisecond,
+				CrashDownMax:  250 * sim.Millisecond,
+			})
+		},
+	}
+}
+
+func TestSoakCrashRestart(t *testing.T) {
+	// The acceptance soak: every transfer completes byte-verified across
+	// crash-restarts, the exactly-once invariant (notifies == completed)
+	// holds despite replays, and the epoch fence demonstrably fired.
+	base := seedBase(t)
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 2
+	}
+	for name, cfg := range map[string]cluster.Config{
+		"1L-1G":  cluster.OneLink1G(2),
+		"2Lu-1G": cluster.TwoLinkUnordered1G(2),
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			for seed := base; seed < base+seeds; seed++ {
+				res, vs := Run(crashRestartSoak(cfg, seed))
+				for _, v := range vs {
+					t.Errorf("seed %d: violation %s", seed, v)
+				}
+				if res.Completed != 30 || !res.DataOK {
+					t.Errorf("seed %d: %d/30 transfers, dataOK=%v (failed ops %d, ended %v)",
+						seed, res.Completed, res.DataOK, res.FailedOps, res.EndedAt)
+				}
+				if res.PeerDead || res.ReceiverDead {
+					t.Errorf("seed %d: connection died despite supervised reconnect", seed)
+				}
+				p := res.Report.Proto
+				if p.Reconnects == 0 || p.ReplayedOps == 0 {
+					t.Errorf("seed %d: Reconnects=%d ReplayedOps=%d — recovery path not exercised",
+						seed, p.Reconnects, p.ReplayedOps)
+				}
+				if p.StaleEpochDrops == 0 {
+					t.Errorf("seed %d: StaleEpochDrops=0 — epoch fence never fired", seed)
+				}
+				if p.ReconnectsFailed != 0 {
+					t.Errorf("seed %d: %d reconnects exhausted their budget", seed, p.ReconnectsFailed)
+				}
+			}
+		})
+	}
+}
+
 func TestSoakKillAllRails(t *testing.T) {
 	// Node 1 goes permanently dark mid-stream. The writer's pending op
 	// must fail with ErrPeerDead within DeadInterval (plus one timer

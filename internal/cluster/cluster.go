@@ -303,12 +303,24 @@ func (cl *Cluster) PauseNode(node int) {
 }
 
 // ResumeNode restores every rail of a node paused with PauseNode.
-// Connections its peers already declared dead stay dead (the Failed
-// state is terminal); new traffic needs fresh connections.
+// Without core.Config.Reconnect, connections the peers already declared
+// dead stay dead (the Failed state is terminal) and new traffic needs
+// fresh connections; with it, connections parked in Reconnecting
+// renegotiate a fresh incarnation over the restored rails and replay
+// their incomplete operations.
 func (cl *Cluster) ResumeNode(node int) {
 	for l := 0; l < cl.Cfg.LinksPerNode; l++ {
 		cl.RestoreLink(node, l)
 	}
+}
+
+// RestartNode models a crash-restart: the node drops off the network
+// now and its rails come back after down. With core.Config.Reconnect
+// the surviving connections park, redial and replay across the outage;
+// without it they fail terminally once detection fires.
+func (cl *Cluster) RestartNode(node int, down sim.Time) {
+	cl.PauseNode(node)
+	cl.Env.After(down, func() { cl.ResumeNode(node) })
 }
 
 // Pair establishes a single connection between nodes 0 and 1 and returns
@@ -463,6 +475,11 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.OpDeadlinesExpired -= b.OpDeadlinesExpired
 	a.DupFramesDropped -= b.DupFramesDropped
 	a.NackGapsDropped -= b.NackGapsDropped
+	a.StaleEpochDrops -= b.StaleEpochDrops
+	a.Reconnects -= b.Reconnects
+	a.ReconnectsFailed -= b.ReconnectsFailed
+	a.ReplayedOps -= b.ReplayedOps
+	a.ReplayedBytes -= b.ReplayedBytes
 	a.AppProtoTime -= b.AppProtoTime
 	// HoldMax and RtoBackoffMax are peaks, not counters: left as-is.
 	return a

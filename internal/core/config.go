@@ -160,12 +160,61 @@ type Config struct {
 	// default. 50µs is a good value for fan-in runs: ~1% of AckDelay
 	// rounding error, and hundreds of conns share each bucket.
 	TimerWheelTick sim.Time
+	// Reconnect enables the supervised recovery layer: instead of a
+	// terminal Failed state, peer death parks the connection in
+	// Reconnecting, an endpoint supervisor redials with capped
+	// exponential backoff, the handshake negotiates a fresh incarnation
+	// (stamped into every frame and fenced at the receiver, so frames
+	// from the dead epoch — duplicated, delayed in a deep phys queue, or
+	// replayed across a rail Restore — are dropped and counted in
+	// StaleEpochDrops), and the journal of incomplete operations is
+	// replayed: writes re-issued from local memory, reads re-requested.
+	// A per-op applied high-water mark on the receiver makes overlapping
+	// replayed writes exactly-once. Ops that carried a Deadline still
+	// fail with ErrDeadlineExceeded, and ops on a connection that
+	// exhausts MaxReconnects fail with ErrPeerDead, exactly as without
+	// recovery. Off by default so every pinned golden stays
+	// byte-identical (incarnation bytes stay zero on the wire).
+	Reconnect bool
+	// MaxReconnects bounds how many consecutive reconnect attempts the
+	// supervisor makes before giving up and declaring the peer dead for
+	// real. 0 (with Reconnect on) means the default budget of 8.
+	MaxReconnects int
+	// ReconnectBackoff is the initial supervisor redial delay; each
+	// failed attempt doubles it up to ReconnectBackoffMax. Zero values
+	// default to ConnRetry and 32*ConnRetry respectively.
+	ReconnectBackoff    sim.Time
+	ReconnectBackoffMax sim.Time
 	// CoalesceLimit enables small-op frame coalescing on the doorbell
 	// path: consecutive posted writes of at most this many bytes to the
 	// same peer share MultiData frames, amortizing per-frame protocol
 	// and wire overhead. 0 disables coalescing (each posted op gets its
 	// own frames). Only Ring-issued operations are ever coalesced.
 	CoalesceLimit int
+}
+
+// reconnectBudget is the effective MaxReconnects: the configured value,
+// or 8 attempts when unset.
+func (c *Config) reconnectBudget() int {
+	if c.MaxReconnects > 0 {
+		return c.MaxReconnects
+	}
+	return 8
+}
+
+// reconnectBackoff returns the initial redial delay and its cap.
+func (c *Config) reconnectBackoff() (base, max sim.Time) {
+	base, max = c.ReconnectBackoff, c.ReconnectBackoffMax
+	if base <= 0 {
+		base = c.ConnRetry
+	}
+	if base <= 0 {
+		base = 5 * sim.Millisecond
+	}
+	if max <= 0 {
+		max = 32 * base
+	}
+	return base, max
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

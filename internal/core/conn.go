@@ -115,6 +115,19 @@ type Conn struct {
 	cq      sim.Mailbox[Completion]
 	cqStage []Completion // records staged behind an in-flight WaitCQ wake
 	cqFlush bool         // a UserWake flush of cqStage is scheduled
+
+	// Recovery (Config.Reconnect): connection incarnations and the
+	// supervised reconnect state machine (see reconnect.go).
+	incarnation   uint16     // live epoch stamped into every frame (0 = feature off)
+	pendingIncarn uint16     // epoch the dialer's redial is negotiating
+	dialer        bool       // this side ran Dial and owns redialing
+	reconnecting  bool       // parked: old epoch condemned, handshake pending
+	reconnAttempt int        // redial attempts this outage (dialer side)
+	reconnTotal   int        // reconnects survived over the conn's lifetime
+	reconnSince   sim.Time   // when the outage was detected (0 = none)
+	reconnTimer   *sim.Timer // dialer-side redial backoff
+	reconnGiveUp  timer      // passive-side bounded wait (daemon)
+	reconnSpan    *obs.Span  // outage→recovered causal span
 }
 
 // txOp is an operation on the send side: the kernel-buffer snapshot of
@@ -220,6 +233,14 @@ type Handle struct {
 // operation's total size.
 func (h *Handle) Progress() (done, total int) { return h.acked, h.size }
 
+// BytesAcked returns the operation's acknowledged-byte high-water mark.
+// For an operation that failed — deadline expiry, peer death, exhausted
+// reconnects — this is how far the transfer provably got, so a caller
+// re-issuing the work can resume from this offset instead of restarting
+// from byte 0. (A replayed operation resets the mark before re-issuing,
+// so a successful recovery still reports exactly Size on completion.)
+func (h *Handle) BytesAcked() int { return h.acked }
+
 // Wait blocks the process until the operation completes: for writes,
 // until every frame is acknowledged end-to-end; for reads, until the
 // reply data has been written to local memory.
@@ -289,6 +310,21 @@ func (c *Conn) Failed() bool { return c.failed }
 // while it is healthy or merely closed.
 func (c *Conn) Err() error { return c.failErr }
 
+// Reconnecting reports whether the connection is parked awaiting a
+// supervised reconnect (Config.Reconnect): the old epoch is condemned,
+// nothing is sent or accepted, and operations issued now queue until
+// the rebirth replays them.
+func (c *Conn) Reconnecting() bool { return c.reconnecting }
+
+// Reconnects returns how many supervised reconnects the connection has
+// survived over its lifetime.
+func (c *Conn) Reconnects() int { return c.reconnTotal }
+
+// Incarnation returns the connection's live epoch — the value stamped
+// into every frame it sends. Zero means incarnations are unused
+// (Config.Reconnect off).
+func (c *Conn) Incarnation() uint16 { return c.incarnation }
+
 // RTO returns the retransmission timeout the next expiry timer arms:
 // the fixed Config.RTO, or in adaptive mode the Jacobson estimate with
 // the current backoff applied.
@@ -321,7 +357,8 @@ func (c *Conn) Close(p *sim.Proc) {
 	attempts := 0
 	var retry func()
 	send := func() {
-		h := frame.Header{Type: frame.TypeConnClose, ConnID: c.remoteID, OpID: uint64(c.localID)}
+		h := frame.Header{Type: frame.TypeConnClose, ConnID: c.remoteID, OpID: uint64(c.localID),
+			Incarnation: c.incarnation}
 		dst := frame.NewAddr(c.remoteNode, 0)
 		buf := frame.MustEncode(dst, ep.nics[0].Addr(), &h, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: ep.nics[0].Addr()})
@@ -356,6 +393,7 @@ func (c *Conn) stopTimers() {
 	for _, t := range []interface{ Stop() bool }{
 		c.ackTimer, c.nackTimer, c.rtoTimer, c.hbTimer,
 		c.probeTimer, c.readGuard, c.connTimer,
+		c.reconnTimer, c.reconnGiveUp,
 	} {
 		if t != nil {
 			t.Stop()
@@ -484,7 +522,7 @@ func (c *Conn) curOp() *txOp {
 // sendable reports whether the connection has data-path work for the
 // protocol thread.
 func (c *Conn) sendable() bool {
-	if c.closed {
+	if c.closed || c.reconnecting {
 		return false
 	}
 	if len(c.retransQ) > 0 {
@@ -495,7 +533,7 @@ func (c *Conn) sendable() bool {
 
 // ctrlPending reports whether an explicit ACK or NACK is due.
 func (c *Conn) ctrlPending() bool {
-	return !c.closed && (c.ackDue || len(c.nackDue) > 0)
+	return !c.closed && !c.reconnecting && (c.ackDue || len(c.nackDue) > 0)
 }
 
 // sendNextDataFrame emits one data frame: a queued retransmission first,
@@ -665,6 +703,10 @@ func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
 	if li < 0 {
 		li = c.pickLink()
 	}
+	// Every frame carries the connection's live epoch; the peer fences
+	// frames whose incarnation does not match (Config.Reconnect). Zero —
+	// the historical pad bytes — when the feature is off.
+	h.Incarnation = c.incarnation
 	nic := c.ep.nics[li]
 	dst := frame.NewAddr(c.remoteNode, li)
 	buf := frame.MustEncode(dst, nic.Addr(), h, payload)
@@ -893,7 +935,7 @@ func (c *Conn) onRTO() {
 	}
 	if (cfg.MaxRetries > 0 && c.expiries > cfg.MaxRetries) ||
 		(cfg.DeadInterval > 0 && now-c.lastProgress >= cfg.DeadInterval) {
-		c.failConn(fmt.Errorf("core: connection to node %d: no ack progress after %d timeouts over %v: %w",
+		c.peerLost(fmt.Errorf("core: connection to node %d: no ack progress after %d timeouts over %v: %w",
 			c.remoteNode, c.expiries, now-c.lastProgress, ErrPeerDead), true)
 		return
 	}
@@ -1136,15 +1178,15 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 	ep.trc(c.localID, trace.PeerDead, 0, 0)
 	c.stopTimers()
 	c.stopCloseTimer()
+	// A conn that dies mid-reconnect closes its outage span: the outage
+	// ended, just not with a recovery.
+	c.reconnecting = false
+	if c.reconnSpan != nil {
+		c.reconnSpan.EndAt(ep.env.Now())
+		c.reconnSpan = nil
+	}
 	if sendReset && c.established.Fired() {
-		h := frame.Header{Type: frame.TypeReset, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
-		for li := 0; li < c.links; li++ {
-			nic := ep.nics[li]
-			dst := frame.NewAddr(c.remoteNode, li)
-			buf := frame.MustEncode(dst, nic.Addr(), &h, nil)
-			nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
-			ep.Stats.ResetsSent++
-		}
+		c.sendResetFrames()
 	}
 	// Outstanding window frames, then queued operations.
 	for s := c.sndUna; s != c.sndNxt; s++ {
@@ -1194,6 +1236,24 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 	ep.removeConn(c)
 }
 
+// sendResetFrames tells the peer on every rail that this side has
+// condemned the current epoch — on peer death so the other side fails
+// promptly instead of burning its own retry budget, and on entering
+// Reconnecting so the peer parks too. The frames carry the condemned
+// incarnation: the receiver treats a Reset for a stale epoch as noise.
+func (c *Conn) sendResetFrames() {
+	ep := c.ep
+	h := frame.Header{Type: frame.TypeReset, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true,
+		Incarnation: c.incarnation}
+	for li := 0; li < c.links; li++ {
+		nic := ep.nics[li]
+		dst := frame.NewAddr(c.remoteNode, li)
+		buf := frame.MustEncode(dst, nic.Addr(), &h, nil)
+		nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
+		ep.Stats.ResetsSent++
+	}
+}
+
 // startKeepalive initializes liveness tracking at connection
 // establishment and, with heartbeats enabled, arms the idle-side tick.
 // The tick is a daemon timer: an idle heart-beating connection never
@@ -1214,7 +1274,7 @@ func (c *Conn) startKeepalive() {
 		}
 		now := c.ep.env.Now()
 		if di := c.ep.cfg.DeadInterval; di > 0 && now-c.lastHeard >= di {
-			c.failConn(fmt.Errorf("core: connection to node %d: peer silent for %v: %w",
+			c.peerLost(fmt.Errorf("core: connection to node %d: peer silent for %v: %w",
 				c.remoteNode, now-c.lastHeard, ErrPeerDead), true)
 			return
 		}
@@ -1252,7 +1312,7 @@ func (c *Conn) checkReadLiveness() {
 	di := c.ep.cfg.DeadInterval
 	now := c.ep.env.Now()
 	if silent := now - c.lastHeard; silent >= di {
-		c.failConn(fmt.Errorf("core: connection to node %d: read reply outstanding, peer silent for %v: %w",
+		c.peerLost(fmt.Errorf("core: connection to node %d: read reply outstanding, peer silent for %v: %w",
 			c.remoteNode, silent, ErrPeerDead), true)
 		return
 	}

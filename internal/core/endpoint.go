@@ -62,6 +62,8 @@ type Endpoint struct {
 	coalesceHist *obs.Histogram // sub-ops packed per MultiData frame
 	rtoHist      *obs.Histogram // adaptive RTO estimate at each update, µs
 	backoffHist  *obs.Histogram // consecutive-expiry depth at each RTO firing
+	reconnHist   *obs.Histogram // outage duration per completed reconnect, µs
+	redialHist   *obs.Histogram // dialer redial attempts per completed reconnect
 
 	Stats Stats
 }
@@ -255,6 +257,8 @@ func (ep *Endpoint) SetObs(r *obs.Registry) {
 	ep.coalesceHist = r.Histogram("core_coalesce_subops", nil, obs.NodeLabel(ep.node))
 	ep.rtoHist = r.Histogram("core_rto_us", nil, obs.NodeLabel(ep.node))
 	ep.backoffHist = r.Histogram("core_rto_backoff", nil, obs.NodeLabel(ep.node))
+	ep.reconnHist = r.Histogram("core_reconnect_outage_us", nil, obs.NodeLabel(ep.node))
+	ep.redialHist = r.Histogram("core_reconnect_attempts", nil, obs.NodeLabel(ep.node))
 	r.AddCollector(ep.Stats.Collector(ep.node))
 	// Scaling gauges are sampled at gather time straight from the live
 	// structures, so the hot path (kick/pop/arm) pays nothing for them.
@@ -518,13 +522,26 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		if h.Type == frame.TypeConnClose {
 			// A retransmitted close for a connection we already tore
 			// down and removed: re-acknowledge statelessly (the reply
-			// is built purely from the incoming header) so the peer's
-			// handshake terminates instead of retrying into silence.
-			ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID)}
+			// is built purely from the incoming header, echoing its
+			// incarnation) so the peer's handshake terminates instead
+			// of retrying into silence.
+			ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID),
+				Incarnation: h.Incarnation}
 			buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
 			ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
 		}
 		return // stale frame for a connection we do not know
+	}
+	if ep.cfg.Reconnect {
+		// Epoch fence: a frame from a dead incarnation — duplicated,
+		// delayed in a deep queue, or replayed across a rail restore —
+		// must never touch live connection state. While the conn is
+		// parked in Reconnecting its own epoch is condemned too, so
+		// matching-incarnation frames are equally stale.
+		if h.Incarnation != c.incarnation || c.reconnecting {
+			ep.Stats.StaleEpochDrops++
+			return
+		}
 	}
 	if h.Type == frame.TypeConnClose {
 		// Peer-initiated teardown: acknowledge (idempotently — the
@@ -539,7 +556,8 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		}
 		c.closed = true
 		c.stopTimers()
-		ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID)}
+		ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID),
+			Incarnation: h.Incarnation}
 		buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
 		ep.removeConn(c)
@@ -579,7 +597,7 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		// ping-pong between two live endpoints after a healed partition.
 		ep.Stats.CtrlRecv++
 		ep.Stats.ResetsRecv++
-		c.failConn(fmt.Errorf("core: connection to node %d reset by peer: %w", c.remoteNode, ErrPeerDead), false)
+		c.peerLost(fmt.Errorf("core: connection to node %d reset by peer: %w", c.remoteNode, ErrPeerDead), false)
 	}
 }
 
@@ -599,10 +617,15 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 		links = len(ep.nics)
 	}
 	c := ep.newConn(remoteNode, links)
+	c.dialer = true // this side owns redialing under Config.Reconnect
+	if ep.cfg.Reconnect {
+		c.incarnation = 1 // first epoch; 0 means "incarnations unused"
+	}
 	attempts := 0
 	var retry func()
 	send := func() {
-		h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID, OpID: uint64(links)}
+		h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID, OpID: uint64(links),
+			Incarnation: c.incarnation}
 		buf := frame.MustEncode(frame.NewAddr(remoteNode, 0), ep.nics[0].Addr(), &h, nil)
 		ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: frame.NewAddr(remoteNode, 0), Src: ep.nics[0].Addr()})
 	}
@@ -672,20 +695,43 @@ func (ep *Endpoint) handleConnReq(src frame.Addr, h frame.Header) {
 		}
 		c = ep.newConn(src.Node(), links)
 		c.remoteID = h.ConnID
+		c.incarnation = h.Incarnation // adopt the dialer's epoch (0 = feature off)
 		ep.byPeer[key] = c
 		c.established.Fire(ep.env)
 		c.startKeepalive()
 		ep.accepted.Send(ep.env, c)
+	} else if ep.cfg.Reconnect && h.Incarnation != c.incarnation {
+		if !incarnNewer(h.Incarnation, c.incarnation) {
+			// A redial from an epoch we already superseded (an earlier
+			// outage's request, delayed in flight): acking it would
+			// regress the connection. Drop it.
+			ep.Stats.StaleEpochDrops++
+			return
+		}
+		// The dialer is negotiating a successor epoch: be reborn into it,
+		// then ack as usual. Repeated redials for the same incarnation
+		// land in the equal branch and only re-send the ack.
+		c.acceptReconnect(h.Incarnation)
 	}
 	// Always (re-)send the ConnAck: the previous one may have been lost.
-	ah := frame.Header{Type: frame.TypeConnAck, ConnID: h.ConnID, OpID: uint64(c.localID)}
+	ah := frame.Header{Type: frame.TypeConnAck, ConnID: h.ConnID, OpID: uint64(c.localID),
+		Incarnation: c.incarnation}
 	buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
 	ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: src, Src: ep.nics[0].Addr()})
 }
 
 func (ep *Endpoint) handleConnAck(_ frame.Addr, h frame.Header) {
 	c, ok := ep.conns.get(h.ConnID)
-	if !ok || c.established.Fired() {
+	if !ok {
+		return
+	}
+	if c.established.Fired() {
+		if ep.cfg.Reconnect && c.reconnecting && c.dialer && h.Incarnation == c.pendingIncarn {
+			// The acceptor answered our redial: the successor epoch is
+			// live on both sides. Duplicate acks (h.Incarnation already
+			// installed, reconnecting false) fall through harmlessly.
+			c.completeReconnect()
+		}
 		return
 	}
 	c.remoteID = uint32(h.OpID)

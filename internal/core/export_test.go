@@ -12,6 +12,7 @@ func (c *Conn) PendingTimersForTest() int {
 	for _, t := range []interface{ Pending() bool }{
 		c.ackTimer, c.nackTimer, c.rtoTimer, c.hbTimer,
 		c.probeTimer, c.readGuard, c.connTimer, c.closeTimer,
+		c.reconnTimer, c.reconnGiveUp,
 	} {
 		if t != nil && t.Pending() {
 			n++
@@ -32,6 +33,18 @@ func (c *Conn) NackDueForTest() int { return len(c.nackDue) }
 // size, the state the post-close no-frame regression stages.
 func (c *Conn) CtrlStateForTest() (ackDue bool, nacks int) {
 	return c.ackDue, len(c.nackDue)
+}
+
+// LocalIDForTest returns the connection's demultiplex id — the ConnID
+// an incoming frame must carry to reach it. The stale-epoch property
+// test crafts raw frames against it.
+func (c *Conn) LocalIDForTest() uint32 { return c.localID }
+
+// RcvStateForTest exposes the receive-side cumulative-ack point and
+// accepted-frame high-water mark, so injection tests can prove a fenced
+// frame touched no ARQ state.
+func (c *Conn) RcvStateForTest() (rcvNxt, maxSeenPlus1 uint32) {
+	return c.rcvNxt, c.maxSeenPlus1
 }
 
 // MaxNackForTest and MaxTrackedGapsForTest expose the protocol caps.

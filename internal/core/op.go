@@ -182,10 +182,12 @@ func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
 		remote: op.Remote, local: op.Local, data: data, total: uint32(op.Size),
 	}
 	c.nextOpID++
-	t.h = &Handle{c: c, opID: t.id, size: op.Size}
+	// Every handle keeps its descriptor: the CQ path surfaces it in
+	// completions, and recovery (Config.Reconnect) re-synthesizes a read
+	// request from it when the original txOp is long gone at replay time.
+	t.h = &Handle{c: c, opID: t.id, size: op.Size, op: op}
 	if viaCQ {
 		t.h.cq = true
-		t.h.op = op
 	}
 	if op.Kind == frame.OpRead {
 		c.pendingReads[t.id] = t.h

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"multiedge/internal/frame"
+	"multiedge/internal/phys"
+	"multiedge/internal/sim"
+)
+
+// Supervised recovery (Config.Reconnect): instead of a terminal Failed
+// state, peer death parks the connection in Reconnecting. The dialer
+// side redials with capped exponential backoff, re-using the ordinary
+// connection handshake but carrying a fresh incarnation; the acceptor
+// side waits (bounded) for that handshake. When the handshake lands,
+// both sides are reborn into the new epoch: all ARQ, ordering and link
+// state resets to a fresh connection's, and every incomplete send-side
+// operation is replayed from local memory with its ORIGINAL operation
+// id.
+//
+// Replaying everything incomplete — user operations, internal probes,
+// read-reply serves — keeps the receiver's operation-id space free of
+// holes, so the completion frontier and the fence machinery need no
+// special cases. Exactly-once delivery follows from two facts: the
+// receiver deletes its partially received operations at rebirth (the
+// replay rewrites them from offset 0 with byte-identical data), and it
+// keeps its completed ones, whose records make the apply path drop
+// replayed payload for work that already landed (DupFramesDropped).
+// Frames from the dead epoch — delayed in a deep queue, duplicated, or
+// replayed across a rail restore — carry the old incarnation and are
+// fenced at dispatch (StaleEpochDrops).
+
+// nextIncarnation returns the epoch after inc, skipping 0 — the wire
+// value reserved for "incarnations unused".
+func nextIncarnation(inc uint16) uint16 {
+	inc++
+	if inc == 0 {
+		inc = 1
+	}
+	return inc
+}
+
+// incarnNewer reports whether a is a more recent epoch than b, under
+// serial-number arithmetic so the 16-bit space may wrap.
+func incarnNewer(a, b uint16) bool { return int16(a-b) > 0 }
+
+// peerLost routes a local peer-death verdict (RTO budget, silence,
+// read-liveness) either into the supervised reconnect machinery or —
+// with recovery off, or for a connection that never finished its first
+// handshake — into the terminal failConn path, exactly as before.
+func (c *Conn) peerLost(cause error, sendReset bool) {
+	if c.ep.cfg.Reconnect && c.established.Fired() && !c.failed {
+		c.enterReconnect(cause, sendReset)
+		return
+	}
+	c.failConn(cause, sendReset)
+}
+
+// enterReconnect parks the connection: the current epoch is condemned,
+// every protocol timer stops, and no frame is sent or accepted until a
+// handshake installs a successor. The dialer starts redialing
+// immediately; the acceptor arms a bounded give-up wait, sized so it
+// comfortably outlasts the dialer's full detection + redial schedule.
+func (c *Conn) enterReconnect(cause error, sendReset bool) {
+	if c.closed || c.reconnecting {
+		return
+	}
+	_ = cause // the outage is transient by intent; errors surface only on give-up
+	ep := c.ep
+	c.reconnecting = true
+	c.reconnSince = ep.env.Now()
+	c.reconnAttempt = 0
+	c.stopTimers()
+	if c.reconnSpan == nil && ep.obs.SpansEnabled() {
+		c.reconnSpan = ep.obs.StartLayerSpan(ep.node, "core", "reconnect", 0)
+	}
+	if sendReset {
+		// Tell the peer the epoch is condemned so it parks promptly too
+		// instead of burning its own detection budget.
+		c.sendResetFrames()
+	}
+	if c.dialer {
+		c.pendingIncarn = nextIncarnation(c.incarnation)
+		c.scheduleRedial(0)
+		return
+	}
+	// Passive side: if the dialer never shows up, fail for real. The
+	// timer is a daemon — a parked conn must not keep a drained
+	// simulation alive on its own.
+	wait := c.passiveWait()
+	c.reconnGiveUp = ep.afterDaemonTimer(wait, func() {
+		if c.closed || !c.reconnecting {
+			return
+		}
+		ep.Stats.ReconnectsFailed++
+		c.failConn(fmt.Errorf("core: connection to node %d: no reconnect handshake within %v: %w",
+			c.remoteNode, wait, ErrPeerDead), false)
+	})
+}
+
+// passiveWait bounds how long the acceptor side stays parked: the
+// dialer may take up to DeadInterval to notice the outage, then runs
+// its whole backoff schedule; one extra base delay absorbs handshake
+// propagation.
+func (c *Conn) passiveWait() sim.Time {
+	cfg := &c.ep.cfg
+	base, max := cfg.reconnectBackoff()
+	wait := cfg.DeadInterval + base
+	d := base
+	for i := 0; i < cfg.reconnectBudget(); i++ {
+		wait += d
+		d *= 2
+		if d > max {
+			d = max
+		}
+	}
+	return wait
+}
+
+func (c *Conn) scheduleRedial(d sim.Time) {
+	c.reconnTimer = c.ep.env.After(d, c.redial)
+}
+
+// redial sends one reconnect ConnReq carrying the proposed incarnation
+// and re-arms itself with exponential backoff until the budget runs
+// out. The request is identical to a fresh Dial's — the acceptor
+// recognizes the {node, connID} pair in its handshake-dedupe table and
+// treats the newer incarnation as a reconnect rather than a duplicate.
+func (c *Conn) redial() {
+	if c.closed || !c.reconnecting {
+		return
+	}
+	ep := c.ep
+	if c.reconnAttempt >= ep.cfg.reconnectBudget() {
+		ep.Stats.ReconnectsFailed++
+		c.failConn(fmt.Errorf("core: connection to node %d: reconnect failed after %d attempts: %w",
+			c.remoteNode, c.reconnAttempt, ErrPeerDead), false)
+		return
+	}
+	c.reconnAttempt++
+	h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID,
+		OpID: uint64(c.links), Incarnation: c.pendingIncarn}
+	dst := frame.NewAddr(c.remoteNode, 0)
+	buf := frame.MustEncode(dst, ep.nics[0].Addr(), &h, nil)
+	ep.nics[0].Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: ep.nics[0].Addr()})
+	base, max := ep.cfg.reconnectBackoff()
+	d := base
+	for i := 1; i < c.reconnAttempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	c.scheduleRedial(d)
+}
+
+// acceptReconnect runs on the acceptor when a ConnReq proposing a newer
+// incarnation arrives. The acceptor may not even have noticed the
+// outage yet (the dialer's detector can fire first); in that case it
+// parks on the spot so timers and ctrl state drop cleanly, then is
+// reborn straight into the proposed epoch.
+func (c *Conn) acceptReconnect(inc uint16) {
+	if c.closed {
+		return
+	}
+	if !c.reconnecting {
+		c.reconnecting = true
+		c.reconnSince = c.ep.env.Now()
+		c.stopTimers()
+		if c.reconnSpan == nil && c.ep.obs.SpansEnabled() {
+			c.reconnSpan = c.ep.obs.StartLayerSpan(c.ep.node, "core", "reconnect", 0)
+		}
+	}
+	c.rebirth(inc)
+}
+
+// completeReconnect runs on the dialer when the ConnAck for its
+// proposed incarnation arrives.
+func (c *Conn) completeReconnect() {
+	c.rebirth(c.pendingIncarn)
+}
+
+// rebirth installs epoch inc: journal every incomplete send-side
+// operation, reset all per-epoch protocol state to a fresh
+// connection's, and re-queue the journal for transmission with the
+// original operation ids. Iteration orders are deterministic (sequence
+// walk, FIFO slice, sorted ids) so recovery runs replay bit-identically.
+func (c *Conn) rebirth(inc uint16) {
+	ep := c.ep
+	now := ep.env.Now()
+	if c.reconnTimer != nil {
+		c.reconnTimer.Stop()
+	}
+	if c.reconnGiveUp != nil {
+		c.reconnGiveUp.Stop()
+	}
+
+	// Journal: in-window frames' ops first (oldest outstanding work),
+	// then queued ops, then reads whose requests were fully acked — their
+	// txOps are gone, so the request is re-synthesized from the handle's
+	// descriptor. Ids are unique, so dedupe by id and sort once.
+	seen := make(map[uint64]bool)
+	var journal []*txOp
+	add := func(t *txOp) {
+		if t == nil || t.completed || seen[t.id] {
+			return
+		}
+		seen[t.id] = true
+		journal = append(journal, t)
+	}
+	for s := c.sndUna; s != c.sndNxt; s++ {
+		if tf := c.retrans[s]; tf != nil {
+			add(tf.op)
+		}
+	}
+	for _, t := range c.txOps {
+		add(t)
+	}
+	if len(c.pendingReads) > 0 {
+		ids := make([]uint64, 0, len(c.pendingReads))
+		for id := range c.pendingReads {
+			if !seen[id] {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			h := c.pendingReads[id]
+			add(&txOp{id: id, opType: frame.OpRead, flags: h.op.Flags,
+				remote: h.op.Remote, local: h.op.Local, total: uint32(h.size), h: h})
+		}
+	}
+	sort.Slice(journal, func(i, j int) bool { return journal[i].id < journal[j].id })
+
+	// Transmit state: fresh epoch.
+	c.sndUna, c.sndNxt = 0, 0
+	c.retrans = make(map[uint32]*txFrame)
+	c.retransQ = nil
+	c.expiries = 0
+	c.rr = 0
+	for i := 0; i < c.links; i++ {
+		c.linkFails[i] = 0
+		c.linkDead[i] = false
+		c.linkDeadAt[i] = 0
+	}
+	c.deadLinks = 0
+
+	// Receive state: fresh epoch. Partially received operations are
+	// deleted — the peer replays them from offset 0 with identical data —
+	// while completed ones stay so replayed payload for them is dropped,
+	// never re-applied (exactly-once). The frontier survives untouched.
+	c.rcvNxt = 0
+	c.rcvSeen = make(map[uint32]bool)
+	c.maxSeenPlus1 = 0
+	c.missingSince = make(map[uint32]sim.Time)
+	c.nackedAt = make(map[uint32]sim.Time)
+	c.lastNack = 0
+	for i := 0; i < c.links; i++ {
+		c.linkHigh[i] = 0
+		c.linkLast[i] = 0
+	}
+	c.unackedRx = 0
+	c.ackDue = false
+	c.nackDue = nil
+	c.applyNxt = 0
+	c.strictBuf = make(map[uint32]heldFrame)
+	c.held = nil
+	for id, op := range c.rxOps {
+		if !op.complete {
+			delete(c.rxOps, id)
+		}
+	}
+	c.fenced = nil
+
+	// Re-queue the journal: every op restarts from offset 0. Write
+	// handles reset their acknowledged-byte mark, or a partially acked
+	// first life would double-count; read handles never advanced it.
+	c.txFenced = nil
+	for _, t := range journal {
+		t.sent = 0
+		t.sentAll = false
+		t.unacked = 0
+		if t.h != nil && t.opType == frame.OpWrite {
+			t.h.acked = 0
+		}
+		if t.flags&frame.FenceAfter != 0 {
+			c.txFenced = append(c.txFenced, t.id)
+		}
+		if !t.probe {
+			ep.Stats.ReplayedOps++
+			ep.Stats.ReplayedBytes += uint64(len(t.data))
+		}
+	}
+	c.txOps = journal
+
+	c.incarnation = inc
+	c.pendingIncarn = 0
+	c.reconnecting = false
+	c.reconnTotal++
+	ep.Stats.Reconnects++
+	if ep.reconnHist != nil && c.reconnSince > 0 {
+		ep.reconnHist.Observe(float64(now-c.reconnSince) / 1000)
+	}
+	if ep.redialHist != nil && c.dialer {
+		ep.redialHist.Observe(float64(c.reconnAttempt))
+	}
+	c.reconnAttempt = 0
+	if c.reconnSpan != nil {
+		c.reconnSpan.EndAt(now)
+		c.reconnSpan = nil
+	}
+	c.reconnSince = 0
+	c.startKeepalive() // resets lastHeard/lastTx/lastProgress, re-arms the hb tick
+	c.kick()
+}

@@ -57,6 +57,13 @@ type Stats struct {
 	DupFramesDropped   uint64 // duplicate payload-bearing frames dropped before apply
 	NackGapsDropped    uint64 // gaps left untracked because the missing-list cap was hit
 
+	// Recovery (Config.Reconnect).
+	StaleEpochDrops  uint64 // frames fenced for carrying a dead incarnation
+	Reconnects       uint64 // supervised reconnects that re-established the conn
+	ReconnectsFailed uint64 // conns that exhausted MaxReconnects and died for real
+	ReplayedOps      uint64 // journaled ops re-issued after a reconnect
+	ReplayedBytes    uint64 // payload bytes re-issued by replay
+
 	// CPU time charged on the application CPU on behalf of the
 	// protocol (operation initiation: syscall, descriptor, copy).
 	AppProtoTime sim.Time
@@ -131,6 +138,11 @@ func (s *Stats) Add(o *Stats) {
 	s.OpDeadlinesExpired += o.OpDeadlinesExpired
 	s.DupFramesDropped += o.DupFramesDropped
 	s.NackGapsDropped += o.NackGapsDropped
+	s.StaleEpochDrops += o.StaleEpochDrops
+	s.Reconnects += o.Reconnects
+	s.ReconnectsFailed += o.ReconnectsFailed
+	s.ReplayedOps += o.ReplayedOps
+	s.ReplayedBytes += o.ReplayedBytes
 	s.AppProtoTime += o.AppProtoTime
 }
 
@@ -178,6 +190,11 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_op_deadlines_expired_total", s.OpDeadlinesExpired)
 		c("core_dup_frames_dropped_total", s.DupFramesDropped)
 		c("core_nack_gaps_dropped_total", s.NackGapsDropped)
+		c("core_stale_epoch_drops_total", s.StaleEpochDrops)
+		c("core_reconnects_total", s.Reconnects)
+		c("core_reconnects_failed_total", s.ReconnectsFailed)
+		c("core_replayed_ops_total", s.ReplayedOps)
+		c("core_replayed_bytes_total", s.ReplayedBytes)
 		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
 			Value: float64(s.HoldMax), Type: obs.TypeGauge})
 		emit(obs.Sample{Name: "core_rto_backoff_max", Labels: []obs.Label{nl},

@@ -182,6 +182,16 @@ type Header struct {
 	Local   uint64 // for reads: requester-side destination address
 	Offset  uint32 // offset of this frame's payload within the operation
 	Total   uint32 // total operation length in bytes
+
+	// Incarnation is the connection epoch the frame belongs to. Each
+	// Dial/Accept handshake (and each supervised reconnect) negotiates a
+	// fresh nonzero incarnation; receive paths drop frames stamped with a
+	// dead incarnation, which fences duplicated, long-delayed, or
+	// replayed-across-Restore frames from a previous life of the
+	// connection. Zero — the wire encoding of the historical pad bytes —
+	// means "incarnations unused" and keeps pre-recovery traffic
+	// byte-identical.
+	Incarnation uint16
 }
 
 // Wire layout after the 14-byte Ethernet header (big endian):
@@ -195,7 +205,7 @@ type Header struct {
 //	32: local(8)
 //	40: offset(4)
 //	44: total(4)
-//	48: payloadLen(2) pad(2)
+//	48: payloadLen(2) incarnation(2)
 //	52: crc32(4)
 const (
 	flagHasAck = 0x01
@@ -213,10 +223,15 @@ const (
 	offOffset  = 40
 	offTotal   = 44
 	offPayLen  = 48
+	offIncarn  = 50
 	offCRC     = 52
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// etherType is the IEEE local-experimental ethertype MultiEdge frames
+// travel under.
+const etherType = 0x88B5
 
 // Errors returned by Encode and Decode.
 var (
@@ -225,6 +240,7 @@ var (
 	ErrBadLength   = errors.New("frame: payload length field disagrees with buffer")
 	ErrBadType     = errors.New("frame: unknown frame type")
 	ErrOversize    = errors.New("frame: payload exceeds MaxPayload")
+	ErrBadEther    = errors.New("frame: not a MultiEdge frame")
 )
 
 // Encode serializes a frame into a fresh buffer: Ethernet header
@@ -240,7 +256,7 @@ func Encode(dst, src Addr, h *Header, payload []byte) ([]byte, error) {
 	// low positions; a private ethertype.
 	binary.BigEndian.PutUint16(buf[4:], uint16(dst))
 	binary.BigEndian.PutUint16(buf[10:], uint16(src))
-	binary.BigEndian.PutUint16(buf[12:], 0x88B5) // IEEE local experimental
+	binary.BigEndian.PutUint16(buf[12:], etherType)
 	p := buf[EthHeaderLen:]
 	p[offType] = byte(h.Type)
 	var fl byte
@@ -259,6 +275,7 @@ func Encode(dst, src Addr, h *Header, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(p[offOffset:], h.Offset)
 	binary.BigEndian.PutUint32(p[offTotal:], h.Total)
 	binary.BigEndian.PutUint16(p[offPayLen:], uint16(len(payload)))
+	binary.BigEndian.PutUint16(p[offIncarn:], h.Incarnation)
 	copy(p[HeaderLen:], payload)
 	binary.BigEndian.PutUint32(p[offCRC:], checksum(buf))
 	return buf, nil
@@ -290,6 +307,18 @@ func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
 	if len(buf) < EthHeaderLen+HeaderLen {
 		return 0, 0, Header{}, nil, ErrTooShort
 	}
+	if binary.BigEndian.Uint16(buf[12:]) != etherType {
+		return 0, 0, Header{}, nil, ErrBadEther
+	}
+	// The four MAC bytes Encode leaves zero (only two of each six are
+	// significant) must BE zero: the decoder accepts exactly the
+	// encoder's image, so decode→re-encode is bit-exact for every
+	// accepted frame.
+	for _, i := range [...]int{0, 1, 2, 3, 6, 7, 8, 9} {
+		if buf[i] != 0 {
+			return 0, 0, Header{}, nil, ErrBadEther
+		}
+	}
 	dst = Addr(binary.BigEndian.Uint16(buf[4:]))
 	src = Addr(binary.BigEndian.Uint16(buf[10:]))
 	p := buf[EthHeaderLen:]
@@ -315,6 +344,12 @@ func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
 	if plen != len(p)-HeaderLen {
 		return 0, 0, Header{}, nil, ErrBadLength
 	}
+	if plen > MaxPayload {
+		// Encode never produces such a frame; accepting one here would
+		// break the decode→re-encode round trip.
+		return 0, 0, Header{}, nil, ErrOversize
+	}
+	h.Incarnation = binary.BigEndian.Uint16(p[offIncarn:])
 	return dst, src, h, p[HeaderLen:], nil
 }
 
