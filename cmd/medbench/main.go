@@ -14,18 +14,45 @@
 //	medbench -chaos         # randomized fault-injection soaks, per-seed report
 //	medbench -one ping-pong -config 1L-10G -size 65536
 //	medbench -one ping-pong -spans -obs-out /tmp/spans.json
+//	medbench -fanin -metrics -obs-out /tmp/fanin.json -bench-out /tmp
+//	medbench -crashloop -health-every-ms 50 -obs-out /tmp/health.json
+//
+// Instrumentation composition matrix:
+//
+//	flag            -one  -fanin  -crashloop  -chaos  -smallops  others
+//	-trace          yes   no      no          no      no         no
+//	-metrics        yes   yes     yes         yes     no         no
+//	-spans          yes   yes     yes         yes     no         no
+//	-health-every-ms yes  yes     yes         yes     no         no
+//	-bench-out      yes   yes     yes         yes     yes        no
+//
+// -trace and -metrics/-spans stay mutually exclusive (pick one
+// instrumentation). -metrics/-spans/-health-every-ms need -obs-out
+// PATH; -spans writes Chrome trace JSON there, -metrics adds a JSON
+// snapshot plus a .prom sidecar, -health-every-ms adds a
+// .health.json timeline. Sweeps (-fanin/-crashloop) export the last
+// run's registry. -bench-out writes a schema-versioned
+// BENCH_<mode>.json perf-trajectory document (see medtables
+// -bench-compare); pass a directory for the default file name or a
+// .json path to name it exactly. The flight recorder needs no flag: it
+// is always on in the stress harnesses (-fanin/-crashloop/-chaos), and
+// a failed gate or invariant prints its post-mortem timeline and, with
+// -obs-out, writes <obs-out>.postmortem.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"multiedge/internal/bench"
 	"multiedge/internal/chaos"
 	"multiedge/internal/cluster"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -53,31 +80,120 @@ func main() {
 	size := flag.Int("size", 65536, "transfer size in bytes for -one / -netstats / -ablate")
 	quick := flag.Bool("quick", false, "sweep fewer sizes")
 	doTrace := flag.Bool("trace", false, "only with -one (not -netstats/-ablate/-fig): print a frame-level trace summary and timeline; mutually exclusive with -metrics/-spans")
-	metrics := flag.Bool("metrics", false, "with -one: collect the unified metrics registry and export it via -obs-out")
-	spans := flag.Bool("spans", false, "with -one: record causal operation spans and export a Chrome trace (Perfetto) via -obs-out")
-	obsOut := flag.String("obs-out", "", "output path for -metrics/-spans exports (-spans writes Chrome trace JSON here; -metrics writes the JSON snapshot plus a .prom sidecar)")
+	metrics := flag.Bool("metrics", false, "with -one/-fanin/-crashloop/-chaos: collect the unified metrics registry and export it via -obs-out")
+	spans := flag.Bool("spans", false, "with -one/-fanin/-crashloop/-chaos: record causal operation spans and export a Chrome trace (Perfetto) via -obs-out")
+	obsOut := flag.String("obs-out", "", "output path for -metrics/-spans/-health-every-ms exports (-spans writes Chrome trace JSON here; -metrics writes the JSON snapshot plus a .prom sidecar; -health-every-ms writes a .health.json timeline)")
+	healthEveryMs := flag.Int("health-every-ms", 0, "with -one/-fanin/-crashloop/-chaos: sample per-endpoint health snapshots every N virtual milliseconds into <obs-out>.health.json")
+	benchOut := flag.String("bench-out", "", "with -one/-smallops/-fanin/-crashloop/-chaos: write a BENCH_<mode>.json perf-trajectory document (directory or .json path)")
 	flag.Parse()
 
-	obsOn := *metrics || *spans || *obsOut != ""
+	healthEvery := sim.Time(*healthEveryMs) * sim.Millisecond
+	obsOn := *metrics || *spans || *obsOut != "" || healthEvery > 0
+	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag
 	if *doTrace && *one == "" {
 		fmt.Fprintln(os.Stderr, "medbench: -trace only composes with -one; it does not apply to -netstats, -ablate or the figure sweeps")
 		os.Exit(2)
 	}
 	if obsOn {
 		switch {
-		case *one == "":
-			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans/-obs-out only compose with -one")
+		case !obsComposes:
+			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans/-health-every-ms/-obs-out only compose with -one, -fanin, -crashloop or -chaos")
 			os.Exit(2)
 		case *doTrace:
 			fmt.Fprintln(os.Stderr, "medbench: -trace and -metrics/-spans are mutually exclusive; pick one instrumentation")
 			os.Exit(2)
-		case !*metrics && !*spans:
-			fmt.Fprintln(os.Stderr, "medbench: -obs-out needs -metrics and/or -spans")
+		case !*metrics && !*spans && healthEvery == 0:
+			fmt.Fprintln(os.Stderr, "medbench: -obs-out needs -metrics, -spans and/or -health-every-ms")
 			os.Exit(2)
 		case *obsOut == "":
-			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans need -obs-out PATH")
+			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans/-health-every-ms need -obs-out PATH")
 			os.Exit(2)
 		}
+	}
+	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag) {
+		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop or -chaos")
+		os.Exit(2)
+	}
+
+	obsOpts := cluster.ObsOptions{Metrics: *metrics, Spans: *spans, HealthEvery: healthEvery}
+
+	// exportObs writes the registry (and health timeline) per -obs-out.
+	exportObs := func(r *obs.Registry) {
+		if !obsOn || r == nil {
+			return
+		}
+		var files []string
+		if *metrics || *spans {
+			fs, err := r.WriteFiles(*obsOut, *metrics, *spans)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+				os.Exit(1)
+			}
+			files = fs
+		}
+		if healthEvery > 0 {
+			hp := *obsOut + ".health.json"
+			if !*metrics && !*spans {
+				hp = *obsOut
+			}
+			if err := os.WriteFile(hp, obs.HealthTimelineJSON(r.HealthLogs()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+				os.Exit(1)
+			}
+			files = append(files, hp)
+		}
+		if len(files) > 0 {
+			fmt.Printf("  obs: wrote %s\n", strings.Join(files, " "))
+		}
+	}
+	// exportDump writes a post-mortem (gate/invariant failure) next to
+	// the obs exports, if a destination exists.
+	exportDump := func(d *obs.PostMortem) {
+		if d == nil || *obsOut == "" {
+			return
+		}
+		p := *obsOut + ".postmortem.json"
+		if err := os.WriteFile(p, d.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  obs: wrote %s\n", p)
+	}
+	// writeBench serializes the perf-trajectory document per -bench-out.
+	writeBench := func(d *bench.BenchDoc) {
+		if *benchOut == "" {
+			return
+		}
+		path := *benchOut
+		if st, err := os.Stat(path); (err == nil && st.IsDir()) || strings.HasSuffix(path, string(os.PathSeparator)) {
+			path = filepath.Join(path, "BENCH_"+d.Mode+".json")
+		} else if !strings.HasSuffix(path, ".json") {
+			path += ".json"
+		}
+		if err := d.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  bench: wrote %s\n", path)
+	}
+	// allocsPerOp stamps the advisory wall-side allocation figure on
+	// every row: allocations during the run divided by total ops.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	stampAllocs := func(d *bench.BenchDoc) *bench.BenchDoc {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		total := 0
+		for _, r := range d.Rows {
+			total += r.Ops
+		}
+		if total > 0 {
+			apo := float64(after.Mallocs-memBefore.Mallocs) / float64(total)
+			for i := range d.Rows {
+				d.Rows[i].AllocsPerOp = apo
+			}
+		}
+		return d
 	}
 
 	sizes := bench.Sizes
@@ -112,7 +228,13 @@ func main() {
 		if *quick {
 			count = 2048
 		}
-		fmt.Print(bench.RenderSmallOps(count))
+		out, results := bench.RenderSmallOps(count)
+		fmt.Print(out)
+		doc := bench.NewBenchDoc("smallops")
+		for _, r := range results {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		writeBench(stampAllocs(doc))
 	case *faninFlag:
 		counts, err := parseConns(*faninConns)
 		if err != nil {
@@ -129,8 +251,19 @@ func main() {
 			}
 			counts = trimmed
 		}
-		out, ok := bench.RenderFanin(counts, *faninOps, 256, *faninChaos)
+		out, ok, results := bench.RenderFanin(counts, *faninOps, 256, *faninChaos, obsOpts)
 		fmt.Print(out)
+		doc := bench.NewBenchDoc("fanin")
+		for _, r := range results {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		writeBench(stampAllocs(doc))
+		if len(results) > 0 {
+			exportObs(results[len(results)-1].Obs)
+			for _, r := range results {
+				exportDump(r.Dump)
+			}
+		}
 		if !ok {
 			os.Exit(1)
 		}
@@ -139,8 +272,19 @@ func main() {
 		if *quick {
 			cycles = 2
 		}
-		out, ok := bench.RenderCrashloop(cycles, sim.Time(*crashDownMs)*sim.Millisecond, 256<<10)
+		out, ok, results := bench.RenderCrashloop(cycles, sim.Time(*crashDownMs)*sim.Millisecond, 256<<10, obsOpts)
 		fmt.Print(out)
+		doc := bench.NewBenchDoc("crashloop")
+		for _, r := range results {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		writeBench(stampAllocs(doc))
+		if len(results) > 0 {
+			exportObs(results[len(results)-1].Obs)
+			for _, r := range results {
+				exportDump(r.Dump)
+			}
+		}
 		if !ok {
 			os.Exit(1)
 		}
@@ -149,7 +293,22 @@ func main() {
 		if *quick {
 			transfers = 10
 		}
-		fmt.Print(renderChaos(*chaosSeeds, transfers))
+		// Per-tick samplers over a 60 s virtual horizon would record
+		// hundreds of thousands of points per series; gather-time
+		// collectors and health sampling remain.
+		chaosObs := obsOpts
+		if chaosObs.SampleEvery == 0 {
+			chaosObs.SampleEvery = -1
+		}
+		out, rows, art := renderChaos(*chaosSeeds, transfers, chaosObs)
+		fmt.Print(out)
+		doc := bench.NewBenchDoc("chaos")
+		doc.Rows = rows
+		writeBench(stampAllocs(doc))
+		if art != nil {
+			exportObs(art.Obs)
+			exportDump(art.Dump)
+		}
 	case *ablate:
 		fmt.Print(bench.RenderAblation(*size))
 	case *one != "":
@@ -162,20 +321,16 @@ func main() {
 			fmt.Print(bench.RunTracedOneWay(cfg, *size))
 			return
 		}
-		cfg.Obs = cluster.ObsOptions{Metrics: *metrics, Spans: *spans}
+		cfg.Obs = obsOpts
 		r := bench.RunMicro(*one, cfg, *size)
 		fmt.Println(r.String())
 		fmt.Printf("  net: ooo %.1f%%  extra %.2f%%  acks %d  nacks %d  retrans %d\n",
 			r.Net.Proto.OOOFraction()*100, r.Net.Proto.ExtraTrafficFraction()*100,
 			r.Net.Proto.CtrlAcksSent, r.Net.Proto.CtrlNacksSent, r.Net.Proto.Retransmissions)
-		if obsOn {
-			files, err := r.Obs.WriteFiles(*obsOut, *metrics, *spans)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("  obs: wrote %s\n", strings.Join(files, " "))
-		}
+		exportObs(r.Obs)
+		doc := bench.NewBenchDoc("one")
+		doc.Rows = append(doc.Rows, r.BenchRow())
+		writeBench(doc)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -184,9 +339,14 @@ func main() {
 
 // renderChaos runs the standard flap-heavy randomized soak (24 faults
 // in the first 3 s, outages capped at 500 ms, DeadInterval 5 s, adaptive
-// RTO on) for `seeds` seeds per configuration and reports each run.
-func renderChaos(seeds, transfers int) string {
+// RTO on) for `seeds` seeds per configuration and reports each run. It
+// returns the per-run bench rows and the observability artifacts: the
+// last run's registry plus the first post-mortem dump any violating run
+// produced (its timeline is also embedded in the report).
+func renderChaos(seeds, transfers int, obsOpts cluster.ObsOptions) (string, []bench.BenchRow, *chaos.Artifacts) {
 	var b strings.Builder
+	var rows []bench.BenchRow
+	var lastArt, dumpArt *chaos.Artifacts
 	fmt.Fprintf(&b, "Chaos soak: %d transfers x 32 KiB under 24 randomized faults "+
 		"(flap/loss/corrupt/reorder/dup), outages <= 500 ms, DeadInterval 5 s\n\n", transfers)
 	fmt.Fprintf(&b, "%-7s %5s  %9s %7s %8s %8s %9s %10s  %s\n",
@@ -196,7 +356,8 @@ func renderChaos(seeds, transfers int) string {
 			soak := cfg
 			soak.Core.DeadInterval = 5 * sim.Second
 			soak.Core.RTOMax = 100 * sim.Millisecond
-			res, vs := chaos.Run(chaos.Options{
+			soak.Obs = obsOpts
+			res, vs, art := chaos.RunDeep(chaos.Options{
 				Config:    soak,
 				Seed:      seed,
 				Transfers: transfers,
@@ -212,20 +373,44 @@ func renderChaos(seeds, transfers int) string {
 					})
 				},
 			})
+			lastArt = art
 			viol := "none"
 			if len(vs) > 0 {
 				viol = vs[0].String()
 				if len(vs) > 1 {
 					viol = fmt.Sprintf("%s (+%d more)", viol, len(vs)-1)
 				}
+				if art.Dump != nil {
+					if dumpArt == nil {
+						dumpArt = art
+					}
+					b.WriteString("\n" + art.Dump.Timeline() + "\n")
+				}
 			}
 			fmt.Fprintf(&b, "%-7s %5d  %5d/%-3d %7v %8d %8d %9d %10d  %s\n",
 				cfg.Name, seed, res.Completed, transfers, res.DataOK,
 				res.Report.Proto.Retransmissions, res.Report.Proto.RtoExpiries,
 				res.Report.Proto.DupFramesDropped, res.Report.LinkFailDrops, viol)
+			row := bench.BenchRow{
+				Name: fmt.Sprintf("chaos-%s-s%d", cfg.Name, seed),
+				Ops:  res.Completed,
+				Extra: map[string]float64{
+					"violations": float64(len(vs)),
+					"retrans":    float64(res.Report.Proto.Retransmissions),
+					"rto_exp":    float64(res.Report.Proto.RtoExpiries),
+				},
+			}
+			if res.EndedAt > 0 {
+				row.OpsPerSec = float64(res.Completed) / res.EndedAt.Seconds()
+				row.GoodputMBs = float64(res.Completed*(32<<10)) / 1e6 / res.EndedAt.Seconds()
+			}
+			rows = append(rows, row)
 		}
 	}
-	return b.String()
+	if dumpArt != nil {
+		lastArt = dumpArt
+	}
+	return b.String(), rows, lastArt
 }
 
 // parseConns parses the -fanin-conns list.

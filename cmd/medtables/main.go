@@ -9,6 +9,14 @@
 //
 // A full run simulates tens of cluster configurations and takes a few
 // minutes; -quick trims the sweeps.
+//
+// The separate -bench-compare mode is the perf-trajectory ratchet:
+//
+//	medtables -bench-compare results/bench/BENCH_fanin.json /tmp/BENCH_fanin.json
+//
+// diffs a freshly measured BENCH_*.json document (medbench -bench-out)
+// against the committed baseline and exits 1 if any row's ops/s dropped
+// more than 10% or p99 latency grew more than 20%.
 package main
 
 import (
@@ -25,7 +33,36 @@ func main() {
 	out := flag.String("out", "", "directory to also write per-artifact files to")
 	check := flag.String("check", "", "directory of committed artifacts to verify against")
 	quick := flag.Bool("quick", false, "trim sweeps (fewer sizes, test-scale apps)")
+	benchCompare := flag.Bool("bench-compare", false, "compare two BENCH_*.json documents: -bench-compare BASELINE CURRENT; exit 1 on regression")
 	flag.Parse()
+
+	if *benchCompare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "medtables: -bench-compare needs exactly two arguments: BASELINE CURRENT")
+			os.Exit(2)
+		}
+		base, err := bench.ReadBenchFile(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "medtables:", err)
+			os.Exit(2)
+		}
+		cur, err := bench.ReadBenchFile(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "medtables:", err)
+			os.Exit(2)
+		}
+		fails := bench.CompareBench(base, cur)
+		for _, f := range fails {
+			fmt.Printf("REGRESSION %s\n", f)
+		}
+		if len(fails) > 0 {
+			fmt.Printf("medtables: %d bench regressions vs %s\n", len(fails), args[0])
+			os.Exit(1)
+		}
+		fmt.Printf("medtables: bench ratchet holds (%d baseline rows vs %s)\n", len(base.Rows), args[0])
+		return
+	}
 
 	sizes := bench.Sizes
 	appSize := apps.SizeSmall

@@ -9,6 +9,7 @@ import (
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -29,6 +30,12 @@ type CrashloopOptions struct {
 	Backoff      sim.Time // reconnect backoff base
 	Bytes        int      // bytes per streamed transfer
 	Seed         int64
+
+	// Obs composes the observability registry into the run (zero value
+	// = off). The flight recorder is attached regardless unless
+	// DisableRecorder.
+	Obs             cluster.ObsOptions
+	DisableRecorder bool
 }
 
 // CrashloopResult is one crash-loop measurement plus its gates.
@@ -44,12 +51,18 @@ type CrashloopResult struct {
 	Recovered  int      // cycles where service resumed before the give-up horizon
 	RecoverP50 sim.Time // restore → first completed transfer
 	RecoverMax sim.Time
+	EndedAt    sim.Time // virtual time at run end
 
 	// Gates.
 	DataOK        bool
 	PendingLive   int // live sim events left after teardown (leak)
 	PendingEvents int // total sim events left after teardown
 	ActiveConns   int // conns still tabled on either endpoint (leak)
+
+	// Observability artifacts (see FaninResult).
+	Obs       *obs.Registry
+	Recorders []*obs.Recorder
+	Dump      *obs.PostMortem
 }
 
 const crashloopSlots = 4
@@ -67,8 +80,17 @@ func RunCrashloop(o CrashloopOptions) CrashloopResult {
 	// The budget must outlast Down at the smallest backoff base; the
 	// point of the loop is recovery, not budget exhaustion.
 	cfg.Core.MaxReconnects = 32
+	cfg.Obs = o.Obs
+	cfg.Obs.Recorder = !o.DisableRecorder
 	cl := cluster.New(cfg)
 	c01, _ := cl.Pair()
+
+	// The driver pauses/resumes node 1; note each action so a gate
+	// failure's post-mortem can interleave causes with effects.
+	var faults []obs.TimelineNote
+	fault := func(what string) {
+		faults = append(faults, obs.TimelineNote{At: cl.Env.Now(), Text: what})
+	}
 
 	src := cl.Nodes[0].EP.Alloc(crashloopSlots * o.Bytes)
 	dst := cl.Nodes[1].EP.Alloc(crashloopSlots * o.Bytes)
@@ -109,8 +131,10 @@ func RunCrashloop(o CrashloopOptions) CrashloopResult {
 		for cycle := 0; cycle < o.Cycles; cycle++ {
 			p.Sleep(20 * sim.Millisecond) // healthy traffic between crashes
 			cl.PauseNode(1)
+			fault(fmt.Sprintf("cycle %d: pause node 1 for %v", cycle, o.Down))
 			p.Sleep(o.Down)
 			cl.ResumeNode(1)
+			fault(fmt.Sprintf("cycle %d: resume node 1", cycle))
 			waitingSince = cl.Env.Now()
 			giveUp := cl.Env.Now() + 10*sim.Second
 			for waitingSince > 0 && cl.Env.Now() < giveUp {
@@ -125,7 +149,15 @@ func RunCrashloop(o CrashloopOptions) CrashloopResult {
 			}
 		}
 	})
-	cl.Env.RunUntil(120 * sim.Second)
+	var endedAt sim.Time
+	if cl.Obs != nil {
+		// Same live-drain + quiesce pattern as RunFanin: RunUntil would
+		// march sampler daemons to the horizon and trip the leak gates.
+		endedAt = cl.Env.Run()
+		cl.Obs.Quiesce()
+	} else {
+		endedAt = cl.Env.RunUntil(120 * sim.Second)
+	}
 
 	st := cl.Nodes[0].EP.Stats
 	st1 := cl.Nodes[1].EP.Stats
@@ -137,16 +169,24 @@ func RunCrashloop(o CrashloopOptions) CrashloopResult {
 		ReplayedBytes:   st.ReplayedBytes + st1.ReplayedBytes,
 		StaleEpochDrops: st.StaleEpochDrops + st1.StaleEpochDrops,
 		Recovered:       len(recoveries),
+		EndedAt:         endedAt,
 		DataOK:          dataOK && transfers > 0,
 		PendingLive:     cl.Env.PendingLive(),
 		PendingEvents:   cl.Env.PendingEvents(),
 		ActiveConns:     cl.Nodes[0].EP.ActiveConns() + cl.Nodes[1].EP.ActiveConns(),
+		Obs:             cl.Obs,
+		Recorders:       cl.Recorders,
 	}
 	if len(recoveries) > 0 {
 		s := append([]sim.Time(nil), recoveries...)
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 		r.RecoverP50 = s[len(s)/2]
 		r.RecoverMax = s[len(s)-1]
+	}
+	if !r.DataOK || !r.LeakFree() || r.Recovered != o.Cycles {
+		cause := fmt.Sprintf("crashloop gate failure: dataOK=%v recovered=%d/%d pendingLive=%d pendingEvents=%d activeConns=%d",
+			r.DataOK, r.Recovered, o.Cycles, r.PendingLive, r.PendingEvents, r.ActiveConns)
+		r.Dump = obs.BuildPostMortem(cause, cl.Env.Now(), faults, cl.Recorders...)
 	}
 	return r
 }
@@ -174,8 +214,10 @@ func (r CrashloopResult) String() string {
 // RenderCrashloop sweeps detection/backoff settings under a fixed
 // downtime, printing one row per setting. ok is false if any run
 // corrupted data, failed to recover a cycle, or leaked post-close state
-// — the caller should exit nonzero.
-func RenderCrashloop(cycles int, down sim.Time, size int) (out string, ok bool) {
+// — the caller should exit nonzero. The results slice carries one entry
+// per setting for bench-trajectory output; obsOpts composes the
+// registry into every run (zero value = off).
+func RenderCrashloop(cycles int, down sim.Time, size int, obsOpts cluster.ObsOptions) (out string, ok bool, results []CrashloopResult) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Crash-loop recovery: node 1 crash-restarts %d times (down %v), writer streams %d B transfers, 1L-1G\n", cycles, down, size)
 	fmt.Fprintf(&b, "(Config.Reconnect on; rows where DeadInterval > downtime recover by plain ARQ without an incarnation bump)\n\n")
@@ -189,15 +231,19 @@ func RenderCrashloop(cycles int, down sim.Time, size int) (out string, ok bool) 
 	} {
 		r := RunCrashloop(CrashloopOptions{
 			Cycles: cycles, Down: down, Bytes: size,
-			DeadInterval: c.di, Backoff: c.backoff, Seed: 42,
+			DeadInterval: c.di, Backoff: c.backoff, Seed: 42, Obs: obsOpts,
 		})
+		results = append(results, r)
 		fmt.Fprintf(&b, "  %s\n", r)
 		if !r.DataOK || !r.LeakFree() || r.Recovered != cycles {
 			ok = false
+			if r.Dump != nil {
+				b.WriteString("\n" + r.Dump.Timeline())
+			}
 		}
 	}
 	if !ok {
 		fmt.Fprintf(&b, "\nFAIL: a run corrupted data, failed to recover, or leaked post-close state\n")
 	}
-	return b.String(), ok
+	return b.String(), ok, results
 }

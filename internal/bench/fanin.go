@@ -9,6 +9,7 @@ import (
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 	"multiedge/internal/trace"
 )
@@ -28,6 +29,13 @@ type FaninOptions struct {
 	Size       int  // bytes per operation
 	Chaos      bool // inject loss/dup bursts mid-run
 	Seed       int64
+
+	// Obs composes the observability registry (metrics, spans, health
+	// sampling) into the run; the zero value keeps it off. The flight
+	// recorder is attached regardless — recording is pure observation —
+	// unless DisableRecorder (for overhead A/B measurements).
+	Obs             cluster.ObsOptions
+	DisableRecorder bool
 }
 
 // FaninResult is one fan-in measurement plus its correctness gates.
@@ -39,6 +47,7 @@ type FaninResult struct {
 	OpsPerSec   float64
 	GoodMB      float64 // payload goodput, MB/s
 	P50Us       float64 // closed-loop op latency percentiles
+	P95Us       float64
 	P99Us       float64
 
 	// Gates.
@@ -47,6 +56,13 @@ type FaninResult struct {
 	ActiveConns   int  // conns still tabled on the server (leak)
 
 	Net cluster.NetReport
+
+	// Observability artifacts: the registry (nil unless Obs options
+	// enabled one), the per-node flight recorders, and — when a gate
+	// failed — the cause-tagged post-mortem dump.
+	Obs       *obs.Registry
+	Recorders []*obs.Recorder
+	Dump      *obs.PostMortem
 }
 
 // faninSlots is the per-connection pipeline depth: eager conns rotate
@@ -84,11 +100,15 @@ func RunFanin(opts FaninOptions) FaninResult {
 	// The default 16 MB address space times hundreds of nodes is real
 	// host memory; size it to the working set instead.
 	cfg.Core.MemBytes = conns*faninSlots*opts.Size + (1 << 20)
+	cfg.Obs = opts.Obs
+	cfg.Obs.Recorder = !opts.DisableRecorder
 	cl := cluster.New(cfg)
 	server := cl.Nodes[0].EP
 
+	var runner *chaos.Runner
 	if opts.Chaos {
 		r := chaos.New(cl, opts.Seed+1)
+		runner = r
 		// A loss burst on the server rail hits every connection at
 		// once; bursts on the first client rails add asymmetric repair
 		// load; a duplication window exercises the receive-side dedup.
@@ -185,7 +205,17 @@ func RunFanin(opts FaninOptions) FaninResult {
 			c.Close(p)
 		})
 	}
-	cl.Env.RunUntil(600 * sim.Second)
+	if cl.Obs != nil {
+		// The registry's samplers tick on daemon events; RunUntil would
+		// march them all the way to the horizon after the workload
+		// drained, and a still-armed tick would trip the PendingEvents
+		// leak gate. Run to live-drain (identical end state — with obs
+		// off nothing is pending after teardown either), then quiesce.
+		cl.Env.Run()
+		cl.Obs.Quiesce()
+	} else {
+		cl.Env.RunUntil(600 * sim.Second)
+	}
 
 	r := FaninResult{
 		Conns:       conns,
@@ -200,6 +230,7 @@ func RunFanin(opts FaninOptions) FaninResult {
 		r.GoodMB = float64(opsDone*opts.Size) / 1e6 / r.Elapsed.Seconds()
 	}
 	r.P50Us = rec.Percentile(50).Micros()
+	r.P95Us = rec.Percentile(95).Micros()
 	r.P99Us = rec.Percentile(99).Micros()
 	// Leak gates: after every conn closed, nothing may remain queued
 	// and no endpoint may still table a connection.
@@ -207,6 +238,19 @@ func RunFanin(opts FaninOptions) FaninResult {
 	r.ActiveConns = server.ActiveConns()
 	for _, n := range cl.Nodes[1:] {
 		r.ActiveConns += n.EP.ActiveConns()
+	}
+	r.Obs = cl.Obs
+	r.Recorders = cl.Recorders
+	if !r.DataOK || !r.LeakFree() {
+		var faults []obs.TimelineNote
+		if runner != nil {
+			for _, ev := range runner.Events {
+				faults = append(faults, obs.TimelineNote{At: ev.At, Text: ev.What})
+			}
+		}
+		cause := fmt.Sprintf("fanin gate failure: dataOK=%v pendingEvents=%d activeConns=%d",
+			r.DataOK, r.PendingEvents, r.ActiveConns)
+		r.Dump = obs.BuildPostMortem(cause, cl.Env.Now(), faults, cl.Recorders...)
 	}
 	return r
 }
@@ -232,8 +276,10 @@ func (r FaninResult) String() string {
 // RenderFanin sweeps the connection counts, printing one row per run
 // plus the ops/s scaling factor relative to the single-connection
 // baseline. ok is false if any run corrupted data or leaked post-close
-// state — the caller should exit nonzero.
-func RenderFanin(connCounts []int, opsPerConn, size int, withChaos bool) (out string, ok bool) {
+// state — the caller should exit nonzero. The results slice carries one
+// entry per run for bench-trajectory output and observability export;
+// obsOpts composes the registry into every run (zero value = off).
+func RenderFanin(connCounts []int, opsPerConn, size int, withChaos bool, obsOpts cluster.ObsOptions) (out string, ok bool, results []FaninResult) {
 	var b strings.Builder
 	chaosNote := ""
 	if withChaos {
@@ -244,7 +290,8 @@ func RenderFanin(connCounts []int, opsPerConn, size int, withChaos bool) (out st
 	ok = true
 	var base float64
 	for _, n := range connCounts {
-		r := RunFanin(FaninOptions{Conns: n, OpsPerConn: opsPerConn, Size: size, Chaos: withChaos, Seed: 42})
+		r := RunFanin(FaninOptions{Conns: n, OpsPerConn: opsPerConn, Size: size, Chaos: withChaos, Seed: 42, Obs: obsOpts})
+		results = append(results, r)
 		scale := ""
 		if base == 0 && r.OpsPerSec > 0 {
 			base = r.OpsPerSec
@@ -254,10 +301,13 @@ func RenderFanin(connCounts []int, opsPerConn, size int, withChaos bool) (out st
 		fmt.Fprintf(&b, "  %s%s\n", r, scale)
 		if !r.DataOK || !r.LeakFree() {
 			ok = false
+			if r.Dump != nil {
+				b.WriteString("\n" + r.Dump.Timeline())
+			}
 		}
 	}
 	if !ok {
 		fmt.Fprintf(&b, "\nFAIL: a run corrupted data or leaked post-close state\n")
 	}
-	return b.String(), ok
+	return b.String(), ok, results
 }

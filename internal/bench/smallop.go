@@ -129,18 +129,21 @@ func RunSmallOps(cfg cluster.Config, size, count, batch int) SmallOpResult {
 
 // RenderSmallOps prints the eager-versus-batched small-op comparison on
 // the paper's 1L-10G configuration (the setup where host issue cost,
-// not the wire, bounds small-message rate).
-func RenderSmallOps(count int) string {
+// not the wire, bounds small-message rate). The results slice carries
+// one entry per run for bench-trajectory output.
+func RenderSmallOps(count int) (string, []SmallOpResult) {
 	var b strings.Builder
+	var results []SmallOpResult
 	fmt.Fprintf(&b, "Small-operation throughput, 1L-10G, %d one-way writes per run\n", count)
 	fmt.Fprintf(&b, "(batched = submission queue + doorbell batching + frame coalescing)\n\n")
 	for _, size := range []int{16, 64, 256} {
 		eager := RunSmallOps(cluster.OneLink10G(2), size, count, 0)
 		sq := RunSmallOps(cluster.OneLink10G(2), size, count, 64)
+		results = append(results, eager, sq)
 		fmt.Fprintf(&b, "  %s\n  %s\n", eager, sq)
 		if eager.MOpsS > 0 {
 			fmt.Fprintf(&b, "  -> %.2fx op rate\n\n", sq.MOpsS/eager.MOpsS)
 		}
 	}
-	return b.String()
+	return b.String(), results
 }

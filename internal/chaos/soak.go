@@ -9,6 +9,7 @@ import (
 	"multiedge/internal/cluster"
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/sim"
 )
 
@@ -62,12 +63,33 @@ type Result struct {
 	Report       cluster.NetReport
 }
 
+// Artifacts bundles the non-comparable products of one soak run —
+// kept out of Result so Results stay ==-comparable across runs.
+type Artifacts struct {
+	Obs       *obs.Registry      // registry, nil unless Options.Config enabled one
+	Recorders []*obs.Recorder    // per-node flight recorders (always attached)
+	Faults    []obs.TimelineNote // the injected fault timeline
+	Dump      *obs.PostMortem    // post-mortem, built only when invariants fired
+}
+
 // Run executes one soak: build the cluster, connect a pair, lay down
 // the fault timeline, stream verified transfers, then collect the
 // report and check invariants.
 func Run(o Options) (Result, []Violation) {
+	res, vs, _ := RunDeep(o)
+	return res, vs
+}
+
+// RunDeep is Run, additionally returning the run's observability
+// artifacts: the flight recorders (attached unconditionally — recording
+// is pure observation and cannot perturb the run), the fault timeline,
+// and, when any invariant fired, a cause-tagged post-mortem dump that
+// interleaves the injected faults with the victim connections' last
+// recorded events.
+func RunDeep(o Options) (Result, []Violation, *Artifacts) {
 	cfg := o.Config
 	cfg.Seed = o.Seed
+	cfg.Obs.Recorder = true
 	cl := cluster.New(cfg)
 	c01, c10 := cl.Pair()
 	r := New(cl, o.Seed*1000003+7)
@@ -189,5 +211,14 @@ func Run(o Options) (Result, []Violation) {
 
 	res.Report = cl.Collect()
 	vs = append(vs, CheckReport(res.Report)...)
-	return res, vs
+
+	art := &Artifacts{Obs: cl.Obs, Recorders: cl.Recorders}
+	for _, ev := range r.Events {
+		art.Faults = append(art.Faults, obs.TimelineNote{At: ev.At, Text: ev.What})
+	}
+	if len(vs) > 0 {
+		art.Dump = obs.BuildPostMortem(vs[0].Name+": "+vs[0].Detail,
+			res.EndedAt, art.Faults, cl.Recorders...)
+	}
+	return res, vs, art
 }

@@ -182,12 +182,13 @@ func TreeOneLink1G(nodes, group, trunks int) Config {
 
 // Cluster is a built simulation universe.
 type Cluster struct {
-	Env      *sim.Env
-	Cfg      Config
-	Switches []*phys.Switch  // all switches (edge and core)
-	Trunks   []*phys.OutPort // inter-switch trunk ports (tree fabrics)
-	Nodes    []*Node
-	Obs      *obs.Registry // observability registry (nil unless Cfg.Obs enables it)
+	Env       *sim.Env
+	Cfg       Config
+	Switches  []*phys.Switch  // all switches (edge and core)
+	Trunks    []*phys.OutPort // inter-switch trunk ports (tree fabrics)
+	Nodes     []*Node
+	Obs       *obs.Registry   // observability registry (nil unless Cfg.Obs enables it)
+	Recorders []*obs.Recorder // per-node flight recorders (nil unless Cfg.Obs.Recorder)
 }
 
 // New builds a cluster from the configuration. It panics on a

@@ -24,14 +24,33 @@ type ObsOptions struct {
 	// samplers. 0 uses the default (250 µs); negative disables the
 	// samplers while keeping gather-time collectors.
 	SampleEvery sim.Time
+	// Recorder attaches a per-node flight recorder (see obs.Recorder):
+	// a fixed-size, allocation-free ring of typed protocol events,
+	// recorded unconditionally and frozen into a post-mortem dump when
+	// an invariant fires. Independent of Metrics/Spans — recording
+	// needs no registry.
+	Recorder bool
+	// RecorderEvents is the per-node ring capacity (0 uses
+	// obs.DefaultRecorderEvents).
+	RecorderEvents int
+	// HealthEvery, when positive, starts a per-node health sampler
+	// (obs.HealthLog) with this period. Implies a registry.
+	HealthEvery sim.Time
 }
 
-func (o ObsOptions) enabled() bool { return o.Metrics || o.Spans }
+func (o ObsOptions) enabled() bool { return o.Metrics || o.Spans || o.HealthEvery > 0 }
 
 // wireObs builds the registry and attaches every layer, called from New
 // once nodes exist.
 func (cl *Cluster) wireObs() {
 	o := cl.Cfg.Obs
+	if o.Recorder {
+		for _, n := range cl.Nodes {
+			rec := obs.NewRecorder(n.ID, o.RecorderEvents)
+			n.EP.SetRecorder(rec)
+			cl.Recorders = append(cl.Recorders, rec)
+		}
+	}
 	if !o.enabled() {
 		return
 	}
@@ -40,6 +59,12 @@ func (cl *Cluster) wireObs() {
 		r.EnableSpans()
 	}
 	cl.Obs = r
+	if o.HealthEvery > 0 {
+		for _, n := range cl.Nodes {
+			ep := n.EP
+			r.SampleHealth(n.ID, o.HealthEvery, ep.Health)
+		}
+	}
 	every := o.SampleEvery
 	if every == 0 {
 		every = 250 * sim.Microsecond

@@ -128,6 +128,8 @@ type Conn struct {
 	reconnTimer   *sim.Timer // dialer-side redial backoff
 	reconnGiveUp  timer      // passive-side bounded wait (daemon)
 	reconnSpan    *obs.Span  // outage→recovered causal span
+
+	bytesAcked uint64 // payload bytes acknowledged end-to-end, lifetime
 }
 
 // txOp is an operation on the send side: the kernel-buffer snapshot of
@@ -353,6 +355,7 @@ func (c *Conn) Close(p *sim.Proc) {
 	}
 	c.closed = true
 	c.stopTimers()
+	c.ep.recEvent(c.localID, obs.RecClosed, 0, 0)
 	ep := c.ep
 	attempts := 0
 	var retry func()
@@ -777,6 +780,7 @@ func (c *Conn) noteLinkRepair(li int) {
 		c.deadLinks++
 		c.ep.Stats.LinkDeadEvents++
 		c.ep.trc(c.localID, trace.LinkDead, uint32(li), 0)
+		c.ep.recEvent(c.localID, obs.RecLinkDead, int64(li), int64(c.deadLinks))
 		c.armProbeTimer()
 	}
 }
@@ -796,6 +800,7 @@ func (c *Conn) clearLinkFault(li int, sentAt sim.Time) {
 		c.deadLinks--
 		c.ep.Stats.LinkRestores++
 		c.ep.trc(c.localID, trace.LinkRestore, uint32(li), 0)
+		c.ep.recEvent(c.localID, obs.RecLinkRestore, int64(li), int64(c.deadLinks))
 	}
 }
 
@@ -933,6 +938,7 @@ func (c *Conn) onRTO() {
 	if c.ep.backoffHist != nil {
 		c.ep.backoffHist.Observe(float64(c.expiries))
 	}
+	c.ep.recEvent(c.localID, obs.RecRtoExpiry, int64(c.expiries), int64(c.inflight()))
 	if (cfg.MaxRetries > 0 && c.expiries > cfg.MaxRetries) ||
 		(cfg.DeadInterval > 0 && now-c.lastProgress >= cfg.DeadInterval) {
 		c.peerLost(fmt.Errorf("core: connection to node %d: no ack progress after %d timeouts over %v: %w",
@@ -972,6 +978,7 @@ func (c *Conn) handleAck(ack uint32) {
 		tf := c.retrans[s]
 		delete(c.retrans, s)
 		if tf != nil {
+			c.bytesAcked += uint64(len(tf.payload))
 			tf.op.unacked--
 			if tf.op.h != nil && tf.op.opType == frame.OpWrite {
 				tf.op.h.acked += len(tf.payload)
@@ -1176,6 +1183,7 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 	c.closed = true
 	ep.Stats.PeerDeadEvents++
 	ep.trc(c.localID, trace.PeerDead, 0, 0)
+	ep.recEvent(c.localID, obs.RecFailed, int64(c.expiries), int64(c.inflight()))
 	c.stopTimers()
 	c.stopCloseTimer()
 	// A conn that dies mid-reconnect closes its outage span: the outage
@@ -1431,6 +1439,7 @@ const (
 func (c *Conn) trackGap(s uint32, now sim.Time) {
 	if len(c.missingSince) >= maxTrackedGaps {
 		c.ep.Stats.NackGapsDropped++
+		c.ep.recEvent(c.localID, obs.RecNackDrop, int64(s), int64(len(c.missingSince)))
 		return
 	}
 	c.missingSince[s] = now

@@ -54,6 +54,8 @@ type Endpoint struct {
 
 	tracer *trace.Trace // optional frame-level event trace
 
+	rec *obs.Recorder // optional flight recorder (nil = off)
+
 	obs          *obs.Registry  // optional metrics/span registry (nil = off)
 	holdHist     *obs.Histogram // receive-side hold duration, µs
 	sqDepth      *obs.Gauge     // posted-but-unrung descriptors, all conns
@@ -166,10 +168,12 @@ func (ep *Endpoint) kickConn(c *Conn) {
 		if !c.inCtrlQ && c.ctrlPending() {
 			c.inCtrlQ = true
 			ep.ctrlQ = append(ep.ctrlQ, c)
+			ep.recEvent(c.localID, obs.RecSched, 0, int64(len(ep.ctrlQ)))
 		}
 		if !c.inSendQ && c.sendable() {
 			c.inSendQ = true
 			ep.sendQ = append(ep.sendQ, c)
+			ep.recEvent(c.localID, obs.RecSched, 1, int64(len(ep.sendQ)))
 		}
 	}
 	ep.wakeThread()
@@ -241,6 +245,22 @@ func (ep *Endpoint) SetTrace(t *trace.Trace) { ep.tracer = t }
 func (ep *Endpoint) trc(conn uint32, k trace.Kind, seq uint32, n int) {
 	if ep.tracer != nil {
 		ep.tracer.Add(ep.node, conn, k, seq, n)
+	}
+}
+
+// SetRecorder attaches a flight recorder (nil disables). Recording is a
+// nil-checked store into a preallocated ring — no allocation, no RNG,
+// no scheduled events — so the recorder observes without perturbing the
+// simulation and stress harnesses leave it on unconditionally.
+func (ep *Endpoint) SetRecorder(r *obs.Recorder) { ep.rec = r }
+
+// Recorder returns the attached flight recorder (nil when off).
+func (ep *Endpoint) Recorder() *obs.Recorder { return ep.rec }
+
+// recEvent records one flight-recorder event if recording is enabled.
+func (ep *Endpoint) recEvent(conn uint32, k obs.RecKind, a, b int64) {
+	if ep.rec != nil {
+		ep.rec.Record(ep.env.Now(), conn, k, a, b)
 	}
 }
 
@@ -540,6 +560,7 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		// matching-incarnation frames are equally stale.
 		if h.Incarnation != c.incarnation || c.reconnecting {
 			ep.Stats.StaleEpochDrops++
+			ep.recEvent(c.localID, obs.RecStaleDrop, int64(h.Incarnation), int64(c.incarnation))
 			return
 		}
 	}
@@ -556,6 +577,7 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		}
 		c.closed = true
 		c.stopTimers()
+		ep.recEvent(c.localID, obs.RecClosed, 1, 0)
 		ah := frame.Header{Type: frame.TypeConnCloseAck, ConnID: uint32(h.OpID),
 			Incarnation: h.Incarnation}
 		buf := frame.MustEncode(src, ep.nics[0].Addr(), &ah, nil)
@@ -617,6 +639,7 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 		links = len(ep.nics)
 	}
 	c := ep.newConn(remoteNode, links)
+	ep.recEvent(c.localID, obs.RecDial, int64(links), int64(remoteNode))
 	c.dialer = true // this side owns redialing under Config.Reconnect
 	if ep.cfg.Reconnect {
 		c.incarnation = 1 // first epoch; 0 means "incarnations unused"
@@ -643,6 +666,7 @@ func (ep *Endpoint) Dial(p *sim.Proc, remoteNode int, links int) *Conn {
 			c.closed = true
 			ep.Stats.PeerDeadEvents++
 			ep.trc(c.localID, trace.PeerDead, 0, 0)
+			ep.recEvent(c.localID, obs.RecFailed, int64(attempts), 0)
 			ep.removeConn(c)
 			c.established.Fire(ep.env)
 			return
@@ -697,6 +721,7 @@ func (ep *Endpoint) handleConnReq(src frame.Addr, h frame.Header) {
 		c.remoteID = h.ConnID
 		c.incarnation = h.Incarnation // adopt the dialer's epoch (0 = feature off)
 		ep.byPeer[key] = c
+		ep.recEvent(c.localID, obs.RecEstablished, int64(c.incarnation), int64(src.Node()))
 		c.established.Fire(ep.env)
 		c.startKeepalive()
 		ep.accepted.Send(ep.env, c)
@@ -738,6 +763,7 @@ func (ep *Endpoint) handleConnAck(_ frame.Addr, h frame.Header) {
 	if c.connTimer != nil {
 		c.connTimer.Stop()
 	}
+	ep.recEvent(c.localID, obs.RecEstablished, int64(c.incarnation), int64(c.remoteNode))
 	c.established.Fire(ep.env)
 	c.startKeepalive()
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"multiedge/internal/frame"
+	"multiedge/internal/obs"
 	"multiedge/internal/phys"
 	"multiedge/internal/sim"
 )
@@ -50,6 +51,11 @@ func incarnNewer(a, b uint16) bool { return int16(a-b) > 0 }
 // with recovery off, or for a connection that never finished its first
 // handshake — into the terminal failConn path, exactly as before.
 func (c *Conn) peerLost(cause error, sendReset bool) {
+	reset := int64(0)
+	if sendReset {
+		reset = 1
+	}
+	c.ep.recEvent(c.localID, obs.RecPeerDead, reset, int64(c.expiries))
 	if c.ep.cfg.Reconnect && c.established.Fired() && !c.failed {
 		c.enterReconnect(cause, sendReset)
 		return
@@ -68,6 +74,7 @@ func (c *Conn) enterReconnect(cause error, sendReset bool) {
 	}
 	_ = cause // the outage is transient by intent; errors surface only on give-up
 	ep := c.ep
+	ep.recEvent(c.localID, obs.RecReconnect, int64(c.incarnation), 0)
 	c.reconnecting = true
 	c.reconnSince = ep.env.Now()
 	c.reconnAttempt = 0
@@ -139,6 +146,7 @@ func (c *Conn) redial() {
 		return
 	}
 	c.reconnAttempt++
+	ep.recEvent(c.localID, obs.RecRedial, int64(c.reconnAttempt), int64(c.pendingIncarn))
 	h := frame.Header{Type: frame.TypeConnReq, ConnID: c.localID,
 		OpID: uint64(c.links), Incarnation: c.pendingIncarn}
 	dst := frame.NewAddr(c.remoteNode, 0)
@@ -165,6 +173,7 @@ func (c *Conn) acceptReconnect(inc uint16) {
 		return
 	}
 	if !c.reconnecting {
+		c.ep.recEvent(c.localID, obs.RecReconnect, int64(c.incarnation), 1)
 		c.reconnecting = true
 		c.reconnSince = c.ep.env.Now()
 		c.stopTimers()
@@ -295,6 +304,7 @@ func (c *Conn) rebirth(inc uint16) {
 	c.txOps = journal
 
 	c.incarnation = inc
+	ep.recEvent(c.localID, obs.RecRebirth, int64(inc), int64(len(journal)))
 	c.pendingIncarn = 0
 	c.reconnecting = false
 	c.reconnTotal++

@@ -39,6 +39,32 @@ func jsonEscape(s string) string {
 	return b.String()
 }
 
+// promEscape escapes a label value for the Prometheus text exposition
+// format (version 0.0.4): backslash, double-quote and newline are the
+// only escapes the format defines. Go's %q (used here previously) also
+// escapes tabs, non-printables and non-ASCII runes, which a conforming
+// Prometheus parser would read back verbatim as backslash sequences —
+// raw UTF-8 must pass through untouched.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // ChromeTrace renders every recorded span, child event, and sampler
 // series as Chrome trace-event JSON (the format Perfetto and
 // chrome://tracing open directly). Layout:
@@ -216,7 +242,7 @@ func (s Snapshot) Prometheus() []byte {
 				if i > 0 {
 					b.WriteByte(',')
 				}
-				fmt.Fprintf(&b, `%s=%q`, l.Key, l.Value)
+				fmt.Fprintf(&b, `%s="%s"`, l.Key, promEscape(l.Value))
 			}
 			b.WriteByte('}')
 		}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"multiedge/internal/sim"
+)
+
+// Flight recorder: a fixed-size, allocation-free ring buffer of typed
+// protocol events, one per endpoint. Unlike metrics (aggregates) and
+// spans (per-operation causal traces, opt-in and allocating), the
+// recorder is cheap enough to leave on unconditionally in every stress
+// harness: recording one event is a bounds-checked store into a
+// preallocated array plus two integer increments — no allocation, no
+// RNG, no scheduled event — so it can never perturb the simulation or
+// its determinism. When a chaos invariant, leak gate or peer-death path
+// fires, the rings are frozen into a PostMortem: a cause-tagged dump of
+// the last events per connection, as JSON and as a human-readable
+// timeline.
+
+// RecKind classifies one flight-recorder event. The A/B payload fields
+// are kind-specific (documented per constant).
+type RecKind uint8
+
+const (
+	RecDial        RecKind = iota + 1 // conn created by Dial; A = links
+	RecEstablished                    // handshake complete; A = incarnation
+	RecClosed                         // graceful teardown; A = 1 if peer-initiated
+	RecFailed                         // terminal failure (ErrPeerDead path)
+	RecPeerDead                       // local peer-death verdict; A = 1 if a Reset is sent
+	RecRtoExpiry                      // retransmission timeout fired; A = backoff depth, B = inflight
+	RecReconnect                      // parked in Reconnecting (epoch condemned)
+	RecRedial                         // supervised redial sent; A = attempt
+	RecRebirth                        // successor epoch installed; A = incarnation, B = replayed ops
+	RecNackDrop                       // missing-list cap hit; A = seq, B = tracked gaps
+	RecDoorbell                       // SQ doorbell rung; A = descriptors issued
+	RecSched                          // conn enqueued on the scheduler; A = 0 ctrl / 1 send, B = queue depth
+	RecLinkDead                       // link excluded from striping; A = link
+	RecLinkRestore                    // dead link re-admitted; A = link
+	RecStaleDrop                      // frame fenced for a dead incarnation; A = frame epoch, B = live epoch
+	recKindCount
+)
+
+var recKindNames = [recKindCount]string{
+	"?", "dial", "established", "closed", "failed", "peer-dead",
+	"rto-expiry", "reconnect", "redial", "rebirth", "nack-drop",
+	"doorbell", "sched", "link-dead", "link-restore", "stale-drop",
+}
+
+// String returns the event kind's wire name ("rto-expiry", ...).
+func (k RecKind) String() string {
+	if k >= recKindCount {
+		return "?"
+	}
+	return recKindNames[k]
+}
+
+// recStateTransition reports whether k changes the connection's
+// lifecycle state — the events a post-mortem timeline must always keep
+// for the victim connection.
+func recStateTransition(k RecKind) bool {
+	switch k {
+	case RecDial, RecEstablished, RecClosed, RecFailed, RecPeerDead,
+		RecReconnect, RecRebirth:
+		return true
+	}
+	return false
+}
+
+// RecNoConn marks endpoint-level events not tied to one connection.
+const RecNoConn = ^uint32(0)
+
+// RecEvent is one recorded protocol event. 32 bytes, stored by value in
+// the ring: recording allocates nothing.
+type RecEvent struct {
+	At   sim.Time
+	A, B int64
+	Conn uint32
+	Kind RecKind
+}
+
+// Recorder is one endpoint's flight-recorder ring. The zero-size ring is
+// invalid; create with NewRecorder. A nil *Recorder is the disabled
+// state: Record is a nil-check no-op, so instrumented code holds one
+// unconditionally.
+type Recorder struct {
+	node int
+	buf  []RecEvent
+	n    uint64 // events ever recorded; n - len(buf) of them overwritten
+}
+
+// DefaultRecorderEvents is the per-endpoint ring capacity harnesses use
+// unless configured otherwise (32 KiB per endpoint at 32 B/event).
+const DefaultRecorderEvents = 1024
+
+// NewRecorder creates a flight recorder for node with a ring of the
+// given capacity (DefaultRecorderEvents if size <= 0).
+func NewRecorder(node, size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderEvents
+	}
+	return &Recorder{node: node, buf: make([]RecEvent, 0, size)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Nil-safe and allocation-free.
+func (r *Recorder) Record(at sim.Time, conn uint32, k RecKind, a, b int64) {
+	if r == nil {
+		return
+	}
+	ev := RecEvent{At: at, A: a, B: b, Conn: conn, Kind: k}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.n%uint64(len(r.buf))] = ev
+	}
+	r.n++
+}
+
+// Node returns the node the recorder is attached to (-1 on nil).
+func (r *Recorder) Node() int {
+	if r == nil {
+		return -1
+	}
+	return r.node
+}
+
+// Len returns how many events the ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Recorded returns how many events were ever recorded; Recorded - Len
+// of them have been overwritten.
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Events returns the ring's contents in recording order (oldest first).
+// The slice is freshly allocated; the ring keeps recording.
+func (r *Recorder) Events() []RecEvent {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]RecEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) || r.n == uint64(len(r.buf)) {
+		return append(out, r.buf...)
+	}
+	head := int(r.n % uint64(len(r.buf))) // oldest surviving event
+	out = append(out, r.buf[head:]...)
+	return append(out, r.buf[:head]...)
+}
+
+// TimelineNote is one non-recorder entry merged into a post-mortem
+// timeline — typically an injected fault from the chaos Runner.
+type TimelineNote struct {
+	At   sim.Time
+	Text string
+}
+
+// NodeEvents is one node's slice of a post-mortem: the last events per
+// connection, in recording order.
+type NodeEvents struct {
+	Node        int
+	Recorded    uint64 // events ever recorded on this node
+	Overwritten uint64 // events lost to ring wraparound
+	Events      []RecEvent
+}
+
+// PostMortem is a frozen, cause-tagged flight-recorder dump, built when
+// a chaos invariant, leak gate or peer-death path fires.
+type PostMortem struct {
+	Cause  string
+	At     sim.Time
+	Faults []TimelineNote // injected faults, chronological
+	Nodes  []NodeEvents   // one entry per attached recorder, by node
+}
+
+// postMortemLastN bounds the per-connection tail kept in a dump. State
+// transitions are always kept regardless of the bound.
+const postMortemLastN = 16
+
+// BuildPostMortem freezes the given recorders (nils skipped) into a
+// cause-tagged dump: for every node, the last postMortemLastN events of
+// each connection plus every lifecycle state transition still in the
+// ring. Pass the injected-fault timeline (may be nil) so the dump can
+// interleave causes with effects.
+func BuildPostMortem(cause string, at sim.Time, faults []TimelineNote, recs ...*Recorder) *PostMortem {
+	pm := &PostMortem{Cause: cause, At: at}
+	for _, f := range faults {
+		pm.Faults = append(pm.Faults, f)
+	}
+	sort.SliceStable(pm.Faults, func(i, j int) bool { return pm.Faults[i].At < pm.Faults[j].At })
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		all := r.Events()
+		// Count per-conn tails from the end, keeping state transitions
+		// unconditionally so a busy conn's doorbell storm cannot push its
+		// own failure history out of the dump.
+		tail := make(map[uint32]int)
+		keep := make([]bool, len(all))
+		for i := len(all) - 1; i >= 0; i-- {
+			ev := all[i]
+			if recStateTransition(ev.Kind) || tail[ev.Conn] < postMortemLastN {
+				keep[i] = true
+				tail[ev.Conn]++
+			}
+		}
+		ne := NodeEvents{Node: r.node, Recorded: r.n}
+		if r.n > uint64(len(all)) {
+			ne.Overwritten = r.n - uint64(len(all))
+		}
+		for i, ev := range all {
+			if keep[i] {
+				ne.Events = append(ne.Events, ev)
+			}
+		}
+		pm.Nodes = append(pm.Nodes, ne)
+	}
+	sort.SliceStable(pm.Nodes, func(i, j int) bool { return pm.Nodes[i].Node < pm.Nodes[j].Node })
+	return pm
+}
+
+// JSON renders the dump as a deterministic JSON document (hand-built,
+// like the other obs exporters, so equal runs dump byte-identically).
+func (pm *PostMortem) JSON() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"schema\":\"multiedge-postmortem/v1\",\"cause\":\"%s\",\"at_ns\":%d,\"faults\":[",
+		jsonEscape(pm.Cause), int64(pm.At))
+	for i, f := range pm.Faults {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n{\"at_ns\":%d,\"what\":\"%s\"}", int64(f.At), jsonEscape(f.Text))
+	}
+	b.WriteString("],\"nodes\":[")
+	for i, n := range pm.Nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n{\"node\":%d,\"recorded\":%d,\"overwritten\":%d,\"events\":[", n.Node, n.Recorded, n.Overwritten)
+		for j, ev := range n.Events {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			conn := strconv.FormatUint(uint64(ev.Conn), 10)
+			if ev.Conn == RecNoConn {
+				conn = "-1"
+			}
+			fmt.Fprintf(&b, "\n{\"at_ns\":%d,\"conn\":%s,\"kind\":\"%s\",\"a\":%d,\"b\":%d}",
+				int64(ev.At), conn, ev.Kind, ev.A, ev.B)
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// Timeline renders the dump as a human-readable, chronologically merged
+// timeline: injected faults and every node's kept events, one line
+// each, cause-tagged in the header.
+func (pm *PostMortem) Timeline() string {
+	type line struct {
+		at   sim.Time
+		text string
+	}
+	var lines []line
+	for _, f := range pm.Faults {
+		lines = append(lines, line{f.At, fmt.Sprintf("FAULT  %s", f.Text)})
+	}
+	for _, n := range pm.Nodes {
+		for _, ev := range n.Events {
+			conn := "conn " + strconv.FormatUint(uint64(ev.Conn), 10)
+			if ev.Conn == RecNoConn {
+				conn = "endpoint"
+			}
+			lines = append(lines, line{ev.At, fmt.Sprintf("n%-3d %-8s %-12s a=%d b=%d",
+				n.Node, conn, ev.Kind.String(), ev.A, ev.B)})
+		}
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at < lines[j].at })
+	var b strings.Builder
+	fmt.Fprintf(&b, "POST-MORTEM at %s: %s\n", fmtTime(pm.At), pm.Cause)
+	for _, n := range pm.Nodes {
+		fmt.Fprintf(&b, "  node %d: %d events recorded, %d overwritten, %d in dump\n",
+			n.Node, n.Recorded, n.Overwritten, len(n.Events))
+	}
+	for _, l := range lines {
+		fmt.Fprintf(&b, "  %12s  %s\n", fmtTime(l.at), l.text)
+	}
+	return b.String()
+}
+
+// fmtTime renders a virtual timestamp as microseconds for timelines.
+func fmtTime(t sim.Time) string { return fmt.Sprintf("%.3fus", float64(t)/1000) }

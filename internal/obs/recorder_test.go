@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multiedge/internal/sim"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, 0, RecDial, 0, 0) // must not panic
+	if r.Len() != 0 || r.Recorded() != 0 || r.Events() != nil || r.Node() != -1 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(3, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), uint32(i%2), RecSched, int64(i), 0)
+	}
+	if r.Len() != 4 || r.Recorded() != 10 {
+		t.Fatalf("len=%d recorded=%d; want 4, 10", r.Len(), r.Recorded())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d events", len(evs))
+	}
+	// Oldest-first: the four survivors are records 6..9.
+	for i, ev := range evs {
+		if ev.A != int64(6+i) || ev.At != sim.Time(6+i) {
+			t.Fatalf("event %d = %+v; want record %d", i, ev, 6+i)
+		}
+	}
+}
+
+func TestRecorderEventsBeforeWrap(t *testing.T) {
+	r := NewRecorder(0, 8)
+	r.Record(5, RecNoConn, RecDoorbell, 2, 0)
+	r.Record(9, 1, RecEstablished, 1, 0)
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != RecDoorbell || evs[1].Kind != RecEstablished {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestRecKindStrings(t *testing.T) {
+	for k := RecDial; k < recKindCount; k++ {
+		if s := k.String(); s == "?" || s == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if RecKind(0).String() != "?" || RecKind(200).String() != "?" {
+		t.Fatal("out-of-range kinds must render as ?")
+	}
+}
+
+// TestPostMortemKeepsStateTransitions: a doorbell storm on one busy
+// connection must not push that connection's own lifecycle history out
+// of the dump — state transitions survive the last-N bound.
+func TestPostMortemKeepsStateTransitions(t *testing.T) {
+	r := NewRecorder(0, 256)
+	r.Record(1, 7, RecDial, 1, 0)
+	r.Record(2, 7, RecEstablished, 1, 0)
+	for i := 0; i < 100; i++ {
+		r.Record(sim.Time(10+i), 7, RecDoorbell, int64(i), 0)
+	}
+	r.Record(200, 7, RecFailed, 3, 2)
+	pm := BuildPostMortem("test: forced", 300, nil, r)
+	if len(pm.Nodes) != 1 {
+		t.Fatalf("nodes = %d", len(pm.Nodes))
+	}
+	evs := pm.Nodes[0].Events
+	var kinds []RecKind
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind)
+	}
+	if kinds[0] != RecDial || kinds[1] != RecEstablished || kinds[len(kinds)-1] != RecFailed {
+		t.Fatalf("lifecycle events evicted: %v", kinds)
+	}
+	// The bound still applies to non-transition events.
+	doorbells := 0
+	for _, k := range kinds {
+		if k == RecDoorbell {
+			doorbells++
+		}
+	}
+	if doorbells >= 100 || doorbells == 0 {
+		t.Fatalf("doorbell tail = %d; want 0 < n < 100 (bounded)", doorbells)
+	}
+}
+
+func TestPostMortemJSONAndTimeline(t *testing.T) {
+	r0, r1 := NewRecorder(0, 8), NewRecorder(1, 8)
+	r0.Record(1000, 1, RecDial, 1, 1)
+	r0.Record(2000, 1, RecRtoExpiry, 1, 3)
+	r0.Record(3000, 1, RecPeerDead, 1, 4)
+	r1.Record(1500, 1, RecEstablished, 1, 0)
+	r1.Record(2500, RecNoConn, RecSched, 0, 1)
+	faults := []TimelineNote{{At: 1800, Text: "pause node 1 \"hard\""}}
+	pm := BuildPostMortem("peer-death: conn 1", 4000, faults, r0, nil, r1)
+
+	out := pm.JSON()
+	if !json.Valid(out) {
+		t.Fatalf("dump is not valid JSON:\n%s", out)
+	}
+	if !bytes.Equal(out, BuildPostMortem("peer-death: conn 1", 4000, faults, r0, nil, r1).JSON()) {
+		t.Fatal("dump JSON not deterministic")
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Cause  string `json:"cause"`
+		Nodes  []struct {
+			Node   int `json:"node"`
+			Events []struct {
+				Conn int    `json:"conn"`
+				Kind string `json:"kind"`
+			} `json:"events"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "multiedge-postmortem/v1" || len(doc.Nodes) != 2 {
+		t.Fatalf("schema=%q nodes=%d", doc.Schema, len(doc.Nodes))
+	}
+	if doc.Nodes[1].Events[1].Conn != -1 {
+		t.Fatalf("RecNoConn must serialize as -1: %+v", doc.Nodes[1].Events[1])
+	}
+
+	tl := pm.Timeline()
+	for _, want := range []string{
+		"POST-MORTEM at 4.000us: peer-death: conn 1",
+		`FAULT  pause node 1 "hard"`,
+		"peer-dead",
+		"rto-expiry",
+		"endpoint",
+	} {
+		if !strings.Contains(tl, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	// Chronological merge: the fault lands between dial (1000) and
+	// rto-expiry (2000).
+	if strings.Index(tl, "FAULT") < strings.Index(tl, "dial") ||
+		strings.Index(tl, "FAULT") > strings.Index(tl, "rto-expiry") {
+		t.Fatalf("timeline not chronologically merged:\n%s", tl)
+	}
+}
+
+func TestHealthTimelineJSON(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New(env)
+	calls := 0
+	l := r.SampleHealth(0, sim.Millisecond, func() EndpointHealth {
+		calls++
+		return EndpointHealth{
+			At: env.Now(), Node: 0, ActiveConns: 1,
+			Conns: []ConnHealth{{Conn: 1, Peer: 1, State: "established",
+				Incarnation: 2, SRTTUs: 12.5, Window: 16, BytesAcked: 4096}},
+		}
+	})
+	env.Go("work", func(p *sim.Proc) { p.Sleep(5 * sim.Millisecond) })
+	env.Run()
+	r.Quiesce()
+	if calls == 0 || len(l.Entries) != calls {
+		t.Fatalf("sampled %d times, kept %d entries", calls, len(l.Entries))
+	}
+	out := HealthTimelineJSON(r.HealthLogs())
+	if !json.Valid(out) {
+		t.Fatalf("health timeline invalid JSON:\n%s", out)
+	}
+	for _, want := range []string{`"schema":"multiedge-health/v1"`, `"state":"established"`,
+		`"srtt_us":12.5`, `"bytes_acked":4096`} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("health timeline missing %s:\n%s", want, out)
+		}
+	}
+	// Stopped log must not keep sampling.
+	l.Stop()
+	n := len(l.Entries)
+	env.Go("more", func(p *sim.Proc) { p.Sleep(5 * sim.Millisecond) })
+	env.Run()
+	if len(l.Entries) != n {
+		t.Fatal("stopped health log kept sampling")
+	}
+}

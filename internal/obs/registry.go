@@ -203,6 +203,7 @@ type Registry struct {
 
 	collectors []Collector
 	samplers   []*Sampler
+	healthLogs []*HealthLog
 	quiesced   bool
 
 	spansOn bool
@@ -485,6 +486,9 @@ func (r *Registry) Quiesce() {
 	r.quiesced = true
 	for _, s := range r.samplers {
 		s.Stop()
+	}
+	for _, l := range r.healthLogs {
+		l.Stop()
 	}
 }
 
