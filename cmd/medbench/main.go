@@ -16,15 +16,16 @@
 //	medbench -one ping-pong -spans -obs-out /tmp/spans.json
 //	medbench -fanin -metrics -obs-out /tmp/fanin.json -bench-out /tmp
 //	medbench -crashloop -health-every-ms 50 -obs-out /tmp/health.json
+//	medbench -serve -serve-clients 1024 -bench-out /tmp
 //
 // Instrumentation composition matrix:
 //
-//	flag            -one  -fanin  -crashloop  -chaos  -smallops  others
-//	-trace          yes   no      no          no      no         no
-//	-metrics        yes   yes     yes         yes     no         no
-//	-spans          yes   yes     yes         yes     no         no
-//	-health-every-ms yes  yes     yes         yes     no         no
-//	-bench-out      yes   yes     yes         yes     yes        no
+//	flag            -one  -fanin  -crashloop  -serve  -chaos  -smallops  others
+//	-trace          yes   no      no          no      no      no         no
+//	-metrics        yes   yes     yes         yes     yes     no         no
+//	-spans          yes   yes     yes         yes     yes     no         no
+//	-health-every-ms yes  yes     yes         yes     yes     no         no
+//	-bench-out      yes   yes     yes         yes     yes     yes        no
 //
 // -trace and -metrics/-spans stay mutually exclusive (pick one
 // instrumentation). -metrics/-spans/-health-every-ms need -obs-out
@@ -72,6 +73,11 @@ func main() {
 	faninConns := flag.String("fanin-conns", "1,16,64,256,512", "comma-separated connection counts for -fanin")
 	faninOps := flag.Int("fanin-ops", 24, "closed-loop operations per connection for -fanin")
 	faninChaos := flag.Bool("fanin-chaos", false, "with -fanin: inject loss/duplication bursts mid-run")
+	serveFlag := flag.Bool("serve", false, "run the replicated-service closed-loop bench: baseline plus a chaos backend-kill run (exits 1 on corruption, leaks, or unbounded failover tail)")
+	serveClients := flag.Int("serve-clients", 1024, "simulated client sessions for -serve")
+	serveOps := flag.Int("serve-ops", 4, "closed-loop writes per session for -serve")
+	serveSize := flag.Int("serve-size", 2048, "bytes per operation for -serve")
+	serveReplicas := flag.Int("serve-replicas", 3, "backend replicas for -serve")
 	crashloop := flag.Bool("crashloop", false, "run the crash-restart recovery sweep (exits 1 on corruption, unrecovered cycles, or post-close leaks)")
 	crashCycles := flag.Int("crashloop-cycles", 5, "crash-restart cycles per setting for -crashloop")
 	crashDownMs := flag.Int("crashloop-down-ms", 150, "node downtime per cycle in milliseconds for -crashloop")
@@ -89,7 +95,7 @@ func main() {
 
 	healthEvery := sim.Time(*healthEveryMs) * sim.Millisecond
 	obsOn := *metrics || *spans || *obsOut != "" || healthEvery > 0
-	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag
+	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag || *serveFlag
 	if *doTrace && *one == "" {
 		fmt.Fprintln(os.Stderr, "medbench: -trace only composes with -one; it does not apply to -netstats, -ablate or the figure sweeps")
 		os.Exit(2)
@@ -110,8 +116,8 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag) {
-		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop or -chaos")
+	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag || *serveFlag) {
+		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop, -serve or -chaos")
 		os.Exit(2)
 	}
 
@@ -254,6 +260,27 @@ func main() {
 		out, ok, results := bench.RenderFanin(counts, *faninOps, 256, *faninChaos, obsOpts)
 		fmt.Print(out)
 		doc := bench.NewBenchDoc("fanin")
+		for _, r := range results {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		writeBench(stampAllocs(doc))
+		if len(results) > 0 {
+			exportObs(results[len(results)-1].Obs)
+			for _, r := range results {
+				exportDump(r.Dump)
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *serveFlag:
+		clients := *serveClients
+		if *quick {
+			clients = 256
+		}
+		out, ok, results := bench.RenderServe(clients, *serveOps, *serveSize, *serveReplicas, obsOpts)
+		fmt.Print(out)
+		doc := bench.NewBenchDoc("serve")
 		for _, r := range results {
 			doc.Rows = append(doc.Rows, r.BenchRow())
 		}

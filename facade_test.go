@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"multiedge"
+	"multiedge/internal/chaos"
 	"multiedge/internal/dsm"
 )
 
@@ -62,6 +63,161 @@ func TestPublicAPIDSM(t *testing.T) {
 	cl.Env.RunUntil(10 * multiedge.Second)
 	if done != 3 {
 		t.Fatalf("done = %d/3", done)
+	}
+}
+
+// TestPublicAPIService drives the service layer end to end through the
+// facade only: functional cluster options, Serve/Connect with every
+// ConnectOption, balancer constructors, a live relay, the stats and
+// error surface, and a kill-driven failover.
+func TestPublicAPIService(t *testing.T) {
+	cfg := multiedge.OneLink1G(5)
+	cfg.Core.RTOMax = 2 * multiedge.Millisecond
+	cfg.Core.MaxRetries = 3
+	cl := multiedge.NewCluster(cfg,
+		multiedge.WithReconnect(3),
+		multiedge.WithHeartbeat(multiedge.Millisecond, 5*multiedge.Millisecond),
+		multiedge.WithSchedQueue(),
+		multiedge.WithTimerWheel(50*multiedge.Microsecond),
+		multiedge.WithSeed(7))
+
+	reg := multiedge.NewRegistry()
+	backends := []*multiedge.Endpoint{cl.Nodes[1].EP, cl.Nodes[2].EP, cl.Nodes[3].EP}
+	s, err := multiedge.Serve(reg, "kv", 1<<15, backends,
+		multiedge.WithRelay(cl.Nodes[4].EP, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Replicas() != 3 {
+		t.Fatalf("replicas = %d, want 3", s.Replicas())
+	}
+	if _, _, ok := reg.Relay(); !ok {
+		t.Fatal("WithRelay did not register a relay")
+	}
+	if _, err := multiedge.Connect(cl.Nodes[0].EP, reg, "nope"); err == nil {
+		t.Fatal("Connect to unknown service succeeded")
+	}
+
+	stub, err := multiedge.Connect(cl.Nodes[0].EP, reg, "kv",
+		multiedge.WithBalancer(multiedge.NewAffinity(multiedge.NewRoundRobin())),
+		multiedge.WithFailoverBudget(10*multiedge.Millisecond),
+		multiedge.WithMaxAttempts(3),
+		multiedge.WithCallLinks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = multiedge.NewRandom(42) // balancer constructors are part of the surface
+	_ = multiedge.DefaultFailoverBudget
+	_ = multiedge.ErrNoBackends
+	_ = multiedge.ErrBadCall
+	_ = multiedge.ErrNoRelay
+	_ = multiedge.ErrRelayFailed
+
+	ep0 := cl.Nodes[0].EP
+	const n = 4096
+	src := ep0.Alloc(n)
+	chk := ep0.Alloc(n)
+	for i := 0; i < n; i++ {
+		ep0.Mem()[src+uint64(i)] = byte(i * 3)
+	}
+	done := false
+	cl.Env.Go("caller", func(p *multiedge.Proc) {
+		if err := stub.Call(p, 1, multiedge.Op{
+			Remote: 0, Local: src, Size: n, Kind: multiedge.OpWrite,
+		}); err != nil {
+			t.Errorf("write call: %v", err)
+		}
+		// Kill the bound backend; the rewrite must fail over and the
+		// read-back must match from the survivor.
+		bound := -1
+		for b, calls := range stub.Stats.PerBackend {
+			if calls > 0 {
+				bound = b
+			}
+		}
+		cl.PauseNode(s.Backends[bound].Node)
+		if err := stub.Call(p, 1, multiedge.Op{
+			Remote: 0, Local: src, Size: n, Kind: multiedge.OpWrite,
+		}); err != nil {
+			t.Errorf("failover write: %v", err)
+		}
+		if err := stub.Call(p, 1, multiedge.Op{
+			Remote: 0, Local: chk, Size: n, Kind: multiedge.OpRead,
+		}); err != nil {
+			t.Errorf("read call: %v", err)
+		}
+		if !bytes.Equal(ep0.Mem()[chk:chk+n], ep0.Mem()[src:src+n]) {
+			t.Error("service read-back mismatch after failover")
+		}
+		stub.Close(p)
+		done = true
+	})
+	cl.Env.RunUntil(30 * multiedge.Second)
+	if !done {
+		t.Fatal("caller did not finish")
+	}
+	var st *multiedge.ServiceStats = &stub.Stats
+	if st.BackendsCondemned != 1 || st.Failovers == 0 {
+		t.Errorf("condemned=%d failovers=%d, want 1/>0", st.BackendsCondemned, st.Failovers)
+	}
+	if len(stub.EligibleBackends()) != 2 {
+		t.Errorf("eligible = %v, want the two survivors", stub.EligibleBackends())
+	}
+}
+
+// TestPublicAPIRelayTypes pins the relay surface: StartRelay wiring, a
+// forwarded call when the direct path is blackholed, and RelayStats.
+func TestPublicAPIRelayTypes(t *testing.T) {
+	cfg := multiedge.OneLink1G(3)
+	cfg.Core.RTOMax = 2 * multiedge.Millisecond
+	cfg.Core.MaxRetries = 3
+	cl := multiedge.NewCluster(cfg,
+		multiedge.WithReconnect(0),
+		multiedge.WithHeartbeat(multiedge.Millisecond, 5*multiedge.Millisecond))
+	reg := multiedge.NewRegistry()
+	if _, err := multiedge.Serve(reg, "kv", 8192,
+		[]*multiedge.Endpoint{cl.Nodes[1].EP}); err != nil {
+		t.Fatal(err)
+	}
+	var relay *multiedge.Relay = multiedge.StartRelay(cl.Nodes[2].EP, reg, 2, 10*multiedge.Millisecond)
+	stub, err := multiedge.Connect(cl.Nodes[0].EP, reg, "kv",
+		multiedge.WithRelayFallback(),
+		multiedge.WithFailoverBudget(10*multiedge.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0 := cl.Nodes[0].EP
+	src := ep0.Alloc(1024)
+	for i := range ep0.Mem()[src : src+1024] {
+		ep0.Mem()[src+uint64(i)] = byte(i ^ 0x5a)
+	}
+	// Break the direct client->backend path only; the relay still
+	// reaches both sides.
+	chaos.New(cl, 1).BlackholePair(2*multiedge.Millisecond, 0, 0, 1)
+	ok := false
+	cl.Env.Go("caller", func(p *multiedge.Proc) {
+		p.Sleep(3 * multiedge.Millisecond)
+		if err := stub.Call(p, 9, multiedge.Op{
+			Remote: 0, Local: src, Size: 1024, Kind: multiedge.OpWrite,
+		}); err != nil {
+			t.Errorf("relayed call: %v", err)
+		}
+		stub.Close(p)
+		relay.Shutdown(p)
+		ok = true
+	})
+	cl.Env.RunUntil(30 * multiedge.Second)
+	if !ok {
+		t.Fatal("caller did not finish")
+	}
+	var rs multiedge.RelayStats = relay.Stats
+	if rs.Forwarded == 0 {
+		t.Errorf("relay forwarded %d calls, want > 0 (stats %+v)", rs.Forwarded, rs)
+	}
+	kv, _ := reg.Lookup("kv")
+	var b multiedge.ServiceBackend = kv.Backends[0]
+	if !bytes.Equal(cl.Nodes[b.Node].EP.Mem()[b.Base:b.Base+1024], ep0.Mem()[src:src+1024]) {
+		t.Error("relayed write did not land in the backend region")
 	}
 }
 

@@ -95,6 +95,15 @@ func (r *Runner) ResumeNode(at sim.Time, node int) {
 // use: every path to the node dies at once and stays dead.
 func (r *Runner) KillAllRails(at sim.Time, node int) { r.PauseNode(at, node) }
 
+// KillNode kills a node permanently at time at — PauseNode with no
+// matching resume. The service-layer scenario: one replica of a
+// replicated backend dies mid-run and never comes back, so every client
+// must journal, condemn and fail its in-flight calls over to the
+// survivors.
+func (r *Runner) KillNode(at sim.Time, node int) {
+	r.at(at, fmt.Sprintf("kill node n%d (permanent)", node), func() { r.cl.PauseNode(node) })
+}
+
 // CrashRestart models a node crash-restart: every rail dies at once at
 // time at and comes back after down. With core.Config.Reconnect the
 // surviving connections park, renegotiate an incarnation and replay;
@@ -237,6 +246,25 @@ func (r *Runner) Partition(from, to sim.Time, groupA []int) {
 	for node := 0; node < len(r.cl.Nodes); node++ {
 		for l := 0; l < r.cl.Cfg.LinksPerNode; l++ {
 			r.railEffect(from, to, node, l, crossing)
+		}
+	}
+}
+
+// BlackholePair drops every frame between nodes a and b — both
+// directions, every rail — during [from, to), while each keeps talking
+// to everyone else. This is the path-selective fault relay routing
+// exists for: a cannot reach b directly, yet both still reach a third
+// node that holds connections to each side. to == 0 leaves the pair
+// severed forever.
+func (r *Runner) BlackholePair(from, to sim.Time, a, b int) {
+	r.logOnly(from, fmt.Sprintf("blackhole n%d↔n%d until %v", a, b, to))
+	between := func(f *phys.Frame) phys.Mangle {
+		x, y := f.Src.Node(), f.Dst.Node()
+		return phys.Mangle{Drop: (x == a && y == b) || (x == b && y == a)}
+	}
+	for _, node := range []int{a, b} {
+		for l := 0; l < r.cl.Cfg.LinksPerNode; l++ {
+			r.railEffect(from, to, node, l, between)
 		}
 	}
 }

@@ -87,6 +87,26 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cluster %q: CoalesceLimit %d cannot fit one sub-op in a %d-byte payload",
 			c.Name, c.Core.CoalesceLimit, frame.MaxPayload)
 	}
+	if c.Core.MaxRetries < 0 {
+		return fmt.Errorf("cluster %q: negative MaxRetries %d", c.Name, c.Core.MaxRetries)
+	}
+	if c.Core.DeadInterval < 0 || c.Core.HeartbeatInterval < 0 || c.Core.TimerWheelTick < 0 {
+		return fmt.Errorf("cluster %q: negative liveness timing (DeadInterval %v, HeartbeatInterval %v, TimerWheelTick %v)",
+			c.Name, c.Core.DeadInterval, c.Core.HeartbeatInterval, c.Core.TimerWheelTick)
+	}
+	if c.Core.HeartbeatInterval > 0 && c.Core.DeadInterval > 0 &&
+		c.Core.HeartbeatInterval >= c.Core.DeadInterval {
+		return fmt.Errorf("cluster %q: HeartbeatInterval %v must be shorter than DeadInterval %v or idle peers are declared dead between beats",
+			c.Name, c.Core.HeartbeatInterval, c.Core.DeadInterval)
+	}
+	if c.Core.MaxReconnects < 0 || c.Core.ReconnectBackoff < 0 || c.Core.ReconnectBackoffMax < 0 {
+		return fmt.Errorf("cluster %q: negative reconnect budget (MaxReconnects %d, ReconnectBackoff %v, ReconnectBackoffMax %v)",
+			c.Name, c.Core.MaxReconnects, c.Core.ReconnectBackoff, c.Core.ReconnectBackoffMax)
+	}
+	if c.Core.ReconnectBackoffMax > 0 && c.Core.ReconnectBackoffMax < c.Core.ReconnectBackoff {
+		return fmt.Errorf("cluster %q: ReconnectBackoffMax %v below initial backoff %v",
+			c.Name, c.Core.ReconnectBackoffMax, c.Core.ReconnectBackoff)
+	}
 	return nil
 }
 
@@ -481,6 +501,7 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.ReconnectsFailed -= b.ReconnectsFailed
 	a.ReplayedOps -= b.ReplayedOps
 	a.ReplayedBytes -= b.ReplayedBytes
+	a.Abandons -= b.Abandons
 	a.AppProtoTime -= b.AppProtoTime
 	// HoldMax and RtoBackoffMax are peaks, not counters: left as-is.
 	return a

@@ -423,39 +423,12 @@ func (c *Conn) kick() { c.ep.kickConn(c) }
 
 // ---------------------------------------------------------------------
 // Operation initiation (the paper's RDMA_operation primitive).
+//
+// The positional RDMAOperation/RDMAOn wrappers are gone: the Op-struct
+// surface (Do, DoOn, MustDo, Post, Ring — see op.go) is the only issue
+// path. parity_test.go pins its behaviour against the frozen golden
+// captured while the wrappers still existed.
 // ---------------------------------------------------------------------
-
-// RDMAOperation initiates a remote memory operation on the connection,
-// mirroring the paper's primitive:
-//
-//	int RDMA_operation(connection, remote_va, local_va,
-//	                   transfer_size, operation, flags);
-//
-// op must be frame.OpWrite (copy [local, local+size) into the peer's
-// memory at remote) or frame.OpRead (fetch [remote, remote+size) from
-// the peer into local memory). flags combines frame.FenceBefore,
-// frame.FenceAfter and frame.Notify. A zero-size write is legal and
-// useful as a pure notification. The calling process is charged the
-// initiation cost (syscall, descriptor, and for writes the user→kernel
-// copy) on its CPU; everything after is asynchronous.
-//
-// Deprecated: RDMAOperation is the legacy positional form, kept as a
-// thin wrapper. New code should use Do with an Op descriptor, which
-// reports invalid use as errors instead of panicking.
-func (c *Conn) RDMAOperation(p *sim.Proc, remote, local uint64, size int, op frame.OpType, flags frame.OpFlags) *Handle {
-	return c.RDMAOn(p, c.ep.cpus.App, remote, local, size, op, flags)
-}
-
-// RDMAOn is RDMAOperation with an explicit CPU to charge the initiation
-// to. User-level callers run in syscall context on the application CPU
-// (use RDMAOperation); handler-style callers — e.g. a DSM protocol
-// handler servicing remote requests — run on the protocol CPU, like the
-// kernel thread they model.
-//
-// Deprecated: use DoOn (or MustDoOn), which takes an Op descriptor.
-func (c *Conn) RDMAOn(p *sim.Proc, cpu *sim.Resource, remote, local uint64, size int, op frame.OpType, flags frame.OpFlags) *Handle {
-	return c.MustDoOn(p, cpu, Op{Remote: remote, Local: local, Size: size, Kind: op, Flags: flags})
-}
 
 // frameSpan resolves the span a received frame belongs to. Data and
 // read-request frames carry the initiator's operation id and arrive on

@@ -63,6 +63,7 @@ type Stats struct {
 	ReconnectsFailed uint64 // conns that exhausted MaxReconnects and died for real
 	ReplayedOps      uint64 // journaled ops re-issued after a reconnect
 	ReplayedBytes    uint64 // payload bytes re-issued by replay
+	Abandons         uint64 // conns terminally failed by Conn.Abandon (svc failover)
 
 	// CPU time charged on the application CPU on behalf of the
 	// protocol (operation initiation: syscall, descriptor, copy).
@@ -143,6 +144,7 @@ func (s *Stats) Add(o *Stats) {
 	s.ReconnectsFailed += o.ReconnectsFailed
 	s.ReplayedOps += o.ReplayedOps
 	s.ReplayedBytes += o.ReplayedBytes
+	s.Abandons += o.Abandons
 	s.AppProtoTime += o.AppProtoTime
 }
 
@@ -195,6 +197,7 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_reconnects_failed_total", s.ReconnectsFailed)
 		c("core_replayed_ops_total", s.ReplayedOps)
 		c("core_replayed_bytes_total", s.ReplayedBytes)
+		c("core_abandons_total", s.Abandons)
 		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
 			Value: float64(s.HoldMax), Type: obs.TypeGauge})
 		emit(obs.Sample{Name: "core_rto_backoff_max", Labels: []obs.Label{nl},

@@ -1,0 +1,130 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"multiedge/internal/frame"
+)
+
+// Relay frame envelope (ISSUE 7): the wire format the service layer
+// uses to forward an operation through an intermediate node when the
+// direct client↔backend path is broken ("direct when possible, relay
+// otherwise"). A call is one slot-sized write into the relay's
+// per-client-node mailbox region, carrying the operation descriptor and
+// — for writes — the payload; the relay issues the operation on its own
+// connection to the backend and writes a reply envelope (status plus,
+// for reads, the data) back to the client's reply slot. Both writes use
+// the Notify flag, so each side demultiplexes envelopes off its
+// endpoint's global notification stream.
+//
+// The envelope lives in this package because it is a peer of the
+// messaging layer's slot records: a fixed-layout, bounds-checked record
+// written into a remote ring with one-sided operations.
+
+const (
+	// RelaySlotBytes is the size of one relay mailbox slot — one call
+	// (or reply) envelope, header plus payload.
+	RelaySlotBytes = 8 * 1024
+	// RelayHdrBytes is the fixed envelope header size.
+	RelayHdrBytes = 48
+	// MaxRelayPayload bounds the payload a single relayed operation may
+	// carry; larger operations must go direct or be fragmented by the
+	// caller.
+	MaxRelayPayload = RelaySlotBytes - RelayHdrBytes
+)
+
+// RelayKind discriminates call and reply envelopes.
+type RelayKind uint8
+
+const (
+	RelayCall  RelayKind = 1 // client → relay: forward this operation
+	RelayReply RelayKind = 2 // relay → client: outcome (and read data)
+)
+
+// RelayStatus is the relay's verdict on a forwarded call.
+type RelayStatus uint8
+
+const (
+	// RelayOK: the operation completed on the backend.
+	RelayOK RelayStatus = iota
+	// RelayBackendDead: the relay could not reach the backend (dial
+	// failed or the forwarding operation died with the connection). The
+	// client should condemn the backend and fail over.
+	RelayBackendDead
+	// RelayBadCall: the envelope did not decode or named an operation
+	// the relay refuses (wrong kind, oversized).
+	RelayBadCall
+)
+
+// ErrBadRelayEnvelope reports a relay slot whose bytes do not form a
+// valid envelope.
+var ErrBadRelayEnvelope = errors.New("msg: bad relay envelope")
+
+// RelayEnvelope is the decoded header of one relay call or reply. The
+// payload (write data on calls, read data on RelayOK read replies)
+// follows the header in the slot.
+type RelayEnvelope struct {
+	Kind    RelayKind
+	OpKind  frame.OpType  // OpWrite or OpRead
+	Flags   frame.OpFlags // forwarded operation flags
+	Status  RelayStatus   // meaningful on replies
+	Backend uint32        // target backend node
+	CallID  uint64        // client-local call sequence, echoed in the reply
+	Token   uint64        // caller token (affinity key), for tracing
+	Remote  uint64        // absolute target address in backend memory
+	Size    uint32        // operation payload size
+	Reply   uint64        // client-memory address of the reply slot
+}
+
+// Encode writes the fixed header into dst[:RelayHdrBytes]. The caller
+// places the payload at dst[RelayHdrBytes:].
+func (e RelayEnvelope) Encode(dst []byte) {
+	if len(dst) < RelayHdrBytes {
+		panic(fmt.Sprintf("msg: relay envelope buffer %d < %d", len(dst), RelayHdrBytes))
+	}
+	dst[0] = byte(e.Kind)
+	dst[1] = byte(e.OpKind)
+	dst[2] = byte(e.Flags)
+	dst[3] = byte(e.Status)
+	binary.LittleEndian.PutUint32(dst[4:], e.Backend)
+	binary.LittleEndian.PutUint64(dst[8:], e.CallID)
+	binary.LittleEndian.PutUint64(dst[16:], e.Token)
+	binary.LittleEndian.PutUint64(dst[24:], e.Remote)
+	binary.LittleEndian.PutUint32(dst[32:], e.Size)
+	binary.LittleEndian.PutUint64(dst[40:], e.Reply)
+}
+
+// DecodeRelayEnvelope parses and validates a slot's header. It never
+// panics on hostile bytes: every malformed field is an
+// ErrBadRelayEnvelope.
+func DecodeRelayEnvelope(b []byte) (RelayEnvelope, error) {
+	var e RelayEnvelope
+	if len(b) < RelayHdrBytes {
+		return e, fmt.Errorf("%w: %d bytes < header %d", ErrBadRelayEnvelope, len(b), RelayHdrBytes)
+	}
+	e.Kind = RelayKind(b[0])
+	if e.Kind != RelayCall && e.Kind != RelayReply {
+		return e, fmt.Errorf("%w: kind %d", ErrBadRelayEnvelope, b[0])
+	}
+	e.OpKind = frame.OpType(b[1])
+	if e.OpKind != frame.OpWrite && e.OpKind != frame.OpRead {
+		return e, fmt.Errorf("%w: op kind %d", ErrBadRelayEnvelope, b[1])
+	}
+	e.Flags = frame.OpFlags(b[2])
+	e.Status = RelayStatus(b[3])
+	if e.Status > RelayBadCall {
+		return e, fmt.Errorf("%w: status %d", ErrBadRelayEnvelope, b[3])
+	}
+	e.Backend = binary.LittleEndian.Uint32(b[4:])
+	e.CallID = binary.LittleEndian.Uint64(b[8:])
+	e.Token = binary.LittleEndian.Uint64(b[16:])
+	e.Remote = binary.LittleEndian.Uint64(b[24:])
+	e.Size = binary.LittleEndian.Uint32(b[32:])
+	if e.Size > MaxRelayPayload {
+		return e, fmt.Errorf("%w: size %d > %d", ErrBadRelayEnvelope, e.Size, MaxRelayPayload)
+	}
+	e.Reply = binary.LittleEndian.Uint64(b[40:])
+	return e, nil
+}

@@ -1,0 +1,56 @@
+package msg
+
+import (
+	"errors"
+	"testing"
+
+	"multiedge/internal/frame"
+)
+
+func TestRelayEnvelopeRoundTrip(t *testing.T) {
+	in := RelayEnvelope{
+		Kind: RelayCall, OpKind: frame.OpWrite, Flags: frame.Notify,
+		Status: RelayOK, Backend: 2, CallID: 77, Token: 0xdeadbeef,
+		Remote: 1 << 40, Size: MaxRelayPayload, Reply: 4096,
+	}
+	buf := make([]byte, RelaySlotBytes)
+	in.Encode(buf)
+	out, err := DecodeRelayEnvelope(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRelayEnvelopeDecodeRejects(t *testing.T) {
+	good := RelayEnvelope{Kind: RelayReply, OpKind: frame.OpRead, Status: RelayBackendDead, Size: 8}
+	buf := make([]byte, RelayHdrBytes)
+	good.Encode(buf)
+	if _, err := DecodeRelayEnvelope(buf); err != nil {
+		t.Fatalf("valid envelope rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"short", func(b []byte) {}}, // handled below with a truncated slice
+		{"kind", func(b []byte) { b[0] = 9 }},
+		{"opkind", func(b []byte) { b[1] = 200 }},
+		{"status", func(b []byte) { b[3] = 7 }},
+		{"oversize", func(b []byte) { b[32] = 0xff; b[33] = 0xff; b[34] = 0xff; b[35] = 0x7f }},
+	}
+	for _, tc := range cases {
+		b := make([]byte, RelayHdrBytes)
+		good.Encode(b)
+		if tc.name == "short" {
+			b = b[:RelayHdrBytes-1]
+		} else {
+			tc.mutate(b)
+		}
+		if _, err := DecodeRelayEnvelope(b); !errors.Is(err, ErrBadRelayEnvelope) {
+			t.Errorf("%s: err = %v, want ErrBadRelayEnvelope", tc.name, err)
+		}
+	}
+}

@@ -41,6 +41,7 @@ const (
 	RecLinkDead                       // link excluded from striping; A = link
 	RecLinkRestore                    // dead link re-admitted; A = link
 	RecStaleDrop                      // frame fenced for a dead incarnation; A = frame epoch, B = live epoch
+	RecAbandon                        // conn terminally failed by Conn.Abandon; A = incarnation, B = inflight
 	recKindCount
 )
 
@@ -48,6 +49,7 @@ var recKindNames = [recKindCount]string{
 	"?", "dial", "established", "closed", "failed", "peer-dead",
 	"rto-expiry", "reconnect", "redial", "rebirth", "nack-drop",
 	"doorbell", "sched", "link-dead", "link-restore", "stale-drop",
+	"abandon",
 }
 
 // String returns the event kind's wire name ("rto-expiry", ...).

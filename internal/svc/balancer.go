@@ -1,0 +1,83 @@
+package svc
+
+// Balancer picks which backend serves a call. Pick receives the
+// caller's token (an opaque session key) and the eligible backend
+// indices — non-condemned replicas whose connection state is not
+// terminal — and returns one element of eligible. Balancers are
+// stateful and owned by a single client stub; eligible is never empty
+// and is sorted ascending.
+type Balancer interface {
+	Name() string
+	Pick(token uint64, eligible []int) int
+}
+
+// roundRobin cycles through the eligible set, ignoring tokens.
+type roundRobin struct{ next int }
+
+// NewRoundRobin returns a balancer that spreads successive calls evenly
+// across the eligible backends.
+func NewRoundRobin() Balancer { return &roundRobin{} }
+
+func (b *roundRobin) Name() string { return "round-robin" }
+
+func (b *roundRobin) Pick(_ uint64, eligible []int) int {
+	i := eligible[b.next%len(eligible)]
+	b.next++
+	return i
+}
+
+// random picks uniformly with a seeded xorshift64* stream — fully
+// deterministic for a given seed, independent of the simulator's RNG.
+type random struct{ state uint64 }
+
+// NewRandom returns a seeded random balancer.
+func NewRandom(seed uint64) Balancer {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &random{state: seed}
+}
+
+func (b *random) Name() string { return "random" }
+
+func (b *random) Pick(_ uint64, eligible []int) int {
+	b.state ^= b.state << 13
+	b.state ^= b.state >> 7
+	b.state ^= b.state << 17
+	return eligible[(b.state*0x2545f4914f6cdd1d)>>33%uint64(len(eligible))]
+}
+
+// affinity binds each token to a backend on first use and keeps
+// returning it while it stays eligible — session stickiness that holds
+// across reconnect outages (a Reconnecting backend remains eligible).
+// When the bound backend leaves the eligible set the token rebinds via
+// the fallback balancer.
+type affinity struct {
+	fallback Balancer
+	bound    map[uint64]int
+}
+
+// NewAffinity returns a session-affinity balancer keyed on the caller
+// token. fallback picks the initial (and any replacement) binding; nil
+// means round-robin.
+func NewAffinity(fallback Balancer) Balancer {
+	if fallback == nil {
+		fallback = NewRoundRobin()
+	}
+	return &affinity{fallback: fallback, bound: map[uint64]int{}}
+}
+
+func (b *affinity) Name() string { return "affinity(" + b.fallback.Name() + ")" }
+
+func (b *affinity) Pick(token uint64, eligible []int) int {
+	if i, ok := b.bound[token]; ok {
+		for _, e := range eligible {
+			if e == i {
+				return i
+			}
+		}
+	}
+	i := b.fallback.Pick(token, eligible)
+	b.bound[token] = i
+	return i
+}

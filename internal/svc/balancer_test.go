@@ -1,0 +1,105 @@
+package svc
+
+import "testing"
+
+// TestRoundRobinFair: successive picks spread evenly across the
+// eligible set, including after the set shrinks.
+func TestRoundRobinFair(t *testing.T) {
+	b := NewRoundRobin()
+	counts := map[int]int{}
+	el := []int{0, 1, 2}
+	for i := 0; i < 300; i++ {
+		counts[b.Pick(uint64(i), el)]++
+	}
+	for _, e := range el {
+		if counts[e] != 100 {
+			t.Errorf("backend %d picked %d times, want 100", e, counts[e])
+		}
+	}
+	counts = map[int]int{}
+	el = []int{1, 2} // backend 0 left the eligible set
+	for i := 0; i < 100; i++ {
+		counts[b.Pick(0, el)]++
+	}
+	if counts[0] != 0 || counts[1] != 50 || counts[2] != 50 {
+		t.Errorf("after shrink: %v, want 50/50 over {1,2}", counts)
+	}
+}
+
+// TestRandomDeterministic: equal seeds give equal pick sequences,
+// different seeds differ, and every backend is hit.
+func TestRandomDeterministic(t *testing.T) {
+	a, b := NewRandom(42), NewRandom(42)
+	el := []int{0, 1, 2}
+	counts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		pa, pb := a.Pick(0, el), b.Pick(0, el)
+		if pa != pb {
+			t.Fatalf("pick %d: %d != %d with equal seeds", i, pa, pb)
+		}
+		counts[pa]++
+	}
+	for _, e := range el {
+		if counts[e] == 0 {
+			t.Errorf("backend %d never picked in 300 draws", e)
+		}
+	}
+	c, d := NewRandom(1), NewRandom(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Pick(0, el) == d.Pick(0, el) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical 100-pick sequences")
+	}
+}
+
+// TestAffinitySticky: a token's first pick binds it; later picks return
+// the binding while it stays eligible, rebind when it leaves, and keep
+// the new binding even when the old backend comes back.
+func TestAffinitySticky(t *testing.T) {
+	b := NewAffinity(NewRoundRobin())
+	el := []int{0, 1, 2}
+	first := b.Pick(7, el)
+	for i := 0; i < 50; i++ {
+		if got := b.Pick(7, el); got != first {
+			t.Fatalf("pick %d for token 7: %d, want sticky %d", i, got, first)
+		}
+	}
+	// Different tokens spread over the set via the fallback.
+	seen := map[int]bool{first: true}
+	for tok := uint64(100); tok < 110; tok++ {
+		seen[b.Pick(tok, el)] = true
+	}
+	if len(seen) != len(el) {
+		t.Errorf("10 fresh tokens covered %d backends, want %d", len(seen), len(el))
+	}
+	// The binding leaves the eligible set: rebind...
+	shrunk := make([]int, 0, 2)
+	for _, e := range el {
+		if e != first {
+			shrunk = append(shrunk, e)
+		}
+	}
+	second := b.Pick(7, shrunk)
+	if second == first {
+		t.Fatalf("rebind picked the ineligible backend %d", first)
+	}
+	// ...and stay with the new binding once the old backend returns.
+	if got := b.Pick(7, el); got != second {
+		t.Errorf("after old backend returned: pick %d, want the rebound %d", got, second)
+	}
+}
+
+// TestAffinityDefaultsFallback: nil fallback means round-robin.
+func TestAffinityDefaultsFallback(t *testing.T) {
+	b := NewAffinity(nil)
+	if b.Name() != "affinity(round-robin)" {
+		t.Errorf("Name() = %q", b.Name())
+	}
+	if got := b.Pick(1, []int{4}); got != 4 {
+		t.Errorf("single-element pick = %d, want 4", got)
+	}
+}

@@ -1,0 +1,339 @@
+package svc
+
+import (
+	"fmt"
+	"sort"
+
+	"multiedge/internal/core"
+	"multiedge/internal/frame"
+	"multiedge/internal/msg"
+	"multiedge/internal/obs"
+	"multiedge/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// Client side of relay routing.
+// ---------------------------------------------------------------------
+
+// callRelay forwards op to backend b through the registry's relay:
+// encode a call envelope into the local staging slot, write it into the
+// relay's per-client-node mailbox with Notify, and block on the global
+// notification stream for the reply envelope. One exchange at a time
+// per stub (the relay mailbox is one slot per client node).
+func (c *Client) callRelay(p *sim.Proc, b int, token uint64, op core.Op) error {
+	if !c.opts.UseRelay {
+		return ErrNoRelay
+	}
+	if op.Size > msg.MaxRelayPayload {
+		return fmt.Errorf("svc %s: %d-byte op exceeds relay payload %d: %w",
+			c.svc.Name, op.Size, msg.MaxRelayPayload, ErrBadCall)
+	}
+	c.relayTok.Recv(p)
+	err := c.relayExchange(p, b, token, op)
+	c.relayTok.Send(c.env, struct{}{})
+	return err
+}
+
+func (c *Client) relayExchange(p *sim.Proc, b int, token uint64, op core.Op) error {
+	rc, err := c.ensureRelay(p)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRelayFailed, err)
+	}
+	_, relayBase, _ := c.reg.Relay()
+	mem := c.ep.Mem()
+	c.relayCallID++
+	call := msg.RelayEnvelope{
+		Kind: msg.RelayCall, OpKind: op.Kind, Flags: op.Flags,
+		Backend: uint32(c.svc.Backends[b].Node), CallID: c.relayCallID,
+		Token: token, Remote: c.svc.Backends[b].Base + op.Remote,
+		Size: uint32(op.Size), Reply: c.relayReply,
+	}
+	call.Encode(mem[c.relayOut : c.relayOut+msg.RelayHdrBytes])
+	n := msg.RelayHdrBytes
+	if op.Kind == frame.OpWrite {
+		copy(mem[c.relayOut+msg.RelayHdrBytes:c.relayOut+uint64(msg.RelayHdrBytes+op.Size)],
+			mem[op.Local:op.Local+uint64(op.Size)])
+		n += op.Size
+	}
+	wop := core.Op{
+		Remote: relayBase + uint64(c.ep.Node())*msg.RelaySlotBytes, Local: c.relayOut,
+		Size: n, Kind: frame.OpWrite, Flags: frame.Notify,
+	}
+	if c.opts.FailoverBudget > 0 {
+		wop.Deadline = c.env.Now() + c.opts.FailoverBudget
+	}
+	h, err := rc.Do(p, wop)
+	if err != nil {
+		c.dropRelayConn()
+		return fmt.Errorf("%w: %v", ErrRelayFailed, err)
+	}
+	h.Wait(p)
+	if err := h.Err(); err != nil {
+		c.dropRelayConn()
+		return fmt.Errorf("%w: %v", ErrRelayFailed, err)
+	}
+	return c.awaitReply(p, b, op)
+}
+
+// awaitReply blocks on the global notification stream until the relay's
+// reply envelope for the current call lands (or the guard expires: the
+// relay's forwarding budget, both wire legs, plus slack).
+func (c *Client) awaitReply(p *sim.Proc, b int, op core.Op) error {
+	mem := c.ep.Mem()
+	var guard *sim.Timer
+	expired := false
+	if c.opts.FailoverBudget > 0 {
+		guard = c.env.After(3*c.opts.FailoverBudget, func() {
+			expired = true
+			c.gn.Send(c.env, core.Notification{From: -1})
+		})
+	}
+	for {
+		nf := c.gn.Recv(p)
+		if nf.From == -1 {
+			if expired {
+				c.dropRelayConn()
+				return fmt.Errorf("%w: reply timeout", ErrRelayFailed)
+			}
+			continue // stale guard poison from an earlier exchange
+		}
+		if nf.Addr != c.relayReply {
+			continue // not ours; relay-enabled stubs own the stream
+		}
+		re, derr := msg.DecodeRelayEnvelope(mem[c.relayReply : c.relayReply+msg.RelaySlotBytes])
+		if derr != nil || re.Kind != msg.RelayReply || re.CallID != c.relayCallID {
+			continue // torn or stale reply; keep waiting for the real one
+		}
+		if guard != nil {
+			guard.Stop()
+		}
+		if re.Status != msg.RelayOK {
+			return fmt.Errorf("svc %s: relay reports backend node %d unreachable: %w",
+				c.svc.Name, c.svc.Backends[b].Node, core.ErrPeerDead)
+		}
+		if op.Kind == frame.OpRead {
+			copy(mem[op.Local:op.Local+uint64(op.Size)],
+				mem[c.relayReply+msg.RelayHdrBytes:c.relayReply+uint64(msg.RelayHdrBytes+op.Size)])
+		}
+		return nil
+	}
+}
+
+func (c *Client) ensureRelay(p *sim.Proc) (*core.Conn, error) {
+	for c.relayDialing != nil {
+		p.Wait(c.relayDialing)
+	}
+	if rc := c.relayConn; rc != nil && !rc.Failed() && !rc.Closed() {
+		return rc, nil
+	}
+	relayNode, _, _ := c.reg.Relay()
+	sig := &sim.Signal{}
+	c.relayDialing = sig
+	rc := c.ep.Dial(p, relayNode, c.opts.Links)
+	c.relayDialing = nil
+	sig.Fire(c.env)
+	if rc.Failed() {
+		return nil, fmt.Errorf("svc %s: dial relay node %d: %w", c.svc.Name, relayNode, rc.Err())
+	}
+	c.relayConn = rc
+	return rc, nil
+}
+
+func (c *Client) dropRelayConn() {
+	if rc := c.relayConn; rc != nil {
+		c.relayConn = nil
+		rc.Abandon()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Relay node: the forwarding daemon.
+// ---------------------------------------------------------------------
+
+// RelayStats counts the relay's forwarding events.
+type RelayStats struct {
+	Calls       uint64 // call envelopes received
+	Forwarded   uint64 // operations that completed on a backend
+	BackendDead uint64 // forwards that failed (backend unreachable)
+	BadCalls    uint64 // envelopes that did not decode or were refused
+}
+
+// Relay is the designated forwarding node: it holds (lazily dialed)
+// connections to both sides and serves calls one at a time off its
+// endpoint's global notification stream — head-of-line blocking under a
+// parked backend is bounded by the forwarding budget. Call slots are
+// indexed by client node id, so one relay serves every client and
+// service in the cluster.
+type Relay struct {
+	ep     *core.Endpoint
+	env    *sim.Env
+	base   uint64
+	slots  int
+	budget sim.Time
+	conns  map[int]*core.Conn
+	Stats  RelayStats
+}
+
+// StartRelay allocates the relay's mailbox region (slots must cover
+// every node id that may call), records it in the registry, and starts
+// the serve daemon. budget bounds each forwarded operation like a
+// client's FailoverBudget (0 = DefaultFailoverBudget, negative = none).
+func StartRelay(ep *core.Endpoint, reg *Registry, slots int, budget sim.Time) *Relay {
+	if budget == 0 {
+		budget = DefaultFailoverBudget
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	r := &Relay{
+		ep: ep, env: ep.Env(), slots: slots, budget: budget,
+		conns: map[int]*core.Conn{},
+	}
+	r.base = ep.Alloc(slots * msg.RelaySlotBytes)
+	reg.setRelay(ep.Node(), r.base)
+	r.env.Go(fmt.Sprintf("svc-relay-n%d", ep.Node()), r.serve)
+	return r
+}
+
+// Base returns the mailbox region's base address (client slot i lives
+// at Base + i*RelaySlotBytes).
+func (r *Relay) Base() uint64 { return r.base }
+
+func (r *Relay) serve(p *sim.Proc) {
+	gn := r.ep.GlobalNotify()
+	limit := r.base + uint64(r.slots*msg.RelaySlotBytes)
+	for {
+		nf := gn.Recv(p)
+		if nf.Len < 0 || nf.Addr < r.base || nf.Addr >= limit {
+			continue // poison or a write outside the mailbox region
+		}
+		slot := r.base + (nf.Addr-r.base)/msg.RelaySlotBytes*msg.RelaySlotBytes
+		r.handle(p, nf.From, slot)
+	}
+}
+
+func (r *Relay) handle(p *sim.Proc, from int, slot uint64) {
+	mem := r.ep.Mem()
+	r.Stats.Calls++
+	sp := r.ep.Obs().StartLayerSpan(r.ep.Node(), "svc", "relay-forward", 0)
+	defer sp.EndAt(r.env.Now())
+	call, err := msg.DecodeRelayEnvelope(mem[slot : slot+msg.RelaySlotBytes])
+	if err != nil || call.Kind != msg.RelayCall {
+		// Without a decoded reply address there is nobody to answer;
+		// the client's guard timer converts the silence into an error.
+		r.Stats.BadCalls++
+		return
+	}
+	status := msg.RelayOK
+	if ferr := r.forward(p, slot, call); ferr != nil {
+		status = msg.RelayBackendDead
+		r.Stats.BackendDead++
+	} else {
+		r.Stats.Forwarded++
+	}
+	r.reply(p, from, slot, call, status)
+}
+
+// forward issues the relayed operation on the relay's own connection to
+// the backend. Read data lands in the slot's payload area, ready for
+// the reply. The Notify flag is stripped: notification semantics belong
+// to the client side of the exchange.
+func (r *Relay) forward(p *sim.Proc, slot uint64, call msg.RelayEnvelope) error {
+	cn, err := r.ensureConn(p, int(call.Backend))
+	if err != nil {
+		return err
+	}
+	op := core.Op{
+		Remote: call.Remote, Local: slot + msg.RelayHdrBytes,
+		Size: int(call.Size), Kind: call.OpKind, Flags: call.Flags &^ frame.Notify,
+	}
+	if r.budget > 0 {
+		op.Deadline = r.env.Now() + r.budget
+	}
+	h, derr := cn.Do(p, op)
+	if derr != nil {
+		r.dropConn(int(call.Backend))
+		return derr
+	}
+	h.Wait(p)
+	if herr := h.Err(); herr != nil {
+		if cn.Reconnecting() || cn.Failed() || cn.Closed() {
+			r.dropConn(int(call.Backend))
+		}
+		return herr
+	}
+	return nil
+}
+
+// reply rewrites the slot header in place as a reply envelope and
+// writes it (plus read data on success) back to the client's reply
+// slot with Notify.
+func (r *Relay) reply(p *sim.Proc, from int, slot uint64, call msg.RelayEnvelope, status msg.RelayStatus) {
+	cn, err := r.ensureConn(p, from)
+	if err != nil {
+		return // client unreachable; its guard timer fires
+	}
+	re := call
+	re.Kind = msg.RelayReply
+	re.Status = status
+	mem := r.ep.Mem()
+	re.Encode(mem[slot : slot+msg.RelayHdrBytes])
+	n := msg.RelayHdrBytes
+	if status == msg.RelayOK && call.OpKind == frame.OpRead {
+		n += int(call.Size)
+	}
+	wop := core.Op{Remote: call.Reply, Local: slot, Size: n, Kind: frame.OpWrite, Flags: frame.Notify}
+	if r.budget > 0 {
+		wop.Deadline = r.env.Now() + r.budget
+	}
+	h, derr := cn.Do(p, wop)
+	if derr != nil {
+		r.dropConn(from)
+		return
+	}
+	h.Wait(p)
+	if h.Err() != nil && (cn.Reconnecting() || cn.Failed() || cn.Closed()) {
+		r.dropConn(from)
+	}
+}
+
+func (r *Relay) ensureConn(p *sim.Proc, node int) (*core.Conn, error) {
+	if cn := r.conns[node]; cn != nil && !cn.Failed() && !cn.Closed() {
+		return cn, nil
+	}
+	cn := r.ep.Dial(p, node, 0)
+	if cn.Failed() {
+		return nil, cn.Err()
+	}
+	r.conns[node] = cn
+	return cn, nil
+}
+
+func (r *Relay) dropConn(node int) {
+	if cn := r.conns[node]; cn != nil {
+		delete(r.conns, node)
+		cn.Abandon()
+	}
+}
+
+// Shutdown closes the relay's connections (gracefully when possible,
+// abandoning parked ones). The serve daemon stays parked on the
+// notification stream; it holds no timers, so it never keeps a drained
+// simulation alive.
+func (r *Relay) Shutdown(p *sim.Proc) {
+	nodes := make([]int, 0, len(r.conns))
+	for n := range r.conns {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		cn := r.conns[n]
+		delete(r.conns, n)
+		closeOrAbandon(p, cn)
+	}
+}
+
+// Health reports the relay's connection states via the endpoint's
+// health snapshot (the balancer's eligible set is driven by the CLIENT
+// side's Conn.Health; this is the relay's own view, for dashboards).
+func (r *Relay) Health() obs.EndpointHealth { return r.ep.Health() }

@@ -15,24 +15,37 @@
 //
 // # Quick start
 //
-//	cfg := multiedge.OneLink1G(2)            // two nodes, 1-GBit/s
-//	cl := multiedge.NewCluster(cfg)
-//	c01, c10 := cl.Pair()                    // establish a connection
-//	ep0, ep1 := cl.Nodes[0].EP, cl.Nodes[1].EP
-//	src, dst := ep0.Alloc(64), ep1.Alloc(64)
-//	copy(ep0.Mem()[src:], []byte("hello"))
+// The service layer is the front door: name a region, replicate it
+// across backends, and call it by name. Serve registers the service,
+// Connect returns a stub that balances calls across the replicas and
+// fails over (exactly once, via the journaled-replay recovery layer)
+// when one dies.
+//
+//	cfg := multiedge.OneLink1G(4)            // four nodes, 1-GBit/s
+//	cl := multiedge.NewCluster(cfg,
+//	    multiedge.WithReconnect(0),          // supervised redial + failover
+//	    multiedge.WithHeartbeat(multiedge.Millisecond, 5*multiedge.Millisecond))
+//	reg := multiedge.NewRegistry()
+//	svc, _ := multiedge.Serve(reg, "kv", 1<<16,
+//	    []*multiedge.Endpoint{cl.Nodes[1].EP, cl.Nodes[2].EP, cl.Nodes[3].EP})
+//	stub, _ := multiedge.Connect(cl.Nodes[0].EP, reg, "kv",
+//	    multiedge.WithBalancer(multiedge.NewAffinity(multiedge.NewRoundRobin())))
 //	cl.Env.Go("app", func(p *multiedge.Proc) {
-//	    h := c01.MustDo(p, multiedge.Op{
-//	        Remote: dst, Local: src, Size: 5,
-//	        Kind: multiedge.OpWrite, Flags: multiedge.Notify,
+//	    src := cl.Nodes[0].EP.Alloc(64)
+//	    copy(cl.Nodes[0].EP.Mem()[src:], []byte("hello"))
+//	    err := stub.Call(p, 1, multiedge.Op{ // token 1: session affinity
+//	        Remote: 0, Local: src, Size: 5, Kind: multiedge.OpWrite,
 //	    })
-//	    h.Wait(p)
-//	})
-//	cl.Env.Go("peer", func(p *multiedge.Proc) {
-//	    n := c10.WaitNotify(p)
-//	    fmt.Printf("%s\n", ep1.Mem()[n.Addr:n.Addr+uint64(n.Len)])
+//	    _ = err
+//	    stub.Close(p)
 //	})
 //	cl.Env.Run()
+//	_ = svc
+//
+// Underneath, calls are ordinary MultiEdge operations: Cluster.Pair /
+// Conn.Do give the raw connection-oriented primitive (remote read and
+// write with fences and notifications) when a named service is more
+// than the task needs — see examples/quickstart.
 //
 // The simulation is deterministic: equal seeds give bit-identical runs.
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -49,6 +62,7 @@ import (
 	"multiedge/internal/msg"
 	"multiedge/internal/phys"
 	"multiedge/internal/sim"
+	"multiedge/internal/svc"
 )
 
 // Simulation kernel.
@@ -135,8 +149,72 @@ type (
 	NetReport = cluster.NetReport
 )
 
-// NewCluster builds a cluster from a configuration.
-func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+// ClusterOption adjusts a ClusterConfig in NewCluster. Options apply in
+// order after the base configuration, so later options win; the result
+// is validated (ClusterConfig.Validate) before the cluster is built.
+type ClusterOption func(*ClusterConfig)
+
+// WithReconnect enables the supervised recovery layer: a lost peer
+// parks the connection in Reconnecting and a supervisor redials with
+// capped exponential backoff instead of failing outright. maxReconnects
+// bounds consecutive attempts; 0 keeps the default budget.
+func WithReconnect(maxReconnects int) ClusterOption {
+	return func(c *ClusterConfig) {
+		c.Core.Reconnect = true
+		c.Core.MaxReconnects = maxReconnects
+	}
+}
+
+// WithSchedQueue replaces the protocol thread's O(conns) round-robin
+// scan with the ready-queue scheduler — required beyond a few hundred
+// connections per node.
+func WithSchedQueue() ClusterOption {
+	return func(c *ClusterConfig) { c.Core.SchedQueue = true }
+}
+
+// WithSubmissionQueues routes operations through per-connection
+// submission/completion queues (Post/Ring/WaitCQ) instead of eager
+// per-op dispatch.
+func WithSubmissionQueues() ClusterOption {
+	return func(c *ClusterConfig) { c.Core.UseSQ = true }
+}
+
+// WithHeartbeat enables idle-side liveness: established connections
+// exchange heartbeats every interval, and a peer silent for dead is
+// declared lost even with no traffic of its own. dead 0 keeps the
+// configured DeadInterval.
+func WithHeartbeat(interval, dead Time) ClusterOption {
+	return func(c *ClusterConfig) {
+		c.Core.HeartbeatInterval = interval
+		if dead > 0 {
+			c.Core.DeadInterval = dead
+		}
+	}
+}
+
+// WithTimerWheel coalesces per-connection protocol timers onto a
+// tick-granular wheel — the constant-rate alternative to one sim event
+// per pending timeout.
+func WithTimerWheel(tick Time) ClusterOption {
+	return func(c *ClusterConfig) { c.Core.TimerWheelTick = tick }
+}
+
+// WithSeed overrides the simulation seed.
+func WithSeed(seed int64) ClusterOption {
+	return func(c *ClusterConfig) { c.Seed = seed }
+}
+
+// NewCluster builds a cluster from a configuration, with functional
+// options applied on top:
+//
+//	cl := multiedge.NewCluster(multiedge.OneLink1G(8),
+//	    multiedge.WithReconnect(0), multiedge.WithSchedQueue())
+func NewCluster(cfg ClusterConfig, opts ...ClusterOption) *Cluster {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cluster.New(cfg)
+}
 
 // The paper's four evaluation configurations (IPPS'07 §3), plus the §6
 // future-work setups.
@@ -242,4 +320,145 @@ func NewVolume(cl *Cluster, host, blocks, blockSize, maxClients int) *Volume {
 // client).
 func OpenVolume(cl *Cluster, v *Volume, node int, conn *Conn, id int) *BlkClient {
 	return blk.Open(cl, v, node, conn, id)
+}
+
+// Service layer: named services, replicated backends, pluggable load
+// balancing and relay routing (see the quick start above).
+type (
+	// Registry maps service names to replica sets — the naming plane
+	// Serve and Connect share.
+	Registry = svc.Registry
+	// Service is one named, replicated service.
+	Service = svc.Service
+	// ServiceBackend is one replica: an endpoint plus the base address
+	// of the service region in its memory.
+	ServiceBackend = svc.Backend
+	// ServiceClient is a client stub: it resolves a name and issues
+	// Op-shaped Calls across the backends.
+	ServiceClient = svc.Client
+	// ServiceStats counts one stub's calls, failovers, journaled
+	// replays and condemnations.
+	ServiceStats = svc.ClientStats
+	// ServiceOptions configures a stub (Connect's With... options fill
+	// one; use svc.Connect directly to pass the struct wholesale).
+	ServiceOptions = svc.Options
+	// Balancer picks a backend for each call. Stateful; one instance
+	// per stub.
+	Balancer = svc.Balancer
+	// Relay forwards calls for clients whose direct path to a backend
+	// is broken (StartRelay).
+	Relay = svc.Relay
+	// RelayStats counts a relay's forwarded and failed calls.
+	RelayStats = svc.RelayStats
+)
+
+// DefaultFailoverBudget is the per-call deadline when no
+// WithFailoverBudget option is given.
+const DefaultFailoverBudget = svc.DefaultFailoverBudget
+
+// Service-layer errors.
+var (
+	// ErrUnknownService: the registry has no service under that name.
+	ErrUnknownService = svc.ErrUnknownService
+	// ErrNoBackends: every replica is condemned or terminally failed.
+	ErrNoBackends = svc.ErrNoBackends
+	// ErrBadCall: the operation does not fit the service region.
+	ErrBadCall = svc.ErrBadCall
+	// ErrNoRelay: relay fallback requested without StartRelay.
+	ErrNoRelay = svc.ErrNoRelay
+	// ErrRelayFailed: the relay path itself broke.
+	ErrRelayFailed = svc.ErrRelayFailed
+)
+
+// Registry construction and balancing policies.
+var (
+	// NewRegistry creates an empty service registry.
+	NewRegistry = svc.NewRegistry
+	// NewRoundRobin cycles through the eligible backends.
+	NewRoundRobin = svc.NewRoundRobin
+	// NewRandom picks uniformly with a seeded deterministic generator.
+	NewRandom = svc.NewRandom
+	// NewAffinity pins each caller token to one backend (sticky across
+	// reconnects) and delegates unbound tokens to the fallback policy.
+	NewAffinity = svc.NewAffinity
+)
+
+// StartRelay turns ep into the registry's relay: a forwarding node with
+// slots per-client mailboxes that replays calls toward backends the
+// caller cannot reach directly. budget 0 means DefaultFailoverBudget.
+func StartRelay(ep *Endpoint, reg *Registry, slots int, budget Time) *Relay {
+	return svc.StartRelay(ep, reg, slots, budget)
+}
+
+// ConnectOption configures a service stub in Connect.
+type ConnectOption func(*ServiceOptions)
+
+// WithBalancer selects the load-balancing policy (default round-robin).
+func WithBalancer(b Balancer) ConnectOption {
+	return func(o *ServiceOptions) { o.Balancer = b }
+}
+
+// WithFailoverBudget bounds how long a call may sit on a broken or
+// stalled path before the stub fails over; negative waits forever.
+func WithFailoverBudget(d Time) ConnectOption {
+	return func(o *ServiceOptions) { o.FailoverBudget = d }
+}
+
+// WithMaxAttempts caps how many backends one call may try (default:
+// the replica count).
+func WithMaxAttempts(n int) ConnectOption {
+	return func(o *ServiceOptions) { o.MaxAttempts = n }
+}
+
+// WithRelayFallback forwards a call through the registry's relay before
+// condemning a backend the client cannot reach directly.
+func WithRelayFallback() ConnectOption {
+	return func(o *ServiceOptions) { o.UseRelay = true }
+}
+
+// WithCallLinks sets the per-connection link count the stub dials with
+// (0 = all rails).
+func WithCallLinks(n int) ConnectOption {
+	return func(o *ServiceOptions) { o.Links = n }
+}
+
+// Serve registers a named service with one replica per backend
+// endpoint, allocating a size-byte region in each.
+func Serve(reg *Registry, name string, size int, backends []*Endpoint, opts ...ServeOption) (*Service, error) {
+	s, err := reg.Register(name, size, backends...)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		if err := opt(reg, s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ServeOption extends a Serve registration (relay placement, future
+// per-service policy).
+type ServeOption func(*Registry, *Service) error
+
+// WithRelay starts a relay on ep during Serve when the registry does
+// not already have one; slots bounds concurrent relayed callers.
+func WithRelay(ep *Endpoint, slots int) ServeOption {
+	return func(reg *Registry, _ *Service) error {
+		if _, _, ok := reg.Relay(); ok {
+			return nil
+		}
+		svc.StartRelay(ep, reg, slots, 0)
+		return nil
+	}
+}
+
+// Connect resolves name in the registry and returns a stub issuing
+// calls from ep across the service's replicas.
+func Connect(ep *Endpoint, reg *Registry, name string, opts ...ConnectOption) (*ServiceClient, error) {
+	var o ServiceOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return svc.Connect(ep, reg, name, o)
 }
