@@ -78,6 +78,9 @@ func main() {
 	serveOps := flag.Int("serve-ops", 4, "closed-loop writes per session for -serve")
 	serveSize := flag.Int("serve-size", 2048, "bytes per operation for -serve")
 	serveReplicas := flag.Int("serve-replicas", 3, "backend replicas for -serve")
+	noisyFlag := flag.Bool("noisy", false, "run the noisy-neighbor QoS isolation bench: victim alone, victim+flood with QoS off, victim+flood with QoS on (exits 1 if the QoS-on victim p99 exceeds 3x its isolated baseline)")
+	noisyOps := flag.Int("noisy-ops", 400, "closed-loop victim operations per phase for -noisy")
+	noisyChaos := flag.Bool("noisy-chaos", false, "with -noisy: inject a loss burst mid-run")
 	crashloop := flag.Bool("crashloop", false, "run the crash-restart recovery sweep (exits 1 on corruption, unrecovered cycles, or post-close leaks)")
 	crashCycles := flag.Int("crashloop-cycles", 5, "crash-restart cycles per setting for -crashloop")
 	crashDownMs := flag.Int("crashloop-down-ms", 150, "node downtime per cycle in milliseconds for -crashloop")
@@ -95,7 +98,7 @@ func main() {
 
 	healthEvery := sim.Time(*healthEveryMs) * sim.Millisecond
 	obsOn := *metrics || *spans || *obsOut != "" || healthEvery > 0
-	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag || *serveFlag
+	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag || *serveFlag || *noisyFlag
 	if *doTrace && *one == "" {
 		fmt.Fprintln(os.Stderr, "medbench: -trace only composes with -one; it does not apply to -netstats, -ablate or the figure sweeps")
 		os.Exit(2)
@@ -116,8 +119,8 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag || *serveFlag) {
-		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop, -serve or -chaos")
+	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag || *serveFlag || *noisyFlag) {
+		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop, -serve, -noisy or -chaos")
 		os.Exit(2)
 	}
 
@@ -281,6 +284,27 @@ func main() {
 		out, ok, results := bench.RenderServe(clients, *serveOps, *serveSize, *serveReplicas, obsOpts)
 		fmt.Print(out)
 		doc := bench.NewBenchDoc("serve")
+		for _, r := range results {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		writeBench(stampAllocs(doc))
+		if len(results) > 0 {
+			exportObs(results[len(results)-1].Obs)
+			for _, r := range results {
+				exportDump(r.Dump)
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *noisyFlag:
+		ops := *noisyOps
+		if *quick {
+			ops = 150
+		}
+		out, ok, results := bench.RenderNoisy(ops, *noisyChaos, obsOpts)
+		fmt.Print(out)
+		doc := bench.NewBenchDoc("noisy")
 		for _, r := range results {
 			doc.Rows = append(doc.Rows, r.BenchRow())
 		}

@@ -165,6 +165,68 @@ func TestPublicAPIService(t *testing.T) {
 	}
 }
 
+// TestPublicAPIQoS drives the multi-tenant QoS surface through the
+// facade only: WithQoS class tables (implying the sched queue),
+// WithTenantClass on a service stub, the ErrThrottled error surface,
+// and the per-class admission accounting it all feeds.
+func TestPublicAPIQoS(t *testing.T) {
+	cl := multiedge.NewCluster(multiedge.OneLink1G(3),
+		multiedge.WithQoS(
+			multiedge.QoSClass{Weight: 1},
+			multiedge.QoSClass{Weight: 4, RateBps: 250e6, Burst: 16 << 10, MaxQueued: 8, MaxQueuedBytes: 1 << 20},
+		),
+		multiedge.WithSeed(7))
+	_ = multiedge.ErrThrottled // part of the public error surface
+
+	reg := multiedge.NewRegistry()
+	if _, err := multiedge.Serve(reg, "kv", 1<<15,
+		[]*multiedge.Endpoint{cl.Nodes[1].EP, cl.Nodes[2].EP}); err != nil {
+		t.Fatal(err)
+	}
+	stub, err := multiedge.Connect(cl.Nodes[0].EP, reg, "kv",
+		multiedge.WithTenantClass(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ep0 := cl.Nodes[0].EP
+	const n = 2048
+	src := ep0.Alloc(n)
+	chk := ep0.Alloc(n)
+	for i := 0; i < n; i++ {
+		ep0.Mem()[src+uint64(i)] = byte(i * 5)
+	}
+	done := false
+	cl.Env.Go("caller", func(p *multiedge.Proc) {
+		for i := 0; i < 8; i++ {
+			if err := stub.Call(p, 1, multiedge.Op{
+				Remote: 0, Local: src, Size: n, Kind: multiedge.OpWrite,
+			}); err != nil {
+				t.Errorf("write call %d: %v", i, err)
+			}
+		}
+		if err := stub.Call(p, 1, multiedge.Op{
+			Remote: 0, Local: chk, Size: n, Kind: multiedge.OpRead,
+		}); err != nil {
+			t.Errorf("read call: %v", err)
+		}
+		if !bytes.Equal(ep0.Mem()[chk:chk+n], ep0.Mem()[src:src+n]) {
+			t.Error("service read-back mismatch")
+		}
+		stub.Close(p)
+		done = true
+	})
+	cl.Env.RunUntil(10 * multiedge.Second)
+	if !done {
+		t.Fatal("caller did not finish")
+	}
+	// WithTenantClass tagged the stub's conns and ops: every call was
+	// admitted under class 1 at the issuing endpoint.
+	if got := ep0.Stats.QosOpsAdmitted; got != 9 {
+		t.Errorf("QosOpsAdmitted = %d, want 9", got)
+	}
+}
+
 // TestPublicAPIRelayTypes pins the relay surface: StartRelay wiring, a
 // forwarded call when the direct path is blackholed, and RelayStats.
 func TestPublicAPIRelayTypes(t *testing.T) {

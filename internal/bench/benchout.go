@@ -176,6 +176,33 @@ func (r FaninResult) BenchRow() BenchRow {
 	return row
 }
 
+// BenchRow converts one noisy-neighbor phase into a bench-document
+// row. The latency percentiles are the victim tenant's closed-loop op
+// latencies — the figures the QoS isolation ratchet watches.
+func (r NoisyResult) BenchRow() BenchRow {
+	row := BenchRow{
+		Name:      "noisy-" + r.Phase,
+		Ops:       r.VictimOps,
+		OpsPerSec: r.OpsPerSec,
+		P50Us:     r.P50Us,
+		P95Us:     r.P95Us,
+		P99Us:     r.P99Us,
+		Extra: map[string]float64{
+			"flood_ops":          float64(r.FloodOps),
+			"qos_waits":          float64(r.AdmissionWaits),
+			"qos_rate_deferrals": float64(r.RateDeferrals),
+			"pending_events":     float64(r.PendingEvents),
+			"active_conns":       float64(r.ActiveConns),
+		},
+	}
+	if r.DataOK {
+		row.Extra["data_ok"] = 1
+	} else {
+		row.Extra["data_ok"] = 0
+	}
+	return row
+}
+
 // BenchRow converts one crash-loop measurement into a bench-document
 // row. Ops/s is streamed transfers over the run's virtual extent; the
 // latency percentiles are recovery latencies (restore to first

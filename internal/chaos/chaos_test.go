@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"multiedge/internal/cluster"
+	"multiedge/internal/core"
 	"multiedge/internal/sim"
 )
 
@@ -219,6 +220,58 @@ func TestSoakReproducible(t *testing.T) {
 		}
 		if a != b {
 			t.Fatalf("seed %d: results differ between identical runs:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestFloodReproducible(t *testing.T) {
+	// A tenant flood is pure workload on the simulation clock: composed
+	// with a link flap under QoS, identical seeds must still produce
+	// bit-identical results. The flood (class 1, rate-capped and
+	// quota-bounded) contends with the verified victim stream (class 0)
+	// at node 0's endpoint, and the victim still completes.
+	mk := func(seed int64) Options {
+		cfg := cluster.OneLink1G(2)
+		cfg.Core.DeadInterval = 5 * sim.Second
+		cfg.Core.SchedQueue = true
+		cfg.Core.QoS = []core.QoSClass{
+			{Weight: 8},
+			{Weight: 1, RateBps: 100e6, MaxQueued: 32, MaxQueuedBytes: 1 << 20},
+		}
+		return Options{
+			Config:    cfg,
+			Seed:      seed,
+			Transfers: 20,
+			Bytes:     8 << 10,
+			Gap:       5 * sim.Millisecond,
+			Horizon:   30 * sim.Second,
+			Script: func(r *Runner) {
+				r.Flood(sim.Millisecond, 200*sim.Millisecond, 0, 1, 1, 4, 16<<10)
+				r.FlapLink(50*sim.Millisecond, 20*sim.Millisecond, 0, 0)
+			},
+		}
+	}
+	for _, seed := range []int64{seedBase(t), seedBase(t) + 1} {
+		a, avs := Run(mk(seed))
+		b, _ := Run(mk(seed))
+		for _, v := range avs {
+			t.Errorf("seed %d: violation %s", seed, v)
+		}
+		if a.Report != b.Report {
+			t.Fatalf("seed %d: reports differ between identical flood runs:\n%+v\n%+v",
+				seed, a.Report, b.Report)
+		}
+		if a != b {
+			t.Fatalf("seed %d: results differ between identical flood runs:\n%+v\n%+v",
+				seed, a, b)
+		}
+		if a.Completed != 20 || !a.DataOK {
+			t.Errorf("seed %d: victim stream %d/20 complete, dataOK=%v under flood",
+				seed, a.Completed, a.DataOK)
+		}
+		if a.Report.Proto.QosSchedFrames == 0 || a.Report.Proto.QosOpsAdmitted == 0 {
+			t.Errorf("seed %d: flood left no QoS trace (sched frames %d, admitted %d)",
+				seed, a.Report.Proto.QosSchedFrames, a.Report.Proto.QosOpsAdmitted)
 		}
 	}
 }

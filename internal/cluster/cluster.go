@@ -107,6 +107,30 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cluster %q: ReconnectBackoffMax %v below initial backoff %v",
 			c.Name, c.Core.ReconnectBackoffMax, c.Core.ReconnectBackoff)
 	}
+	if len(c.Core.QoS) > 0 && !c.Core.SchedQueue {
+		return fmt.Errorf("cluster %q: QoS requires SchedQueue (the fair queues extend the FIFO scheduler)", c.Name)
+	}
+	for i, q := range c.Core.QoS {
+		if q.Weight < 1 {
+			return fmt.Errorf("cluster %q: QoS class %d: weight %d must be >= 1 (a zero-weight class would never be served)",
+				c.Name, i, q.Weight)
+		}
+		if q.RateBps < 0 {
+			return fmt.Errorf("cluster %q: QoS class %d: negative rate limit %d B/s", c.Name, i, q.RateBps)
+		}
+		if q.Burst < 0 {
+			return fmt.Errorf("cluster %q: QoS class %d: negative burst %d bytes", c.Name, i, q.Burst)
+		}
+		if q.Burst > 0 && q.RateBps == 0 {
+			return fmt.Errorf("cluster %q: QoS class %d: burst %d without a rate limit does nothing", c.Name, i, q.Burst)
+		}
+		if q.MaxQueued < 0 {
+			return fmt.Errorf("cluster %q: QoS class %d: negative queue quota %d ops", c.Name, i, q.MaxQueued)
+		}
+		if q.MaxQueuedBytes < 0 {
+			return fmt.Errorf("cluster %q: QoS class %d: negative byte quota %d", c.Name, i, q.MaxQueuedBytes)
+		}
+	}
 	return nil
 }
 
@@ -502,6 +526,11 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.ReplayedOps -= b.ReplayedOps
 	a.ReplayedBytes -= b.ReplayedBytes
 	a.Abandons -= b.Abandons
+	a.QosOpsAdmitted -= b.QosOpsAdmitted
+	a.QosOpsThrottled -= b.QosOpsThrottled
+	a.QosAdmissionWaits -= b.QosAdmissionWaits
+	a.QosRateDeferrals -= b.QosRateDeferrals
+	a.QosSchedFrames -= b.QosSchedFrames
 	a.AppProtoTime -= b.AppProtoTime
 	// HoldMax and RtoBackoffMax are peaks, not counters: left as-is.
 	return a

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"multiedge/internal/core"
@@ -90,6 +91,62 @@ func TestCollectAndSub(t *testing.T) {
 	}
 	if diff.Proto.DataBytesSent != 4096 {
 		t.Errorf("window diff payload = %d, want 4096", diff.Proto.DataBytesSent)
+	}
+}
+
+// TestValidateQoS covers every QoS knob Validate checks: a well-formed
+// class table passes, and each malformed knob is rejected with an error
+// naming the offending class and field.
+func TestValidateQoS(t *testing.T) {
+	qosCfg := func(sched bool, classes ...core.QoSClass) Config {
+		cfg := OneLink1G(2)
+		cfg.Core.SchedQueue = sched
+		cfg.Core.QoS = classes
+		return cfg
+	}
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; "" = must validate
+	}{
+		{"no-qos", OneLink1G(2), ""},
+		{"valid-weights", qosCfg(true, core.QoSClass{Weight: 1}, core.QoSClass{Weight: 8}), ""},
+		{"valid-full-knobs", qosCfg(true, core.QoSClass{Weight: 1},
+			core.QoSClass{Weight: 2, RateBps: 100e6, Burst: 8 << 10, MaxQueued: 16, MaxQueuedBytes: 1 << 20}), ""},
+		{"needs-schedqueue", qosCfg(false, core.QoSClass{Weight: 1}),
+			"QoS requires SchedQueue"},
+		{"zero-weight", qosCfg(true, core.QoSClass{Weight: 1}, core.QoSClass{Weight: 0}),
+			"QoS class 1: weight 0 must be >= 1"},
+		{"negative-weight", qosCfg(true, core.QoSClass{Weight: -3}),
+			"QoS class 0: weight -3 must be >= 1"},
+		{"negative-rate", qosCfg(true, core.QoSClass{Weight: 1, RateBps: -1}),
+			"QoS class 0: negative rate limit -1"},
+		{"negative-burst", qosCfg(true, core.QoSClass{Weight: 1, RateBps: 1e6, Burst: -64}),
+			"QoS class 0: negative burst -64"},
+		{"burst-without-rate", qosCfg(true, core.QoSClass{Weight: 1, Burst: 4096}),
+			"QoS class 0: burst 4096 without a rate limit"},
+		{"negative-op-quota", qosCfg(true, core.QoSClass{Weight: 1, MaxQueued: -2}),
+			"QoS class 0: negative queue quota -2"},
+		{"negative-byte-quota", qosCfg(true, core.QoSClass{Weight: 1, MaxQueuedBytes: -9}),
+			"QoS class 0: negative byte quota -9"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"multiedge/internal/core"
@@ -91,6 +93,71 @@ func TestReconnectMetricsMove(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("recorder missing %v; got %v", want, kinds)
+		}
+	}
+}
+
+// TestQoSMetricsExport is the QoS double-scrape golden test: with the
+// registry and a QoS class table on, the per-class qos_* series export
+// deterministically (two scrapes byte-identical) carrying a tenant
+// label, and the counters for a class that actually carried traffic
+// move while an idle class's stay zero.
+func TestQoSMetricsExport(t *testing.T) {
+	cfg := OneLink1G(2)
+	cfg.Core.SchedQueue = true
+	cfg.Core.QoS = []core.QoSClass{
+		{Weight: 1},
+		{Weight: 4, RateBps: 500e6, Burst: 16 << 10, MaxQueued: 8, MaxQueuedBytes: 1 << 20},
+		{Weight: 2}, // never used: its counters must export as zeros
+	}
+	cfg.Obs = ObsOptions{Metrics: true, SampleEvery: -1}
+	cl := New(cfg)
+	server := cl.Nodes[0].EP
+	client := cl.Nodes[1].EP
+
+	const size = 4 << 10
+	src := client.Alloc(size)
+	dst := server.Alloc(size)
+	cl.Env.Go("writer", func(p *sim.Proc) {
+		c := client.Dial(p, 0, 0)
+		c.SetClass(1)
+		for i := 0; i < 32; i++ {
+			c.MustDo(p, core.Op{Remote: dst, Local: src, Size: size, Kind: frame.OpWrite}).Wait(p)
+		}
+		c.Close(p)
+	})
+	cl.Env.Run()
+	cl.Obs.Quiesce()
+
+	one := cl.Obs.Gather().Prometheus()
+	two := cl.Obs.Gather().Prometheus()
+	if !bytes.Equal(one, two) {
+		t.Fatalf("double scrape differs:\n--- first\n%s\n--- second\n%s", one, two)
+	}
+	if !strings.Contains(string(one), `qos_admitted_total{node="1",tenant="1"}`) {
+		t.Fatalf("export lacks a tenant-labeled qos_* series:\n%s", one)
+	}
+
+	snap := cl.Obs.Gather()
+	busy := []obs.Label{obs.NodeLabel(1), obs.L("tenant", "1")}
+	idle := []obs.Label{obs.NodeLabel(1), obs.L("tenant", "2")}
+	if v, ok := snap.Get("qos_admitted_total", busy...); !ok || v != 32 {
+		t.Fatalf("qos_admitted_total{tenant=1} = %v, %v; want 32", v, ok)
+	}
+	if v, ok := snap.Get("qos_frames_sent_total", busy...); !ok || v == 0 {
+		t.Fatalf("qos_frames_sent_total{tenant=1} = %v, %v; want > 0", v, ok)
+	}
+	if v, ok := snap.Get("qos_bytes_sent_total", busy...); !ok || v < 32*size {
+		t.Fatalf("qos_bytes_sent_total{tenant=1} = %v, %v; want >= %d", v, ok, 32*size)
+	}
+	if v, ok := snap.Get("qos_admitted_total", idle...); !ok || v != 0 {
+		t.Fatalf("qos_admitted_total{tenant=2} = %v, %v; want registered zero", v, ok)
+	}
+	// Quota gauges must read empty after teardown: admission releases
+	// every charge exactly once.
+	for _, g := range []string{"qos_pending_ops", "qos_pending_bytes"} {
+		if v, ok := snap.Get(g, busy...); !ok || v != 0 {
+			t.Fatalf("%s{tenant=1} = %v, %v; want 0 after drain", g, v, ok)
 		}
 	}
 }

@@ -191,6 +191,52 @@ type Config struct {
 	// and wire overhead. 0 disables coalescing (each posted op gets its
 	// own frames). Only Ring-issued operations are ever coalesced.
 	CoalesceLimit int
+	// QoS enables multi-tenant quality of service: each entry defines
+	// one traffic class (a tenant), connections and operations are
+	// tagged with a class index (Conn.SetClass / Op.Class), and the
+	// endpoint's scheduler serves data frames by deficit-weighted fair
+	// queueing across classes instead of flat round-robin. Per-class
+	// token-bucket rate limits and submission quotas (see QoSClass)
+	// bound how much of the endpoint a single tenant can occupy, so an
+	// elephant-flow tenant degrades gracefully — throttled or paced —
+	// instead of starving everyone else. Requires SchedQueue (the fair
+	// queues extend the FIFO scheduler; cluster.Config.Validate rejects
+	// QoS without it). Empty (the default) disables the layer entirely
+	// and keeps every pinned golden byte-identical.
+	QoS []QoSClass
+}
+
+// QoSClass configures one traffic class (tenant) of the QoS layer.
+// Class 0 is the default class every untagged connection and operation
+// belongs to; give it an entry like any other. Zero-value quota fields
+// mean "unlimited" so a class can be weighted without being capped.
+type QoSClass struct {
+	// Weight is the class's share of data-frame service under
+	// deficit-weighted fair queueing: when every class is backlogged,
+	// class i receives Weight_i / ΣWeight of the endpoint's transmit
+	// slots (byte-denominated, so large frames consume proportionally
+	// more deficit). Must be >= 1.
+	Weight int
+	// RateBps, when positive, caps the class's data-payload rate with a
+	// token bucket of this refill rate (bytes per second). All data
+	// transmissions, retransmissions included, draw from the bucket;
+	// control frames (acks/nacks) are never throttled — repairing the
+	// window is what un-blocks everyone else.
+	RateBps int64
+	// Burst is the token bucket's capacity in bytes. Zero with a
+	// positive RateBps defaults to 64 KiB.
+	Burst int
+	// MaxQueued, when positive, bounds how many operations the class may
+	// have admitted (issued or posted) but not yet completed at one
+	// endpoint. Over-quota fail-fast submissions (Post) return
+	// ErrThrottled; blocking submissions (Do) wait for room, honoring
+	// Op.Deadline.
+	MaxQueued int
+	// MaxQueuedBytes, when positive, bounds the class's admitted but
+	// uncompleted payload bytes — the journal/kernel-buffer memory a
+	// tenant may pin — with the same backpressure semantics as
+	// MaxQueued.
+	MaxQueuedBytes int
 }
 
 // reconnectBudget is the effective MaxReconnects: the configured value,

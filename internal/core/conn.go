@@ -37,6 +37,10 @@ type Conn struct {
 	inCtrlQ bool
 	inSendQ bool
 
+	// Traffic class (Config.QoS): which tenant's scheduler queues and
+	// quotas this conn belongs to. See SetClass.
+	class int
+
 	// Failure handling: adaptive retransmission timing (Config.RTOMax)
 	// and peer-death detection (Config.MaxRetries / DeadInterval /
 	// HeartbeatInterval).
@@ -150,6 +154,14 @@ type txOp struct {
 	h         *Handle
 	span      *obs.Span  // causal span (nil unless span recording is on)
 	subs      []multiSub // coalesced sub-ops (nil = ordinary single op)
+
+	// Admission charge held against a QoS class (Config.QoS): released
+	// exactly once when the op completes or fails. qosOps is 0 when no
+	// charge is held (QoS off, probes, receiver-side serves, replayed
+	// read re-syntheses).
+	qosCls   int
+	qosOps   int
+	qosBytes int
 }
 
 // multiSub is the send-side record of one coalesced sub-op inside a
@@ -513,8 +525,10 @@ func (c *Conn) ctrlPending() bool {
 }
 
 // sendNextDataFrame emits one data frame: a queued retransmission first,
-// otherwise the next fragment of the current operation.
-func (c *Conn) sendNextDataFrame() {
+// otherwise the next fragment of the current operation. It returns the
+// payload bytes handed to the wire (0 when the work evaporated), which
+// the QoS scheduler charges against the served class.
+func (c *Conn) sendNextDataFrame() int {
 	for len(c.retransQ) > 0 {
 		seq := c.retransQ[0]
 		c.retransQ = c.retransQ[1:]
@@ -524,11 +538,11 @@ func (c *Conn) sendNextDataFrame() {
 		}
 		tf.inQ = false
 		c.transmit(tf, true)
-		return
+		return len(tf.payload)
 	}
 	op := c.curOp()
 	if op == nil || c.inflight() >= c.ep.cfg.Window {
-		return // conditions changed since sendable()
+		return 0 // conditions changed since sendable()
 	}
 	pay := uint32(c.maxFramePayload())
 	if rem := op.total - op.sent; rem < pay {
@@ -552,6 +566,7 @@ func (c *Conn) sendNextDataFrame() {
 	c.ep.Stats.DataFramesSent++
 	c.ep.Stats.DataBytesSent += uint64(len(tf.payload))
 	c.transmit(tf, false)
+	return len(tf.payload)
 }
 
 // transmit encodes and hands one frame to the next link in round-robin
@@ -998,6 +1013,7 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 	}
 	op.completed = true
 	op.data = nil
+	c.qosRelease(op)
 	if op.probe {
 		return // internal probe: no user-visible completion
 	}
@@ -1088,6 +1104,7 @@ func (c *Conn) failTxOp(t *txOp, cause error) {
 	}
 	t.completed = true
 	t.data = nil
+	c.qosRelease(t)
 	if t.probe {
 		return // internal probe: no user-visible completion
 	}
@@ -1194,9 +1211,13 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 		}
 	}
 	// Posted-but-unrung descriptors never received ids; their error
-	// completions carry OpID 0 and the original Op for correlation.
+	// completions carry OpID 0 and the original Op for correlation. Each
+	// still holds the admission quota Post charged — return it.
 	for _, op := range c.sq {
 		ep.Stats.OpsFailed++
+		if ep.qosOn() {
+			ep.qosUncharge(c.opClass(op), 1, op.Size)
+		}
 		c.pushCompletion(Completion{Op: op, Err: cause})
 	}
 	if n := len(c.sq); n > 0 {

@@ -46,6 +46,15 @@ type Endpoint struct {
 	ctrlQ []*Conn
 	sendQ []*Conn
 
+	// Multi-tenant QoS (Config.QoS): per-class scheduler and quota
+	// state, plus the DWFQ cursors (see qos.go). nil when the layer is
+	// off.
+	qos          []qosClass
+	qosCtrlCur   int  // weighted-round-robin cursor over class ctrl queues
+	qosSendCur   int  // DWFQ cursor over class send queues
+	qosServing   int  // class picked by the last qosPopSend, for the charge
+	qosPaceArmed bool // a wire-pacing wake is already scheduled
+
 	notifyAll *sim.Mailbox[Notification]
 
 	regions []memRegion // registered memory (EnforceRegistration)
@@ -97,6 +106,12 @@ func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus
 	}
 	if cfg.TimerWheelTick > 0 {
 		ep.wheel = sim.NewWheel(env, cfg.TimerWheelTick)
+	}
+	if len(cfg.QoS) > 0 {
+		if !cfg.SchedQueue {
+			panic("core: Config.QoS requires Config.SchedQueue")
+		}
+		ep.initQoS()
 	}
 	for _, n := range nics {
 		n.SetHost(ep)
@@ -164,6 +179,11 @@ func (ep *Endpoint) afterDaemonTimer(d sim.Time, fn func()) timer {
 // scan will find it. Every conn-side state change that can create work
 // funnels through here via Conn.kick.
 func (ep *Endpoint) kickConn(c *Conn) {
+	if ep.qosOn() {
+		ep.qosKickConn(c)
+		ep.wakeThread()
+		return
+	}
 	if ep.cfg.SchedQueue {
 		if !c.inCtrlQ && c.ctrlPending() {
 			c.inCtrlQ = true
@@ -288,9 +308,12 @@ func (ep *Endpoint) SetObs(r *obs.Registry) {
 			emit(obs.Sample{Name: name, Labels: []obs.Label{nl}, Value: v, Type: obs.TypeGauge})
 		}
 		g("core_active_conns", float64(ep.conns.len()))
-		g("core_sched_queue_depth", float64(len(ep.ctrlQ)+len(ep.sendQ)))
+		g("core_sched_queue_depth", float64(len(ep.ctrlQ)+len(ep.sendQ)+ep.qosSchedDepth()))
 		g("core_timer_wheel_entries", float64(ep.wheel.Len()))
 	})
+	if ep.qosOn() {
+		r.AddCollector(ep.qosCollector())
+	}
 }
 
 // noteSQDepth tracks the node-wide submission-queue depth gauge (nil-safe
@@ -451,7 +474,35 @@ func (ep *Endpoint) threadStep() {
 	// at the tail, so service stays fair round-robin. The legacy path
 	// scans every connection per step, which is fine for a handful of
 	// conns and byte-identical to the pinned golden runs.
-	if ep.cfg.SchedQueue {
+	if ep.qosOn() {
+		// Multi-tenant scheduling: weighted-fair pops across the class
+		// queues, with each transmitted data frame charged back to the
+		// class it was served for (deficit and token bucket).
+		if c := ep.qosPopCtrl(); c != nil {
+			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
+				c.sendCtrl()
+				ep.kickConn(c)
+				ep.threadStep()
+			})
+			return
+		}
+		if ep.qosSendWork() && ep.qosNICBusy() {
+			// Wire-pacing: with every NIC's transmit queue at the bound,
+			// dispatching now would just bury frames in the NIC FIFO where
+			// DWFQ no longer decides their order. Hold them in the class
+			// queues and come back when the head frame clears the wire.
+			ep.qosArmPace()
+		} else if c := ep.qosPopSend(); c != nil {
+			cls := ep.qosServing
+			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
+				n := c.sendNextDataFrame()
+				ep.qosChargeSend(cls, n)
+				ep.kickConn(c)
+				ep.threadStep()
+			})
+			return
+		}
+	} else if ep.cfg.SchedQueue {
 		if c := ep.popCtrl(); c != nil {
 			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
 				c.sendCtrl()

@@ -36,6 +36,12 @@ type Op struct {
 	// wire stay valid and the transfer may still land — only the caller
 	// stops waiting. A deadline already in the past expires immediately.
 	Deadline sim.Time
+	// Class, when positive, overrides the connection's traffic class for
+	// this operation's QoS admission (quota accounting under Config.QoS).
+	// 0 inherits the connection's class (Conn.SetClass). Ignored when
+	// QoS is off; with QoS on an out-of-range class fails checkOp with
+	// ErrBadClass.
+	Class int
 }
 
 // MaxOpSize bounds a single operation's transfer length (the protocol
@@ -72,6 +78,14 @@ var (
 	// completed; the waiter was released but the transfer itself was not
 	// cancelled.
 	ErrDeadlineExceeded = errors.New("op deadline exceeded")
+	// ErrThrottled: the operation's QoS class is over its submission
+	// quota (Config.QoS MaxQueued/MaxQueuedBytes) and the fail-fast
+	// path (Post) refused it. Back off and retry, or use the blocking
+	// path (Do), which waits for room instead.
+	ErrThrottled = errors.New("tenant class over quota")
+	// ErrBadClass: Op.Class is negative or outside the configured
+	// Config.QoS table.
+	ErrBadClass = errors.New("op class outside configured QoS classes")
 )
 
 // checkOp validates an operation against the connection and endpoint
@@ -110,6 +124,11 @@ func (c *Conn) checkOp(op Op) error {
 	default:
 		return fmt.Errorf("core: kind %v: %w", op.Kind, ErrBadOpKind)
 	}
+	if op.Class != 0 && len(c.ep.qos) > 0 {
+		if op.Class < 0 || op.Class >= len(c.ep.qos) {
+			return fmt.Errorf("core: class %d with %d configured: %w", op.Class, len(c.ep.qos), ErrBadClass)
+		}
+	}
 	return nil
 }
 
@@ -134,6 +153,14 @@ func (c *Conn) DoOn(p *sim.Proc, cpu *sim.Resource, op Op) (*Handle, error) {
 		return nil, err
 	}
 	ep := c.ep
+	if ep.qosOn() {
+		// Blocking admission: over-quota issuers wait here for room —
+		// graceful backpressure — honoring Op.Deadline. The charge taken
+		// rides the txOp (enqueueOp) and is released on completion.
+		if _, err := c.qosAdmitDo(p, op); err != nil {
+			return nil, err
+		}
+	}
 	var data []byte
 	if op.Kind == frame.OpWrite {
 		data = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
@@ -182,6 +209,12 @@ func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
 		remote: op.Remote, local: op.Local, data: data, total: uint32(op.Size),
 	}
 	c.nextOpID++
+	if ep.qosOn() {
+		// The admission charge (taken in DoOn or Post) transfers onto the
+		// txOp, which releases it exactly once at completion or failure —
+		// surviving reconnect replay, which re-queues these same objects.
+		t.qosCls, t.qosOps, t.qosBytes = c.opClass(op), 1, op.Size
+	}
 	// Every handle keeps its descriptor: the CQ path surfaces it in
 	// completions, and recovery (Config.Reconnect) re-synthesizes a read
 	// request from it when the original txOp is long gone at replay time.
@@ -251,10 +284,19 @@ type Completion struct {
 // Post validates op and appends it to the connection's submission queue.
 // Nothing is charged and nothing is transmitted until Ring; the
 // descriptor store is treated as free at simulation resolution (the
-// calibrated SQPost cost is charged per descriptor by Ring).
+// calibrated SQPost cost is charged per descriptor by Ring). Post is
+// also the fail-fast QoS admission point: a descriptor whose class is
+// over quota (Config.QoS) is refused with ErrThrottled instead of
+// queueing unboundedly.
 func (c *Conn) Post(op Op) error {
 	if err := c.checkOp(op); err != nil {
 		return err
+	}
+	if c.ep.qosOn() {
+		cls, ok := c.qosAdmitFast(op)
+		if !ok {
+			return fmt.Errorf("core: class %d to node %d: %w", cls, c.remoteNode, ErrThrottled)
+		}
 	}
 	c.sq = append(c.sq, op)
 	c.ep.noteSQDepth(1)
@@ -331,8 +373,11 @@ func (c *Conn) RingOn(p *sim.Proc, cpu *sim.Resource) (int, error) {
 	for i := 0; i < n; {
 		if lim > 0 && coalescable(batch[i], lim) {
 			j, bytes := i, multiPayloadBase
+			// Under QoS a MultiData container carries ONE class's quota
+			// charge, so a run breaks where the effective class changes.
 			for j < n && coalescable(batch[j], lim) &&
-				bytes+frame.SubOpOverhead+batch[j].Size <= frame.MaxPayload {
+				bytes+frame.SubOpOverhead+batch[j].Size <= frame.MaxPayload &&
+				(!ep.qosOn() || c.opClass(batch[j]) == c.opClass(batch[i])) {
 				bytes += frame.SubOpOverhead + batch[j].Size
 				j++
 			}
@@ -405,6 +450,14 @@ func (c *Conn) enqueueMulti(ops []Op, data [][]byte) {
 	t := &txOp{
 		id: recs[len(recs)-1].id, opType: frame.OpWrite,
 		data: payload, total: uint32(len(payload)), subs: recs,
+	}
+	if ep.qosOn() {
+		// One container, one class (Ring breaks coalesce runs on class
+		// boundaries): the batch's Post-time charges ride it together.
+		t.qosCls, t.qosOps = c.opClass(ops[0]), len(ops)
+		for _, op := range ops {
+			t.qosBytes += op.Size
+		}
 	}
 	if fenced {
 		// One frame carries every sub-op, so one txFenced entry (the

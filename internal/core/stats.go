@@ -65,6 +65,15 @@ type Stats struct {
 	ReplayedBytes    uint64 // payload bytes re-issued by replay
 	Abandons         uint64 // conns terminally failed by Conn.Abandon (svc failover)
 
+	// Multi-tenant QoS (Config.QoS). Per-class breakdowns are published
+	// by the endpoint's qos collector; these flat totals feed the
+	// cluster-wide aggregation and diff reports.
+	QosOpsAdmitted    uint64 // operations admitted under a class quota
+	QosOpsThrottled   uint64 // fail-fast submissions refused with ErrThrottled
+	QosAdmissionWaits uint64 // blocking submissions that had to wait for room
+	QosRateDeferrals  uint64 // scheduler visits deferred by an empty token bucket
+	QosSchedFrames    uint64 // data frames dispatched by the DWFQ scheduler
+
 	// CPU time charged on the application CPU on behalf of the
 	// protocol (operation initiation: syscall, descriptor, copy).
 	AppProtoTime sim.Time
@@ -145,6 +154,11 @@ func (s *Stats) Add(o *Stats) {
 	s.ReplayedOps += o.ReplayedOps
 	s.ReplayedBytes += o.ReplayedBytes
 	s.Abandons += o.Abandons
+	s.QosOpsAdmitted += o.QosOpsAdmitted
+	s.QosOpsThrottled += o.QosOpsThrottled
+	s.QosAdmissionWaits += o.QosAdmissionWaits
+	s.QosRateDeferrals += o.QosRateDeferrals
+	s.QosSchedFrames += o.QosSchedFrames
 	s.AppProtoTime += o.AppProtoTime
 }
 
@@ -198,6 +212,11 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_replayed_ops_total", s.ReplayedOps)
 		c("core_replayed_bytes_total", s.ReplayedBytes)
 		c("core_abandons_total", s.Abandons)
+		c("core_qos_ops_admitted_total", s.QosOpsAdmitted)
+		c("core_qos_ops_throttled_total", s.QosOpsThrottled)
+		c("core_qos_admission_waits_total", s.QosAdmissionWaits)
+		c("core_qos_rate_deferrals_total", s.QosRateDeferrals)
+		c("core_qos_sched_frames_total", s.QosSchedFrames)
 		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
 			Value: float64(s.HoldMax), Type: obs.TypeGauge})
 		emit(obs.Sample{Name: "core_rto_backoff_max", Labels: []obs.Label{nl},

@@ -42,6 +42,8 @@ const (
 	RecLinkRestore                    // dead link re-admitted; A = link
 	RecStaleDrop                      // frame fenced for a dead incarnation; A = frame epoch, B = live epoch
 	RecAbandon                        // conn terminally failed by Conn.Abandon; A = incarnation, B = inflight
+	RecThrottled                      // QoS admission backpressure; A = class, B = 0 fail-fast / 1 blocking wait
+	RecRateDefer                      // QoS class parked on an empty token bucket; A = class, B = refill delay
 	recKindCount
 )
 
@@ -49,7 +51,7 @@ var recKindNames = [recKindCount]string{
 	"?", "dial", "established", "closed", "failed", "peer-dead",
 	"rto-expiry", "reconnect", "redial", "rebirth", "nack-drop",
 	"doorbell", "sched", "link-dead", "link-restore", "stale-drop",
-	"abandon",
+	"abandon", "throttled", "rate-defer",
 }
 
 // String returns the event kind's wire name ("rto-expiry", ...).

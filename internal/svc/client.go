@@ -15,17 +15,19 @@ import (
 // ClientStats counts one stub's service-layer events. PerBackend is
 // indexed like Service.Backends.
 type ClientStats struct {
-	Calls             uint64 // calls issued (batch ops included)
-	CallsFailed       uint64 // calls that returned an error to the caller
-	BatchCalls        uint64 // CallBatch invocations that completed on the SQ path
-	BatchOps          uint64 // descriptors issued by those batches
-	Failovers         uint64 // backend attempts abandoned mid-call
-	BackendsCondemned uint64 // backends marked dead by this stub
-	JournaledOps      uint64 // incomplete ops snapshotted off condemned conns
-	JournaledBytes    uint64 // their payload bytes
-	RelayCalls        uint64 // calls completed through the relay
-	RelayFailures     uint64 // relay attempts that failed
-	PerBackend        []uint64
+	Calls               uint64 // calls issued (batch ops included)
+	CallsFailed         uint64 // calls that returned an error to the caller
+	BatchCalls          uint64 // CallBatch invocations that completed on the SQ path
+	BatchOps            uint64 // descriptors issued by those batches
+	Failovers           uint64 // backend attempts abandoned mid-call
+	BackendsCondemned   uint64 // backends marked dead by this stub
+	JournaledOps        uint64 // incomplete ops snapshotted off condemned conns
+	JournaledBytes      uint64 // their payload bytes
+	RelayCalls          uint64 // calls completed through the relay
+	RelayFailures       uint64 // relay attempts that failed
+	Throttled           uint64 // submissions refused with core.ErrThrottled (QoS quota)
+	PerBackend          []uint64
+	ThrottledPerBackend []uint64 // per-backend throttle refusals (class health)
 }
 
 // collector publishes the stub's counters under per-service (and
@@ -48,8 +50,13 @@ func (s *ClientStats) collector(node int, svc *Service) obs.Collector {
 		c("svc_journaled_bytes_total", s.JournaledBytes)
 		c("svc_relay_calls_total", s.RelayCalls)
 		c("svc_relay_failures_total", s.RelayFailures)
+		c("svc_throttled_total", s.Throttled)
 		for b, v := range s.PerBackend {
 			c("svc_backend_calls_total", v,
+				obs.Label{Key: "backend", Value: strconv.Itoa(svc.Backends[b].Node)})
+		}
+		for b, v := range s.ThrottledPerBackend {
+			c("svc_backend_throttled_total", v,
 				obs.Label{Key: "backend", Value: strconv.Itoa(svc.Backends[b].Node)})
 		}
 	}
@@ -117,6 +124,7 @@ func Connect(ep *core.Endpoint, reg *Registry, name string, opts Options) (*Clie
 		cqTok: make([]*sim.Mailbox[struct{}], n),
 	}
 	c.Stats.PerBackend = make([]uint64, n)
+	c.Stats.ThrottledPerBackend = make([]uint64, n)
 	for i := range c.cqTok {
 		c.cqTok[i] = &sim.Mailbox[struct{}]{}
 		c.cqTok[i].Send(c.env, struct{}{})
@@ -265,6 +273,9 @@ func (c *Client) callDirect(p *sim.Proc, b int, op core.Op) (error, bool) {
 	if c.opts.FailoverBudget > 0 {
 		op.Deadline = c.env.Now() + c.opts.FailoverBudget
 	}
+	if c.opts.Class > 0 {
+		op.Class = c.opts.Class // tenant tag rides every call (QoS admission)
+	}
 	h, err := cn.Do(p, op)
 	if err != nil {
 		// The conn reached a terminal state while ensureConn blocked.
@@ -330,6 +341,9 @@ func (c *Client) ensureConn(p *sim.Proc, b int) (*core.Conn, error) {
 		return nil, fmt.Errorf("svc %s: dial backend %d (node %d): %w",
 			c.svc.Name, b, c.svc.Backends[b].Node, cn.Err())
 	}
+	if c.opts.Class > 0 {
+		cn.SetClass(c.opts.Class)
+	}
 	c.conns[b] = cn
 	return cn, nil
 }
@@ -390,11 +404,24 @@ func (c *Client) batchOn(p *sim.Proc, cn *core.Conn, b int, ops []core.Op) bool 
 		dl = c.env.Now() + c.opts.FailoverBudget
 	}
 	posted := 0
+	throttled := false
 	for _, op := range ops {
 		rop := op
 		rop.Remote += c.svc.Backends[b].Base
 		rop.Deadline = dl
+		if c.opts.Class > 0 {
+			rop.Class = c.opts.Class
+		}
 		if err := cn.Post(rop); err != nil {
+			if errors.Is(err, core.ErrThrottled) {
+				// Per-backend class health: the tenant's quota is full on
+				// this endpoint. Not a path fault — the batch degrades to
+				// op-by-op Calls (blocking admission) without condemning
+				// the backend.
+				c.Stats.Throttled++
+				c.Stats.ThrottledPerBackend[b]++
+				throttled = true
+			}
 			break
 		}
 		posted++
@@ -413,7 +440,7 @@ func (c *Client) batchOn(p *sim.Proc, cn *core.Conn, b int, ops []core.Op) bool 
 	}
 	tok.Send(c.env, struct{}{})
 	ok := posted == len(ops) && rung == posted && !failed
-	if !ok {
+	if !ok && !throttled {
 		c.journalAndAbandon(b)
 	}
 	return ok

@@ -147,6 +147,10 @@ type Options struct {
 	// MaxAttempts caps how many backends one call may try before
 	// giving up. 0 means the replica count.
 	MaxAttempts int
+	// Class is the tenant/traffic class every connection and operation
+	// this stub issues is tagged with (core Config.QoS). 0 is the
+	// default class; ignored when the cluster runs without QoS.
+	Class int
 }
 
 // DefaultFailoverBudget is the per-call deadline when Options leaves
@@ -161,6 +165,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxAttempts < 0 {
 		return fmt.Errorf("svc: MaxAttempts %d, want >= 0", o.MaxAttempts)
+	}
+	if o.Class < 0 {
+		return fmt.Errorf("svc: Class %d, want >= 0", o.Class)
 	}
 	return nil
 }

@@ -112,6 +112,9 @@ type (
 	ProtocolConfig = core.Config
 	// ProtocolStats counts protocol events at one endpoint.
 	ProtocolStats = core.Stats
+	// QoSClass configures one tenant/traffic class of the QoS layer
+	// (weight, rate limit, submission quotas). See WithQoS.
+	QoSClass = core.QoSClass
 )
 
 // Operation types and flags for Op.Kind and Op.Flags (used with
@@ -136,6 +139,12 @@ const (
 
 // DefaultProtocolConfig returns the paper-calibrated protocol defaults.
 func DefaultProtocolConfig() ProtocolConfig { return core.DefaultConfig() }
+
+// ErrThrottled: a tenant class is over its QoS submission quota and the
+// fail-fast path (Conn.Post) refused the descriptor — back off, or use
+// the blocking path (Conn.Do), which waits for room. Test with
+// errors.Is.
+var ErrThrottled = core.ErrThrottled
 
 // Cluster assembly.
 type (
@@ -197,6 +206,21 @@ func WithHeartbeat(interval, dead Time) ClusterOption {
 // per pending timeout.
 func WithTimerWheel(tick Time) ClusterOption {
 	return func(c *ClusterConfig) { c.Core.TimerWheelTick = tick }
+}
+
+// WithQoS enables multi-tenant quality of service with one entry per
+// traffic class (class 0 is the default class): data-frame service is
+// scheduled by deficit-weighted fair queueing across classes, and each
+// class's token-bucket rate limit and submission quotas bound how much
+// of an endpoint one tenant can occupy (over-quota Posts fail fast with
+// ErrThrottled; Do blocks for room). Tag connections with Conn.SetClass
+// or service stubs with WithTenantClass. Implies WithSchedQueue — the
+// fair queues extend the FIFO scheduler.
+func WithQoS(classes ...QoSClass) ClusterOption {
+	return func(c *ClusterConfig) {
+		c.Core.QoS = classes
+		c.Core.SchedQueue = true
+	}
 }
 
 // WithSeed overrides the simulation seed.
@@ -420,6 +444,12 @@ func WithRelayFallback() ConnectOption {
 // (0 = all rails).
 func WithCallLinks(n int) ConnectOption {
 	return func(o *ServiceOptions) { o.Links = n }
+}
+
+// WithTenantClass tags every connection and operation the stub issues
+// with a QoS traffic class (see WithQoS; 0 is the default class).
+func WithTenantClass(cls int) ConnectOption {
+	return func(o *ServiceOptions) { o.Class = cls }
 }
 
 // Serve registers a named service with one replica per backend
