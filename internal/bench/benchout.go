@@ -8,8 +8,10 @@ package bench
 // (ops/s, goodput, latency percentiles) derive from virtual simulation
 // time, so identical seeds produce identical documents on any machine
 // and committed baselines stay stable. Allocation figures are wall-side
-// (they depend on the Go runtime) and are advisory only: CompareBench
-// never fails on them.
+// (they depend on the Go runtime) but deterministic enough to ratchet
+// with slack: CompareBench fails when allocs/op grows more than 25%
+// over a nonzero baseline, guarding the pooled hot path against
+// re-introduced per-op churn.
 
 import (
 	"encoding/json"
@@ -31,7 +33,7 @@ type BenchRow struct {
 	P50Us       float64            `json:"p50_us"`
 	P95Us       float64            `json:"p95_us"`
 	P99Us       float64            `json:"p99_us"`
-	AllocsPerOp float64            `json:"allocs_per_op"` // advisory, wall-side
+	AllocsPerOp float64            `json:"allocs_per_op"` // wall-side, ratcheted with 25% slack
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
@@ -112,11 +114,14 @@ func ReadBenchFile(path string) (*BenchDoc, error) {
 }
 
 // Regression thresholds for CompareBench: ops/s may not drop by more
-// than 10% and p99 latency may not grow by more than 20% relative to
-// the baseline.
+// than 10%, p99 latency may not grow by more than 20%, and allocs/op
+// may not grow by more than 25% relative to the baseline. The alloc
+// slack is the widest because the figure is wall-side: GC timing and
+// pool warmup vary run to run, while the virtual-time figures do not.
 const (
-	opsRegressionFrac = 0.10
-	p99RegressionFrac = 0.20
+	opsRegressionFrac    = 0.10
+	p99RegressionFrac    = 0.20
+	allocsRegressionFrac = 0.25
 )
 
 // CompareBench diffs cur against the base document and returns one
@@ -146,6 +151,11 @@ func CompareBench(base, cur *BenchDoc) []string {
 			fails = append(fails, fmt.Sprintf("%s: p99 regressed %.1fus -> %.1fus (+%.1f%%, limit %.0f%%)",
 				b.Name, b.P99Us, c.P99Us,
 				100*(c.P99Us/b.P99Us-1), 100*p99RegressionFrac))
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+allocsRegressionFrac) {
+			fails = append(fails, fmt.Sprintf("%s: allocs/op regressed %.2f -> %.2f (+%.1f%%, limit %.0f%%)",
+				b.Name, b.AllocsPerOp, c.AllocsPerOp,
+				100*(c.AllocsPerOp/b.AllocsPerOp-1), 100*allocsRegressionFrac))
 		}
 	}
 	return fails

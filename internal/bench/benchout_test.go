@@ -121,6 +121,30 @@ func TestCompareBenchRatchet(t *testing.T) {
 	if fails := CompareBench(zb, cur); len(fails) != 0 {
 		t.Fatalf("zero baseline still checked: %v", fails)
 	}
+
+	// Allocs/op up 50% (> the 25% limit): fail.
+	cur = sampleDoc()
+	cur.Rows[0].AllocsPerOp *= 1.5
+	fails = CompareBench(base, cur)
+	if len(fails) != 1 || !strings.Contains(fails[0], "fanin-16") ||
+		!strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("50%% allocs growth: %v", fails)
+	}
+
+	// Allocs/op up 10% (within the limit): pass.
+	cur = sampleDoc()
+	cur.Rows[0].AllocsPerOp *= 1.1
+	if fails := CompareBench(base, cur); len(fails) != 0 {
+		t.Fatalf("10%% allocs growth failed: %v", fails)
+	}
+
+	// Zero alloc baseline (fanin-64): a current row that now reports
+	// allocations is new coverage, not a regression.
+	cur = sampleDoc()
+	cur.Rows[1].AllocsPerOp = 40
+	if fails := CompareBench(base, cur); len(fails) != 0 {
+		t.Fatalf("zero alloc baseline still checked: %v", fails)
+	}
 }
 
 // TestRecorderZeroPerturbation: the flight recorder is pure observation

@@ -160,6 +160,16 @@ type Config struct {
 	// default. 50µs is a good value for fan-in runs: ~1% of AckDelay
 	// rounding error, and hundreds of conns share each bucket.
 	TimerWheelTick sim.Time
+	// RxBurst, when greater than 1, batches receive delivery: one
+	// protocol-thread wake drains up to RxBurst frames from the NIC
+	// rings and dispatches them back-to-back under a single summed CPU
+	// charge, instead of one scheduler event per frame. This amortizes
+	// event overhead under receive-heavy load at the cost of coarser
+	// interleaving between receive and transmit service, which perturbs
+	// schedules; 0 (or 1) keeps the frame-at-a-time NAPI loop, the
+	// pinned byte-identical behavior. Delivery semantics are unchanged
+	// either way (see TestRxBurstParity).
+	RxBurst int
 	// Reconnect enables the supervised recovery layer: instead of a
 	// terminal Failed state, peer death parks the connection in
 	// Reconnecting, an endpoint supervisor redials with capped

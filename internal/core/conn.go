@@ -61,7 +61,7 @@ type Conn struct {
 	txOps        []*txOp // FIFO: head is being fragmented
 	sndUna       uint32  // oldest unacknowledged sequence number
 	sndNxt       uint32  // next sequence number to assign
-	retrans      map[uint32]*txFrame
+	retrans      *seqRing[*txFrame]
 	retransQ     []uint32 // sequence numbers queued for retransmission
 	txFenced     []uint64 // sorted ids of forward-fenced ops not yet fully acked
 	rr           int      // round-robin link cursor
@@ -79,12 +79,15 @@ type Conn struct {
 	deadLinks  int        // count of true entries in linkDead
 	probeTimer *sim.Timer
 
-	// Receive side: ARQ.
+	// Receive side: ARQ. The per-seq state lives in window-sized rings
+	// (see seqring.go): accepted-but-unacked dedupe, gap timestamps and
+	// in-flight repair marks all have live spans bounded by the sender's
+	// window, so none of them may grow with connection lifetime.
 	rcvNxt       uint32 // cumulative acknowledgement point
-	rcvSeen      map[uint32]bool
+	rcvSeen      *seqRing[struct{}]
 	maxSeenPlus1 uint32 // 1 + highest sequence number accepted
-	missingSince map[uint32]sim.Time
-	nackedAt     map[uint32]sim.Time // last NACK per missing seq (repair in flight)
+	missingSince *seqRing[sim.Time]
+	nackedAt     *seqRing[sim.Time] // last NACK per missing seq (repair in flight)
 	lastNack     sim.Time
 	// linkHigh[l] is 1 + the highest data sequence number that arrived
 	// on link l (0 = nothing yet). Because each physical path preserves
@@ -103,10 +106,43 @@ type Conn struct {
 	nackTimer timer
 	ackDue    bool
 	nackDue   []uint32
+	// nackScratch is the reused NACK-payload encode buffer: sendCtrl
+	// used to allocate a fresh payload per NACK (frame.EncodeNackPayload),
+	// which under sustained loss was an allocation per repair round.
+	nackScratch []byte
+
+	// Long-lived timer callbacks, built once per conn so the hot timer
+	// re-arms (RTO on every transmit, delayed-ACK, NACK age, probe)
+	// schedule no per-arm closures; heap timers additionally reuse their
+	// Timer handle via sim.Env.Rearm (see Endpoint.rearmTimer).
+	onRTOFn   func()
+	ackFn     func()
+	nackFn    func()
+	probeFn   func()
+	cqFlushFn func() // drains cqStage behind an in-flight WaitCQ wake
+	rdGuardFn func() // checkReadLiveness, built once (method values allocate)
+
+	// Hot-path object recycling (DESIGN.md §13): per-frame and per-op
+	// records whose lifetimes end inside the protocol thread are kept on
+	// freelists instead of churning the heap. Fields are reset at reuse,
+	// never at free — failure paths (failConn) legitimately visit an op
+	// through both its window frames and the txOps queue, and the
+	// completed-flag guard must survive the first visit.
+	tfFree []*txFrame
+	rxFree []*rxOp
+
+	// Doorbell-path scratch (see RingOn/enqueueMulti): the batch
+	// snapshot-pointer slices and the MultiData sub-op encode slice are
+	// reused across rings, so a steady SQ loop allocates nothing beyond
+	// the per-op handles.
+	sqScratch  []Op
+	ringData   [][]byte
+	ringBufs   []*frame.Buf
+	subScratch []frame.SubOp
 
 	// Receive side: ordering and delivery.
 	applyNxt  uint32 // strict mode: next sequence number to apply
-	strictBuf map[uint32]heldFrame
+	strictBuf *seqRing[heldFrame]
 	rxOps     map[uint64]*rxOp
 	frontier  uint64   // all receive ops with id < frontier are complete
 	fenced    []uint64 // sorted ids of incomplete forward-fenced ops
@@ -139,12 +175,18 @@ type Conn struct {
 // txOp is an operation on the send side: the kernel-buffer snapshot of
 // its data plus fragmentation and acknowledgement progress.
 type txOp struct {
-	id        uint64
-	opType    frame.OpType
-	flags     frame.OpFlags
-	remote    uint64
-	local     uint64
-	data      []byte
+	id     uint64
+	opType frame.OpType
+	flags  frame.OpFlags
+	remote uint64
+	local  uint64
+	data   []byte
+	// dataBuf, when non-nil, is the pooled buffer backing data (small
+	// write/reply snapshots). It is owned by the txOp until the exactly-
+	// once release where completion or failure drops data; replay
+	// (reconnect.go) touches only incomplete ops, so the snapshot is
+	// still owned whenever retransmission needs it.
+	dataBuf   *frame.Buf
 	total     uint32
 	sent      uint32
 	sentAll   bool
@@ -240,6 +282,12 @@ type Handle struct {
 	op      Op   // the posted descriptor (SQ path only)
 	err     error
 	dlTimer *sim.Timer // Op.Deadline expiry (nil without a deadline)
+	// t is the operation's send-side record. The handle is user-held and
+	// so can never be pooled; embedding the txOp in it makes the two
+	// records one allocation — the single steady-state alloc per op —
+	// and sidesteps every reuse-aliasing hazard a txOp freelist would
+	// have (completed ops linger in txOps until curOp pops them).
+	t txOp
 }
 
 // Progress returns how many of the operation's bytes have been
@@ -276,22 +324,80 @@ func (h *Handle) OpID() uint64 { return h.opID }
 func (h *Handle) Err() error { return h.err }
 
 func newConn(ep *Endpoint, localID uint32, remoteNode, links int) *Conn {
-	return &Conn{
+	c := &Conn{
 		ep: ep, localID: localID, remoteNode: remoteNode, links: links,
 		rto:          ep.cfg.RTO, // adaptive mode starts from the paper's fixed value
-		retrans:      make(map[uint32]*txFrame),
+		retrans:      newSeqRing[*txFrame](ep.cfg.Window),
 		pendingReads: make(map[uint64]*Handle),
-		rcvSeen:      make(map[uint32]bool),
-		missingSince: make(map[uint32]sim.Time),
-		nackedAt:     make(map[uint32]sim.Time),
+		rcvSeen:      newSeqRing[struct{}](ep.cfg.Window),
+		missingSince: newSeqRing[sim.Time](ep.cfg.Window),
+		nackedAt:     newSeqRing[sim.Time](ep.cfg.Window),
 		linkHigh:     make([]uint32, links),
 		linkLast:     make([]sim.Time, links),
 		linkFails:    make([]int, links),
 		linkDead:     make([]bool, links),
 		linkDeadAt:   make([]sim.Time, links),
-		strictBuf:    make(map[uint32]heldFrame),
+		strictBuf:    newSeqRing[heldFrame](ep.cfg.Window),
 		rxOps:        make(map[uint64]*rxOp),
 	}
+	c.onRTOFn = c.onRTO
+	c.ackFn = func() {
+		if !c.closed && c.unackedRx > 0 {
+			c.ackDue = true
+			c.kick()
+		}
+	}
+	c.nackFn = func() {
+		if c.closed || c.missingSince.size() == 0 {
+			return
+		}
+		c.queueNack(true)
+		c.armNackTimer()
+	}
+	c.probeFn = func() {
+		if c.closed || c.deadLinks == 0 {
+			return
+		}
+		for li := 0; li < c.links; li++ {
+			if c.linkDead[li] {
+				c.sendProbe(li)
+			}
+		}
+	}
+	c.cqFlushFn = func() {
+		c.cqFlush = false
+		stage := c.cqStage
+		c.cqStage = nil
+		for _, s := range stage {
+			c.cq.Send(c.ep.env, s)
+		}
+		// Hand the drained backing array back for the next staging run
+		// (Send only schedules wakes, so nothing re-staged mid-loop).
+		if c.cqStage == nil {
+			c.cqStage = stage[:0]
+		}
+	}
+	return c
+}
+
+// newTxFrame pulls a transmit-frame record from the conn's freelist
+// (frames die in handleAck or failConn, strictly inside the protocol
+// thread, so recycling is race-free by construction).
+func (c *Conn) newTxFrame(op *txOp, seq, offset uint32) *txFrame {
+	if n := len(c.tfFree); n > 0 {
+		tf := c.tfFree[n-1]
+		c.tfFree = c.tfFree[:n-1]
+		*tf = txFrame{op: op, seq: seq, offset: offset}
+		return tf
+	}
+	return &txFrame{op: op, seq: seq, offset: offset}
+}
+
+// freeTxFrame recycles tf. Fields are reset at reuse, not here: the
+// caller may still be reading them (failConn frees mid-walk), and no
+// reuse can interleave before the protocol-thread step returns.
+func (c *Conn) freeTxFrame(tf *txFrame) {
+	c.tfFree = append(c.tfFree, tf)
 }
 
 // RemoteNode returns the peer's node id.
@@ -417,9 +523,16 @@ func (c *Conn) stopTimers() {
 	c.ackDue = false
 	c.nackDue = nil
 	// Gap-tracking state would re-arm the NACK machinery if any late
-	// frame slipped through; drop it with the timers.
-	c.missingSince = make(map[uint32]sim.Time)
-	c.nackedAt = make(map[uint32]sim.Time)
+	// frame slipped through; drop it with the timers. Dropping the
+	// in-flight repair timestamps (nackedAt) wholesale is intentional,
+	// not a leak of live repair state: stopTimers only runs on exits
+	// from the live state — local Close, peer close, failConn, and the
+	// reconnect rebirth — after which the old sequence space is dead
+	// (a rebirth starts a fresh epoch with fresh sequence numbers), so
+	// no timestamp keyed by an old seq can ever be consulted again.
+	// TestStopTimersDropsGapState pins this contract.
+	c.missingSince.clear()
+	c.nackedAt.clear()
 }
 
 func (c *Conn) stopCloseTimer() {
@@ -494,8 +607,18 @@ func (c *Conn) maxFramePayload() int {
 // is none, or if the head operation is stalled behind an unacknowledged
 // forward-fenced operation (sender side of §2.5's forward fence).
 func (c *Conn) curOp() *txOp {
-	for len(c.txOps) > 0 && c.txOps[0].sentAll {
-		c.txOps = c.txOps[1:]
+	if n := 0; len(c.txOps) > 0 && c.txOps[0].sentAll {
+		for n < len(c.txOps) && c.txOps[n].sentAll {
+			n++
+		}
+		// Compact down in place instead of re-slicing the head off:
+		// re-slicing walks the queue off its backing array, so a
+		// long-lived pipelined conn reallocates it on every op.
+		m := copy(c.txOps, c.txOps[n:])
+		for i := m; i < len(c.txOps); i++ {
+			c.txOps[i] = nil
+		}
+		c.txOps = c.txOps[:m]
 	}
 	if len(c.txOps) == 0 {
 		return nil
@@ -531,9 +654,11 @@ func (c *Conn) ctrlPending() bool {
 func (c *Conn) sendNextDataFrame() int {
 	for len(c.retransQ) > 0 {
 		seq := c.retransQ[0]
-		c.retransQ = c.retransQ[1:]
-		tf := c.retrans[seq]
-		if tf == nil {
+		// Copy-shift keeps the backing array; the queue is short (loss
+		// bursts), so the shift is cheaper than steady-state re-allocs.
+		c.retransQ = c.retransQ[:copy(c.retransQ, c.retransQ[1:])]
+		tf, ok := c.retrans.get(seq)
+		if !ok {
 			continue // acknowledged since it was queued
 		}
 		tf.inQ = false
@@ -548,7 +673,7 @@ func (c *Conn) sendNextDataFrame() int {
 	if rem := op.total - op.sent; rem < pay {
 		pay = rem
 	}
-	tf := &txFrame{op: op, seq: c.sndNxt, offset: op.sent}
+	tf := c.newTxFrame(op, c.sndNxt, op.sent)
 	if op.opType == frame.OpRead {
 		// A read request is a single header-only frame describing the
 		// whole transfer; the data flows back as a ReadReply operation.
@@ -562,7 +687,7 @@ func (c *Conn) sendNextDataFrame() int {
 		op.sentAll = true
 	}
 	op.unacked++
-	c.retrans[tf.seq] = tf
+	c.retrans.put(tf.seq, tf)
 	c.ep.Stats.DataFramesSent++
 	c.ep.Stats.DataBytesSent += uint64(len(tf.payload))
 	c.transmit(tf, false)
@@ -700,8 +825,14 @@ func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
 	h.Incarnation = c.incarnation
 	nic := c.ep.nics[li]
 	dst := frame.NewAddr(c.remoteNode, li)
-	buf := frame.MustEncode(dst, nic.Addr(), h, payload)
-	nic.Transmit(&phys.Frame{Buf: buf, Dst: dst, Src: nic.Addr()})
+	// Encode into a pooled wire buffer: the frame owns it from here and
+	// exactly one death point — NIC/port drop, corruption replacement,
+	// or receiver dispatch — releases it (see phys.Frame.Release).
+	// Retransmissions re-encode from tf.payload into a fresh buffer, so
+	// the in-flight copy is never aliased by sender-side state.
+	pb := frame.GetBuf()
+	buf := frame.MustEncodeInto(pb.Bytes(), dst, nic.Addr(), h, payload)
+	nic.Transmit(phys.NewPooledFrame(pb, buf, dst, nic.Addr()))
 	c.lastTx = c.ep.env.Now()
 	if h.HasAck {
 		c.unackedRx = 0
@@ -717,7 +848,12 @@ func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
 func (c *Conn) sendCtrl() {
 	if len(c.nackDue) > 0 {
 		h := frame.Header{Type: frame.TypeNack, ConnID: c.remoteID, Ack: c.rcvNxt, HasAck: true}
-		pl := frame.EncodeNackPayload(c.nackDue)
+		// Encode into the conn's scratch buffer: a fresh payload slice
+		// per NACK was an allocation on every repair round. An empty
+		// missing list never reaches here (the branch requires entries),
+		// so no header-only NACK frame is ever emitted.
+		c.nackScratch = frame.AppendNackPayload(c.nackScratch[:0], c.nackDue)
+		pl := c.nackScratch
 		c.nackDue = nil
 		c.ep.Stats.CtrlNacksSent++
 		c.ep.trc(c.localID, trace.TxNack, c.rcvNxt, len(pl))
@@ -738,8 +874,8 @@ func (c *Conn) sendCtrl() {
 // detection. cause records why the repair was scheduled (NACK vs RTO)
 // in the operation's span.
 func (c *Conn) queueRetrans(seq uint32, cause obs.EventKind) {
-	tf := c.retrans[seq]
-	if tf == nil || tf.inQ {
+	tf, ok := c.retrans.get(seq)
+	if !ok || tf.inQ {
 		return
 	}
 	tf.inQ = true
@@ -800,16 +936,7 @@ func (c *Conn) armProbeTimer() {
 	if c.closed || (c.probeTimer != nil && c.probeTimer.Pending()) {
 		return
 	}
-	c.probeTimer = c.ep.env.After(c.ep.cfg.LinkProbeInterval, func() {
-		if c.closed || c.deadLinks == 0 {
-			return
-		}
-		for li := 0; li < c.links; li++ {
-			if c.linkDead[li] {
-				c.sendProbe(li)
-			}
-		}
-	})
+	c.probeTimer = c.ep.env.Rearm(c.probeTimer, c.ep.cfg.LinkProbeInterval, c.probeFn)
 }
 
 // sendProbe transmits a fresh zero-size write frame whose FIRST copy is
@@ -824,9 +951,10 @@ func (c *Conn) armProbeTimer() {
 func (c *Conn) sendProbe(li int) {
 	op := &txOp{id: c.nextOpID, opType: frame.OpWrite, sentAll: true, unacked: 1, probe: true}
 	c.nextOpID++
-	tf := &txFrame{op: op, seq: c.sndNxt, link: li}
+	tf := c.newTxFrame(op, c.sndNxt, 0)
+	tf.link = li
 	c.sndNxt++
-	c.retrans[tf.seq] = tf
+	c.retrans.put(tf.seq, tf)
 	c.ep.Stats.DataFramesSent++
 	c.transmit(tf, false)
 }
@@ -909,7 +1037,7 @@ func (c *Conn) armRTO() {
 			}
 		}
 	}
-	c.rtoTimer = c.ep.afterTimer(d, c.onRTO)
+	c.rtoTimer = c.ep.rearmTimer(c.rtoTimer, d, c.onRTOFn)
 }
 
 func (c *Conn) onRTO() {
@@ -942,7 +1070,7 @@ func (c *Conn) onRTO() {
 		// The paper's rule: retransmit the last transmitted frame; the
 		// receiver then sees the gap and NACKs anything else missing.
 		seq := c.sndNxt - 1
-		if c.retrans[seq] == nil {
+		if !c.retrans.has(seq) {
 			seq = c.sndUna
 		}
 		c.queueRetrans(seq, obs.EvRtoRepair)
@@ -961,11 +1089,15 @@ func (c *Conn) handleAck(ack uint32) {
 	if int32(ack-c.sndNxt) > 0 {
 		ack = c.sndNxt // defensive: never ack beyond what was sent
 	}
-	var newest *txFrame // newest never-retransmitted acked frame (Karn)
+	// Newest never-retransmitted acked frame (Karn). The timestamp is
+	// copied out rather than holding the frame: each tf is recycled the
+	// moment its op bookkeeping is done.
+	var newestAt sim.Time
+	haveNewest := false
 	for s := c.sndUna; s != ack; s++ {
-		tf := c.retrans[s]
-		delete(c.retrans, s)
-		if tf != nil {
+		tf, ok := c.retrans.get(s)
+		c.retrans.del(s)
+		if ok {
 			c.bytesAcked += uint64(len(tf.payload))
 			tf.op.unacked--
 			if tf.op.h != nil && tf.op.opType == frame.OpWrite {
@@ -975,17 +1107,19 @@ func (c *Conn) handleAck(ack uint32) {
 				sp.Event(c.ep.env.Now(), obs.EvAck, c.ep.node, tf.link, s, len(tf.payload))
 			})
 			c.clearLinkFault(tf.link, tf.txAt)
-			if !tf.retx && (newest == nil || tf.txAt > newest.txAt) {
-				newest = tf
+			if !tf.retx && (!haveNewest || tf.txAt > newestAt) {
+				newestAt, haveNewest = tf.txAt, true
 			}
-			c.checkTxOpDone(tf.op)
+			op := tf.op
+			c.freeTxFrame(tf)
+			c.checkTxOpDone(op)
 		}
 	}
 	c.sndUna = ack
 	c.expiries = 0
 	c.lastProgress = c.ep.env.Now()
-	if newest != nil {
-		c.updateRTT(c.ep.env.Now() - newest.txAt)
+	if haveNewest {
+		c.updateRTT(c.ep.env.Now() - newestAt)
 	}
 	if c.inflight() > 0 {
 		c.armRTO()
@@ -1013,6 +1147,10 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 	}
 	op.completed = true
 	op.data = nil
+	if op.dataBuf != nil {
+		frame.PutBuf(op.dataBuf)
+		op.dataBuf = nil
+	}
 	c.qosRelease(op)
 	if op.probe {
 		return // internal probe: no user-visible completion
@@ -1059,7 +1197,7 @@ func (c *Conn) checkTxOpDone(op *txOp) {
 		// Waking the user process costs CPU only if someone is blocked
 		// on the handle; a poll-later handle just flips state.
 		if h.done.HasWaiters() {
-			c.ep.cpus.Proto.Submit(c.ep.env, c.ep.costs.UserWake, func() { h.done.Fire(c.ep.env) })
+			c.ep.cpus.Proto.SubmitArg(c.ep.env, c.ep.costs.UserWake, c.ep.fireSigFn, &h.done)
 		} else {
 			h.done.Fire(c.ep.env)
 		}
@@ -1086,7 +1224,7 @@ func (c *Conn) finishHandle(h *Handle, err error) {
 	h.err = err
 	ep := c.ep
 	if h.done.HasWaiters() {
-		ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { h.done.Fire(ep.env) })
+		ep.cpus.Proto.SubmitArg(ep.env, ep.costs.UserWake, ep.fireSigFn, &h.done)
 	} else {
 		h.done.Fire(ep.env)
 	}
@@ -1104,6 +1242,10 @@ func (c *Conn) failTxOp(t *txOp, cause error) {
 	}
 	t.completed = true
 	t.data = nil
+	if t.dataBuf != nil {
+		frame.PutBuf(t.dataBuf)
+		t.dataBuf = nil
+	}
 	c.qosRelease(t)
 	if t.probe {
 		return // internal probe: no user-visible completion
@@ -1186,10 +1328,13 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 	if sendReset && c.established.Fired() {
 		c.sendResetFrames()
 	}
-	// Outstanding window frames, then queued operations.
+	// Outstanding window frames, then queued operations. Each frame
+	// record is recycled after its op is failed (the op-level completed
+	// guard makes the second visit through txOps a no-op).
 	for s := c.sndUna; s != c.sndNxt; s++ {
-		if tf := c.retrans[s]; tf != nil {
+		if tf, ok := c.retrans.get(s); ok {
 			c.failTxOp(tf.op, cause)
+			c.freeTxFrame(tf)
 		}
 	}
 	for _, t := range c.txOps {
@@ -1224,7 +1369,7 @@ func (c *Conn) failConn(cause error, sendReset bool) {
 		c.sq = nil
 		ep.noteSQDepth(-n)
 	}
-	c.retrans = make(map[uint32]*txFrame)
+	c.retrans.clear()
 	c.retransQ = nil
 	c.txOps = nil
 	c.txFenced = nil
@@ -1304,7 +1449,10 @@ func (c *Conn) armReadGuard() {
 	if c.closed || c.ep.cfg.DeadInterval <= 0 || (c.readGuard != nil && c.readGuard.Pending()) {
 		return
 	}
-	c.readGuard = c.ep.afterDaemonTimer(c.ep.cfg.DeadInterval, c.checkReadLiveness)
+	if c.rdGuardFn == nil {
+		c.rdGuardFn = c.checkReadLiveness
+	}
+	c.readGuard = c.ep.rearmDaemonTimer(c.readGuard, c.ep.cfg.DeadInterval, c.rdGuardFn)
 }
 
 func (c *Conn) checkReadLiveness() {
@@ -1318,7 +1466,7 @@ func (c *Conn) checkReadLiveness() {
 			c.remoteNode, silent, ErrPeerDead), true)
 		return
 	}
-	c.readGuard = c.ep.afterDaemonTimer(c.lastHeard+di-now, c.checkReadLiveness)
+	c.readGuard = c.ep.rearmDaemonTimer(c.readGuard, c.lastHeard+di-now, c.rdGuardFn)
 }
 
 // ---------------------------------------------------------------------
@@ -1357,7 +1505,7 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 		return
 	}
 	// Selective repeat.
-	if int32(seq-c.rcvNxt) < 0 || c.rcvSeen[seq] {
+	if int32(seq-c.rcvNxt) < 0 || c.rcvSeen.has(seq) {
 		ep.Stats.Duplicates++
 		if len(payload) > 0 {
 			// The payload was applied when the first copy arrived; this
@@ -1367,15 +1515,15 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 		ep.trc(c.localID, trace.RxDuplicate, seq, len(payload))
 		// The sender is resending: our ACKs — and possibly our NACKs —
 		// were lost. Re-advertise both promptly so repair converges.
-		if len(c.missingSince) > 0 {
+		if c.missingSince.size() > 0 {
 			c.queueNack(true)
 		}
 		c.forceAck()
 		return
 	}
-	c.rcvSeen[seq] = true
-	delete(c.missingSince, seq)
-	delete(c.nackedAt, seq)
+	c.rcvSeen.put(seq, struct{}{})
+	c.missingSince.del(seq)
+	c.nackedAt.del(seq)
 	ep.Stats.Arrivals++
 	if int32(c.maxSeenPlus1-seq) > 0 {
 		ep.Stats.OOOArrivals++
@@ -1384,14 +1532,18 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 		// In-order extension: any sequence numbers it skips over become
 		// missing as of now (bounded by the tracked-gap cap).
 		for s := c.maxSeenPlus1; s != seq; s++ {
-			if !c.rcvSeen[s] && int32(s-c.rcvNxt) >= 0 {
+			if !c.rcvSeen.has(s) && int32(s-c.rcvNxt) >= 0 {
 				c.trackGap(s, ep.env.Now())
 			}
 		}
 		c.maxSeenPlus1 = seq + 1
 	}
-	for c.rcvSeen[c.rcvNxt] {
-		delete(c.rcvSeen, c.rcvNxt)
+	// Advance the cumulative point, pruning the dedupe entries it passes:
+	// everything below rcvNxt is rejected by the stale check above, so
+	// the seen-set's live span stays within the window by construction
+	// (TestRcvSeenBounded drives a million lossy frames through this).
+	for c.rcvSeen.has(c.rcvNxt) {
+		c.rcvSeen.del(c.rcvNxt)
 		c.rcvNxt++
 	}
 	// Gap / NACK logic (§2.4: negative acknowledgements report lost or
@@ -1399,7 +1551,7 @@ func (c *Conn) handleData(h frame.Header, payload []byte, link int) {
 	// microseconds as a matter of course, so a sequence number is only
 	// NACKed once it has been missing for a loss-scale age; younger
 	// gaps are reordering, not loss.
-	if len(c.missingSince) > 0 {
+	if c.missingSince.size() > 0 {
 		c.queueNack(false)
 		c.armNackTimer()
 	} else if c.nackTimer != nil {
@@ -1431,12 +1583,12 @@ const (
 // trackGap records sequence number s as missing since now, subject to
 // the maxTrackedGaps cap.
 func (c *Conn) trackGap(s uint32, now sim.Time) {
-	if len(c.missingSince) >= maxTrackedGaps {
+	if c.missingSince.size() >= maxTrackedGaps {
 		c.ep.Stats.NackGapsDropped++
-		c.ep.recEvent(c.localID, obs.RecNackDrop, int64(s), int64(len(c.missingSince)))
+		c.ep.recEvent(c.localID, obs.RecNackDrop, int64(s), int64(c.missingSince.size()))
 		return
 	}
-	c.missingSince[s] = now
+	c.missingSince.put(s, now)
 }
 
 // mergeNacks merges two ascending missing-sequence lists into one
@@ -1477,13 +1629,7 @@ func (c *Conn) armNackTimer() {
 	if c.closed || (c.nackTimer != nil && c.nackTimer.Pending()) {
 		return
 	}
-	c.nackTimer = c.ep.afterTimer(c.ep.cfg.NackDelay, func() {
-		if c.closed || len(c.missingSince) == 0 {
-			return
-		}
-		c.queueNack(true)
-		c.armNackTimer()
-	})
+	c.nackTimer = c.ep.rearmTimer(c.nackTimer, c.ep.cfg.NackDelay, c.nackFn)
 }
 
 // queueNack schedules an explicit NACK for sequence numbers that have
@@ -1504,10 +1650,10 @@ func (c *Conn) queueNack(force bool) {
 	}
 	var missing []uint32
 	for s := c.rcvNxt; int32(c.maxSeenPlus1-s) > 0 && len(missing) < maxNack; s++ {
-		if c.rcvSeen[s] {
+		if c.rcvSeen.has(s) {
 			continue
 		}
-		since, ok := c.missingSince[s]
+		since, ok := c.missingSince.get(s)
 		if !ok {
 			c.trackGap(s, now)
 			continue
@@ -1517,7 +1663,7 @@ func (c *Conn) queueNack(force bool) {
 		}
 		// Don't re-request a sequence number whose repair should still
 		// be in flight (one NACK per round trip, roughly).
-		if at, ok := c.nackedAt[s]; ok && now-at < 4*c.nackAge() {
+		if at, ok := c.nackedAt.get(s); ok && now-at < 4*c.nackAge() {
 			continue
 		}
 		// Per-link FIFO: s can only be lost once every physical path
@@ -1540,7 +1686,7 @@ func (c *Conn) queueNack(force bool) {
 		}
 		if passed {
 			missing = append(missing, s)
-			c.nackedAt[s] = now
+			c.nackedAt.put(s, now)
 		}
 	}
 	if len(missing) > 0 {
@@ -1563,12 +1709,7 @@ func (c *Conn) ackPolicy() {
 		return
 	}
 	if c.ackTimer == nil || !c.ackTimer.Pending() {
-		c.ackTimer = c.ep.afterTimer(c.ep.cfg.AckDelay, func() {
-			if !c.closed && c.unackedRx > 0 {
-				c.ackDue = true
-				c.kick()
-			}
-		})
+		c.ackTimer = c.ep.rearmTimer(c.ackTimer, c.ep.cfg.AckDelay, c.ackFn)
 	}
 }
 
@@ -1599,21 +1740,21 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 			c.applyFrame(h, payload)
 			c.applyNxt++
 			for {
-				hf, ok := c.strictBuf[c.applyNxt]
+				hf, ok := c.strictBuf.get(c.applyNxt)
 				if !ok {
 					break
 				}
-				delete(c.strictBuf, c.applyNxt)
+				c.strictBuf.del(c.applyNxt)
 				c.noteUnheld(hf.heldAt)
 				c.applyFrame(hf.h, hf.payload)
 				c.applyNxt++
 			}
 		} else {
-			c.strictBuf[h.Seq] = heldFrame{h: h, payload: payload, heldAt: ep.env.Now()}
+			c.strictBuf.put(h.Seq, heldFrame{h: h, payload: heldCopy(payload), heldAt: ep.env.Now()})
 			ep.Stats.HeldFrames++
 			ep.trc(c.localID, trace.RxHeld, h.Seq, len(payload))
 			c.noteHold(h, payload)
-			if n := len(c.strictBuf); n > ep.Stats.HoldMax {
+			if n := c.strictBuf.size(); n > ep.Stats.HoldMax {
 				ep.Stats.HoldMax = n
 			}
 		}
@@ -1628,7 +1769,7 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 			if c.canApply(op) {
 				c.applyFrame(sh.h, sh.payload)
 			} else {
-				c.held = append(c.held, heldFrame{h: sh.h, payload: sh.payload, heldAt: ep.env.Now()})
+				c.held = append(c.held, heldFrame{h: sh.h, payload: heldCopy(sh.payload), heldAt: ep.env.Now()})
 				ep.Stats.HeldFrames++
 				ep.trc(c.localID, trace.RxHeld, sh.h.Seq, len(sh.payload))
 				c.noteHold(sh.h, sh.payload)
@@ -1645,7 +1786,7 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 		c.applyFrame(h, payload)
 		c.drainHeld()
 	} else {
-		c.held = append(c.held, heldFrame{h: h, payload: payload, heldAt: ep.env.Now()})
+		c.held = append(c.held, heldFrame{h: h, payload: heldCopy(payload), heldAt: ep.env.Now()})
 		ep.Stats.HeldFrames++
 		ep.trc(c.localID, trace.RxHeld, h.Seq, len(payload))
 		c.noteHold(h, payload)
@@ -1653,6 +1794,17 @@ func (c *Conn) acceptData(h frame.Header, payload []byte) {
 			ep.Stats.HoldMax = n
 		}
 	}
+}
+
+// heldCopy snapshots a payload that outlives frame dispatch: held and
+// strict-buffered frames are retained after the arrival frame's pooled
+// wire buffer is released back to the pool (see Endpoint dispatch), so
+// they must own their bytes. Immediate applies stay copy-free.
+func heldCopy(payload []byte) []byte {
+	if len(payload) == 0 {
+		return nil
+	}
+	return append([]byte(nil), payload...)
 }
 
 // fanoutMulti decodes a MultiData frame into per-sub-op synthetic Data
@@ -1699,7 +1851,13 @@ func (c *Conn) noteUnheld(heldAt sim.Time) {
 func (c *Conn) getRxOp(h frame.Header) *rxOp {
 	op, ok := c.rxOps[h.OpID]
 	if !ok {
-		op = &rxOp{
+		if n := len(c.rxFree); n > 0 {
+			op = c.rxFree[n-1]
+			c.rxFree = c.rxFree[:n-1]
+		} else {
+			op = &rxOp{}
+		}
+		*op = rxOp{
 			id: h.OpID, opType: h.OpType, flags: h.OpFlags,
 			total: h.Total, remote: h.Remote, local: h.Local,
 		}
@@ -1837,6 +1995,11 @@ func (c *Conn) completeRxOp(op *rxOp) {
 	if op.isFenced {
 		c.removeFenced(op.id)
 	}
+	// Frontier-collected records are recycled. op itself may be among
+	// them but is still read below, so its own recycle is deferred to
+	// the end of the function (nothing can pull from the freelist in
+	// between — getRxOp only runs on a later dispatch).
+	collected := false
 	for {
 		f, ok := c.rxOps[c.frontier]
 		if !ok || !f.complete {
@@ -1844,6 +2007,11 @@ func (c *Conn) completeRxOp(op *rxOp) {
 		}
 		delete(c.rxOps, c.frontier)
 		c.frontier++
+		if f == op {
+			collected = true
+		} else {
+			c.rxFree = append(c.rxFree, f)
+		}
 	}
 	if op.flags&frame.Solicit != 0 {
 		// Solicited acknowledgement: bypass the delayed-ACK policy so
@@ -1875,7 +2043,7 @@ func (c *Conn) completeRxOp(op *rxOp) {
 				h.dlTimer.Stop()
 			}
 			if h.done.HasWaiters() {
-				ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() { h.done.Fire(ep.env) })
+				ep.cpus.Proto.SubmitArg(ep.env, ep.costs.UserWake, ep.fireSigFn, &h.done)
 			} else {
 				h.done.Fire(ep.env)
 			}
@@ -1883,6 +2051,9 @@ func (c *Conn) completeRxOp(op *rxOp) {
 				h.c.pushCompletion(Completion{OpID: h.opID, Op: h.op})
 			}
 		}
+	}
+	if collected {
+		c.rxFree = append(c.rxFree, op)
 	}
 }
 
@@ -1897,10 +2068,21 @@ func (c *Conn) serveRead(h frame.Header) {
 		panic(fmt.Sprintf("core: node %d read source [%d,%d) outside memory", ep.node, h.Remote, end))
 	}
 	ep.Stats.ReadsServed++
+	// Small reply snapshots ride a pooled buffer (released with the
+	// reply txOp's data at completion); larger ones fall back to the
+	// heap.
+	var data []byte
+	var dataBuf *frame.Buf
+	if h.Total > 0 && h.Total <= frame.BufCap {
+		dataBuf = frame.GetBuf()
+		data = append(dataBuf.Bytes()[:0], ep.mem[h.Remote:end]...)
+	} else {
+		data = append([]byte(nil), ep.mem[h.Remote:end]...)
+	}
 	t := &txOp{
 		id: c.nextOpID, opType: frame.OpReadReply,
 		remote: h.Local, local: h.OpID,
-		data:  append([]byte(nil), ep.mem[h.Remote:end]...),
+		data: data, dataBuf: dataBuf,
 		total: h.Total,
 	}
 	// The reply txOp continues the requester's read span: its frame

@@ -38,13 +38,31 @@ type Endpoint struct {
 	txRR         int // round-robin cursor over connections for send work
 	rxPrefer     int // NIC to poll first (the one that interrupted, NAPI-style)
 
+	// Hot-path scheduling plumbing: the protocol thread's continuations
+	// are built once here and passed by reference, so steady-state frame
+	// work schedules no per-event closures (see SchedAtArg/SubmitArg).
+	// rxJobFree recycles the per-frame dispatch records.
+	threadStepFn func()
+	ctrlStepFn   func(any) // arg *Conn: ACK/NACK service (SchedQueue + QoS)
+	sendStepFn   func(any) // arg *Conn: data service (SchedQueue)
+	qosSendFn    func(any) // arg *Conn: data service charged to qosDispatchCls
+	legacyCtrlFn func(any) // arg *Conn: legacy scan ctrl service
+	legacySendFn func(any) // arg *Conn: legacy scan data service
+	dispatchFn   func(any) // arg *rxJob: decoded-frame dispatch
+	fireSigFn    func(any) // arg *sim.Signal: user wake (handle/CQ completion)
+	burstFn      func()    // drains rxBurst: batched dispatch (Config.RxBurst)
+	rxJobFree    []*rxJob
+	rxBurst      []*rxJob // frames polled this burst, awaiting dispatch
+
+	qosDispatchCls int // class of the in-flight qosSendFn dispatch
+
 	// Connection scheduler (Config.SchedQueue): FIFO queues of
 	// connections with pending control or data work. A connection sits
 	// in each queue at most once (inCtrlQ/inSendQ); entries are
 	// re-validated on pop, so a conn whose work evaporated (acked,
 	// closed) costs one skip instead of an O(conns) rescan.
-	ctrlQ []*Conn
-	sendQ []*Conn
+	ctrlQ connFIFO
+	sendQ connFIFO
 
 	// Multi-tenant QoS (Config.QoS): per-class scheduler and quota
 	// state, plus the DWFQ cursors (see qos.go). nil when the layer is
@@ -85,6 +103,29 @@ type memRegion struct {
 	size int
 }
 
+// rxJob carries one decoded frame from the protocol-CPU charge to its
+// dispatch. Records are recycled through Endpoint.rxJobFree so the
+// steady-state receive path allocates nothing; the frame (and therefore
+// the payload, which aliases fr.Buf) is released by dispatchFn after
+// dispatchFrame returns, so any code that buffers a payload past
+// dispatch must copy it first (see the hold paths in conn.go).
+type rxJob struct {
+	fr      *phys.Frame
+	src     frame.Addr
+	h       frame.Header
+	payload []byte
+	link    int
+}
+
+func (ep *Endpoint) getRxJob() *rxJob {
+	if n := len(ep.rxJobFree); n > 0 {
+		j := ep.rxJobFree[n-1]
+		ep.rxJobFree = ep.rxJobFree[:n-1]
+		return j
+	}
+	return &rxJob{}
+}
+
 type peerKey struct {
 	node   int
 	connID uint32
@@ -103,6 +144,59 @@ func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus
 		byPeer:     make(map[peerKey]*Conn),
 		nextConnID: 1,
 		acceptAll:  true,
+	}
+	ep.threadStepFn = ep.threadStep
+	ep.ctrlStepFn = func(x any) {
+		c := x.(*Conn)
+		c.sendCtrl()
+		ep.kickConn(c)
+		ep.threadStep()
+	}
+	ep.sendStepFn = func(x any) {
+		c := x.(*Conn)
+		c.sendNextDataFrame()
+		ep.kickConn(c)
+		ep.threadStep()
+	}
+	ep.qosSendFn = func(x any) {
+		c := x.(*Conn)
+		n := c.sendNextDataFrame()
+		ep.qosChargeSend(ep.qosDispatchCls, n)
+		ep.kickConn(c)
+		ep.threadStep()
+	}
+	ep.legacyCtrlFn = func(x any) {
+		x.(*Conn).sendCtrl()
+		ep.threadStep()
+	}
+	ep.legacySendFn = func(x any) {
+		x.(*Conn).sendNextDataFrame()
+		ep.threadStep()
+	}
+	ep.dispatchFn = func(x any) {
+		j := x.(*rxJob)
+		fr, src, h, payload, link := j.fr, j.src, j.h, j.payload, j.link
+		*j = rxJob{}
+		ep.rxJobFree = append(ep.rxJobFree, j)
+		ep.dispatchFrame(src, h, payload, link)
+		fr.Release()
+		ep.threadStep()
+	}
+	ep.fireSigFn = func(x any) { x.(*sim.Signal).Fire(ep.env) }
+	ep.burstFn = func() {
+		jobs := ep.rxBurst
+		for k, j := range jobs {
+			fr, src, h, payload, link := j.fr, j.src, j.h, j.payload, j.link
+			*j = rxJob{}
+			ep.rxJobFree = append(ep.rxJobFree, j)
+			jobs[k] = nil
+			ep.dispatchFrame(src, h, payload, link)
+			fr.Release()
+		}
+		// Reset before re-entering the loop: threadStep may start the
+		// next burst, which refills the same backing array.
+		ep.rxBurst = jobs[:0]
+		ep.threadStep()
 	}
 	if cfg.TimerWheelTick > 0 {
 		ep.wheel = sim.NewWheel(env, cfg.TimerWheelTick)
@@ -164,6 +258,19 @@ func (ep *Endpoint) afterTimer(d sim.Time, fn func()) timer {
 	return ep.env.After(d, fn)
 }
 
+// rearmTimer is afterTimer for periodically re-armed protocol timers:
+// on the heap backing it re-points the existing Timer handle in place
+// (sim.Env.Rearm) instead of allocating a fresh one per arm — the RTO
+// timer re-arms on every transmit, so this is a per-frame allocation.
+// The wheel backing already recycles its entries.
+func (ep *Endpoint) rearmTimer(t timer, d sim.Time, fn func()) timer {
+	if ep.wheel != nil {
+		return ep.wheel.After(d, fn)
+	}
+	st, _ := t.(*sim.Timer)
+	return ep.env.Rearm(st, d, fn)
+}
+
 // afterDaemonTimer is afterTimer with daemon semantics: the timer never
 // keeps a drained simulation alive (heartbeats, liveness guards).
 func (ep *Endpoint) afterDaemonTimer(d sim.Time, fn func()) timer {
@@ -171,6 +278,17 @@ func (ep *Endpoint) afterDaemonTimer(d sim.Time, fn func()) timer {
 		return ep.wheel.AfterDaemon(d, fn)
 	}
 	return ep.env.AfterDaemon(d, fn)
+}
+
+// rearmDaemonTimer is afterDaemonTimer for re-armed daemon timers (the
+// read-reply liveness guard arms per read): on the heap backing it
+// re-points the existing Timer handle in place, like rearmTimer.
+func (ep *Endpoint) rearmDaemonTimer(t timer, d sim.Time, fn func()) timer {
+	if ep.wheel != nil {
+		return ep.wheel.AfterDaemon(d, fn)
+	}
+	st, _ := t.(*sim.Timer)
+	return ep.env.RearmDaemon(st, d, fn)
 }
 
 // kickConn notes that c may have gained control or data work and makes
@@ -187,13 +305,13 @@ func (ep *Endpoint) kickConn(c *Conn) {
 	if ep.cfg.SchedQueue {
 		if !c.inCtrlQ && c.ctrlPending() {
 			c.inCtrlQ = true
-			ep.ctrlQ = append(ep.ctrlQ, c)
-			ep.recEvent(c.localID, obs.RecSched, 0, int64(len(ep.ctrlQ)))
+			ep.ctrlQ.push(c)
+			ep.recEvent(c.localID, obs.RecSched, 0, int64(ep.ctrlQ.size()))
 		}
 		if !c.inSendQ && c.sendable() {
 			c.inSendQ = true
-			ep.sendQ = append(ep.sendQ, c)
-			ep.recEvent(c.localID, obs.RecSched, 1, int64(len(ep.sendQ)))
+			ep.sendQ.push(c)
+			ep.recEvent(c.localID, obs.RecSched, 1, int64(ep.sendQ.size()))
 		}
 	}
 	ep.wakeThread()
@@ -202,30 +320,30 @@ func (ep *Endpoint) kickConn(c *Conn) {
 // popCtrl returns the next connection with a pending explicit ACK/NACK,
 // discarding entries whose work evaporated since they were queued.
 func (ep *Endpoint) popCtrl() *Conn {
-	for len(ep.ctrlQ) > 0 {
-		c := ep.ctrlQ[0]
-		ep.ctrlQ = ep.ctrlQ[1:]
+	for {
+		c := ep.ctrlQ.pop()
+		if c == nil {
+			return nil
+		}
 		c.inCtrlQ = false
 		if c.ctrlPending() {
 			return c
 		}
 	}
-	ep.ctrlQ = nil // release the drained backing array
-	return nil
 }
 
 // popSend returns the next connection with transmittable data work.
 func (ep *Endpoint) popSend() *Conn {
-	for len(ep.sendQ) > 0 {
-		c := ep.sendQ[0]
-		ep.sendQ = ep.sendQ[1:]
+	for {
+		c := ep.sendQ.pop()
+		if c == nil {
+			return nil
+		}
 		c.inSendQ = false
 		if c.sendable() {
 			return c
 		}
 	}
-	ep.sendQ = nil
-	return nil
 }
 
 // removeConn unlinks a torn-down connection from the endpoint: demux
@@ -308,7 +426,7 @@ func (ep *Endpoint) SetObs(r *obs.Registry) {
 			emit(obs.Sample{Name: name, Labels: []obs.Label{nl}, Value: v, Type: obs.TypeGauge})
 		}
 		g("core_active_conns", float64(ep.conns.len()))
-		g("core_sched_queue_depth", float64(len(ep.ctrlQ)+len(ep.sendQ)+ep.qosSchedDepth()))
+		g("core_sched_queue_depth", float64(ep.ctrlQ.size()+ep.sendQ.size()+ep.qosSchedDepth()))
 		g("core_timer_wheel_entries", float64(ep.wheel.Len()))
 	})
 	if ep.qosOn() {
@@ -443,7 +561,7 @@ func (ep *Endpoint) wakeThread() {
 		// The NIC engine polls; no kernel-thread wakeup is paid.
 		wake = 100 * sim.Nanosecond
 	}
-	ep.protoRes().Submit(ep.env, ep.protoCost(wake), ep.threadStep)
+	ep.protoRes().Submit(ep.env, ep.protoCost(wake), ep.threadStepFn)
 }
 
 // threadStep performs one unit of protocol work and reschedules itself
@@ -455,17 +573,24 @@ func (ep *Endpoint) threadStep() {
 		txDone += n.TakeTxDone()
 	}
 	if txDone > 0 {
-		ep.protoRes().Submit(ep.env, ep.protoCost(sim.Time(txDone)*ep.costs.TxDone), ep.threadStep)
+		ep.protoRes().Submit(ep.env, ep.protoCost(sim.Time(txDone)*ep.costs.TxDone), ep.threadStepFn)
 		return
 	}
-	// 2. Receive one frame, starting with the NIC that interrupted and
-	// sticking with it until its ring drains (NAPI-style batching).
-	for i := 0; i < len(ep.nics); i++ {
-		idx := (ep.rxPrefer + i) % len(ep.nics)
-		if fr := ep.nics[idx].PollRxOne(); fr != nil {
-			ep.rxPrefer = idx
-			ep.processRxFrame(fr, idx)
+	// 2. Receive, starting with the NIC that interrupted and sticking
+	// with it until its ring drains (NAPI-style batching). Config.RxBurst
+	// additionally batches several frames under one scheduler wake.
+	if ep.cfg.RxBurst > 1 {
+		if ep.pollRxBurst() {
 			return
+		}
+	} else {
+		for i := 0; i < len(ep.nics); i++ {
+			idx := (ep.rxPrefer + i) % len(ep.nics)
+			if fr := ep.nics[idx].PollRxOne(); fr != nil {
+				ep.rxPrefer = idx
+				ep.processRxFrame(fr, idx)
+				return
+			}
 		}
 	}
 	// 3+4. Send pending control frames (ACK/NACK), then one data frame
@@ -479,11 +604,7 @@ func (ep *Endpoint) threadStep() {
 		// queues, with each transmitted data frame charged back to the
 		// class it was served for (deficit and token bucket).
 		if c := ep.qosPopCtrl(); c != nil {
-			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
-				c.sendCtrl()
-				ep.kickConn(c)
-				ep.threadStep()
-			})
+			ep.protoRes().SubmitArg(ep.env, ep.protoCost(ep.costs.AckProc), ep.ctrlStepFn, c)
 			return
 		}
 		if ep.qosSendWork() && ep.qosNICBusy() {
@@ -493,30 +614,21 @@ func (ep *Endpoint) threadStep() {
 			// queues and come back when the head frame clears the wire.
 			ep.qosArmPace()
 		} else if c := ep.qosPopSend(); c != nil {
-			cls := ep.qosServing
-			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
-				n := c.sendNextDataFrame()
-				ep.qosChargeSend(cls, n)
-				ep.kickConn(c)
-				ep.threadStep()
-			})
+			// The thread loop is strictly serialized (each dispatched
+			// branch calls threadStep again when it finishes), so at most
+			// one data dispatch is in flight and a single field carries
+			// the served class to the charge.
+			ep.qosDispatchCls = ep.qosServing
+			ep.protoRes().SubmitArg(ep.env, ep.protoCost(ep.costs.FrameTx), ep.qosSendFn, c)
 			return
 		}
 	} else if ep.cfg.SchedQueue {
 		if c := ep.popCtrl(); c != nil {
-			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
-				c.sendCtrl()
-				ep.kickConn(c)
-				ep.threadStep()
-			})
+			ep.protoRes().SubmitArg(ep.env, ep.protoCost(ep.costs.AckProc), ep.ctrlStepFn, c)
 			return
 		}
 		if c := ep.popSend(); c != nil {
-			ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
-				c.sendNextDataFrame()
-				ep.kickConn(c)
-				ep.threadStep()
-			})
+			ep.protoRes().SubmitArg(ep.env, ep.protoCost(ep.costs.FrameTx), ep.sendStepFn, c)
 			return
 		}
 	} else {
@@ -524,10 +636,7 @@ func (ep *Endpoint) threadStep() {
 			c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
 			if c.ctrlPending() {
 				ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
-				ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.AckProc), func() {
-					c.sendCtrl()
-					ep.threadStep()
-				})
+				ep.protoRes().SubmitArg(ep.env, ep.protoCost(ep.costs.AckProc), ep.legacyCtrlFn, c)
 				return
 			}
 		}
@@ -535,10 +644,7 @@ func (ep *Endpoint) threadStep() {
 			c := ep.connOrder[(ep.txRR+i)%len(ep.connOrder)]
 			if c.sendable() {
 				ep.txRR = (ep.txRR + i + 1) % len(ep.connOrder)
-				ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameTx), func() {
-					c.sendNextDataFrame()
-					ep.threadStep()
-				})
+				ep.protoRes().SubmitArg(ep.env, ep.protoCost(ep.costs.FrameTx), ep.legacySendFn, c)
 				return
 			}
 		}
@@ -557,7 +663,10 @@ func (ep *Endpoint) processRxFrame(fr *phys.Frame, link int) {
 	_, src, h, payload, err := frame.Decode(fr.Buf)
 	if err != nil {
 		// Damaged frame that slipped past the FCS model: treat as loss.
-		ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameRx), ep.threadStep)
+		// The buffer dies here — without the release a pooled frame
+		// leaked on every FCS escape.
+		fr.Release()
+		ep.protoRes().Submit(ep.env, ep.protoCost(ep.costs.FrameRx), ep.threadStepFn)
 		return
 	}
 	var cost sim.Time
@@ -572,10 +681,61 @@ func (ep *Endpoint) processRxFrame(fr *phys.Frame, link int) {
 	default:
 		cost = ep.protoCost(ep.costs.AckProc)
 	}
-	ep.protoRes().Submit(ep.env, cost, func() {
-		ep.dispatchFrame(src, h, payload, link)
-		ep.threadStep()
-	})
+	j := ep.getRxJob()
+	j.fr, j.src, j.h, j.payload, j.link = fr, src, h, payload, link
+	ep.protoRes().SubmitArg(ep.env, cost, ep.dispatchFn, j)
+}
+
+// pollRxBurst drains up to Config.RxBurst frames from the NIC rings and
+// schedules their dispatch as one protocol-thread event charged the sum
+// of the per-frame costs. It reports whether any frame was taken (the
+// caller returns and the burst callback continues the thread loop). The
+// per-frame cost model is identical to processRxFrame's; only the event
+// granularity changes.
+func (ep *Endpoint) pollRxBurst() bool {
+	var cost sim.Time
+	n := 0
+	for n < ep.cfg.RxBurst {
+		var fr *phys.Frame
+		link := -1
+		for i := 0; i < len(ep.nics); i++ {
+			idx := (ep.rxPrefer + i) % len(ep.nics)
+			if f := ep.nics[idx].PollRxOne(); f != nil {
+				ep.rxPrefer = idx
+				fr, link = f, idx
+				break
+			}
+		}
+		if fr == nil {
+			break
+		}
+		n++
+		_, src, h, payload, err := frame.Decode(fr.Buf)
+		if err != nil {
+			// Damaged frame past the FCS model: treated as loss, buffer
+			// dies here, decode cost still charged.
+			fr.Release()
+			cost += ep.protoCost(ep.costs.FrameRx)
+			continue
+		}
+		switch h.Type {
+		case frame.TypeData, frame.TypeReadReq, frame.TypeMultiData:
+			cost += ep.protoCost(ep.costs.FrameRx)
+			if ep.engine == nil {
+				cost += ep.costs.Copy(len(payload))
+			}
+		default:
+			cost += ep.protoCost(ep.costs.AckProc)
+		}
+		j := ep.getRxJob()
+		j.fr, j.src, j.h, j.payload, j.link = fr, src, h, payload, link
+		ep.rxBurst = append(ep.rxBurst, j)
+	}
+	if n == 0 {
+		return false
+	}
+	ep.protoRes().Submit(ep.env, cost, ep.burstFn)
+	return true
 }
 
 // dispatchFrame routes a decoded frame to connection handling.

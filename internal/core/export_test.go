@@ -1,5 +1,7 @@
 package core
 
+import "multiedge/internal/sim"
+
 // Test hooks: white-box visibility into connection timer and gap state
 // for the teardown-leak regression tests, without exporting any of it.
 
@@ -23,7 +25,35 @@ func (c *Conn) PendingTimersForTest() int {
 
 // TrackedGapsForTest returns how many missing sequence numbers the
 // receive side currently tracks (bounded by maxTrackedGaps).
-func (c *Conn) TrackedGapsForTest() int { return len(c.missingSince) }
+func (c *Conn) TrackedGapsForTest() int { return c.missingSince.size() }
+
+// RcvSeenSizeForTest returns the live size of the receive-side dedupe
+// set plus its overflow spill count. The bounded-growth regression test
+// (TestRcvSeenBounded) asserts the size never exceeds the window-sized
+// ring and that nothing ever spills.
+func (c *Conn) RcvSeenSizeForTest() (size, overflow int) {
+	return c.rcvSeen.size(), c.rcvSeen.overflowLen()
+}
+
+// GapStateForTest exposes the gap-tracking entry for one sequence
+// number (the stopTimers drop-contract test stages and then asserts
+// this state).
+func (c *Conn) GapStateForTest(s uint32) (missing, nacked bool) {
+	_, m := c.missingSince.get(s)
+	_, n := c.nackedAt.get(s)
+	return m, n
+}
+
+// SeedGapForTest plants gap-tracking state as if s went missing at t
+// and was NACKed at t, and StopTimersForTest runs the teardown path
+// under test.
+func (c *Conn) SeedGapForTest(s uint32, t sim.Time) {
+	c.missingSince.put(s, t)
+	c.nackedAt.put(s, t)
+}
+
+// StopTimersForTest invokes the conn's timer/gap teardown directly.
+func (c *Conn) StopTimersForTest() { c.stopTimers() }
 
 // NackDueForTest returns the length of the queued NACK list (bounded by
 // maxNack).

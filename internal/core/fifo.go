@@ -1,0 +1,37 @@
+package core
+
+// connFIFO is a connection service queue (scheduler and QoS class
+// queues) with amortized-zero-allocation push/pop churn. The previous
+// pop-by-reslice (`q = q[1:]`) walked the slice off its backing array,
+// so every steady-state service cycle eventually re-allocated it; here
+// a head index advances instead and the slice resets to its base the
+// moment the queue drains, so a long-lived queue reuses one backing
+// array forever.
+type connFIFO struct {
+	q    []*Conn // live entries are q[head:]
+	head int
+}
+
+// push appends c at the tail.
+func (f *connFIFO) push(c *Conn) { f.q = append(f.q, c) }
+
+// pop removes and returns the head connection, or nil when empty. The
+// vacated slot is cleared so the queue never pins a torn-down conn.
+func (f *connFIFO) pop() *Conn {
+	if f.head == len(f.q) {
+		return nil
+	}
+	c := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head == len(f.q) {
+		f.q, f.head = f.q[:0], 0
+	}
+	return c
+}
+
+// size returns the number of queued connections.
+func (f *connFIFO) size() int { return len(f.q) - f.head }
+
+// empty reports whether the queue has no entries.
+func (f *connFIFO) empty() bool { return f.head == len(f.q) }

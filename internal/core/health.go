@@ -67,8 +67,8 @@ func (ep *Endpoint) Health() obs.EndpointHealth {
 		At:           ep.env.Now(),
 		Node:         ep.node,
 		ActiveConns:  ep.conns.len(),
-		SchedCtrlQ:   len(ep.ctrlQ),
-		SchedSendQ:   len(ep.sendQ),
+		SchedCtrlQ:   ep.ctrlQ.size(),
+		SchedSendQ:   ep.sendQ.size(),
 		WheelEntries: ep.wheel.Len(),
 	}
 	for _, c := range ep.connOrder {

@@ -60,7 +60,7 @@ func (c *Conn) Journal() []Op {
 		}})
 	}
 	for s := c.sndUna; s != c.sndNxt; s++ {
-		if tf := c.retrans[s]; tf != nil {
+		if tf, ok := c.retrans.get(s); ok {
 			addTx(tf.op)
 		}
 	}

@@ -161,9 +161,18 @@ func (c *Conn) DoOn(p *sim.Proc, cpu *sim.Resource, op Op) (*Handle, error) {
 			return nil, err
 		}
 	}
+	// Snapshot the write payload into a pooled buffer when it fits one
+	// frame (the common case for latency-sensitive small ops); the txOp
+	// owns the buffer until completion or failure releases it.
 	var data []byte
+	var dataBuf *frame.Buf
 	if op.Kind == frame.OpWrite {
-		data = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+		if op.Size > 0 && op.Size <= frame.BufCap {
+			dataBuf = frame.GetBuf()
+			data = append(dataBuf.Bytes()[:0], ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+		} else {
+			data = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+		}
 	}
 	copyBytes := 0
 	if op.Kind == frame.OpWrite && !ep.cfg.Offload {
@@ -176,7 +185,7 @@ func (c *Conn) DoOn(p *sim.Proc, cpu *sim.Resource, op Op) (*Handle, error) {
 		ep.Stats.AppProtoTime += cost
 	}
 	p.Exec(cpu, cost)
-	return c.enqueueOp(op, data, false), nil
+	return c.enqueueOp(op, data, dataBuf, false), nil
 }
 
 // MustDo is Do for callers that guarantee the operation is valid; it
@@ -202,11 +211,20 @@ func (c *Conn) MustDoOn(p *sim.Proc, cpu *sim.Resource, op Op) *Handle {
 // operation and hands it to the protocol thread. viaCQ marks operations
 // issued through the submission queue, whose completions surface on the
 // connection's completion queue as well as the returned handle.
-func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
+func (c *Conn) enqueueOp(op Op, data []byte, dataBuf *frame.Buf, viaCQ bool) *Handle {
 	ep := c.ep
-	t := &txOp{
+	// One allocation carries both records: the handle is user-held (and
+	// so can never be recycled), and the txOp is embedded in it. Every
+	// handle keeps its descriptor: the CQ path surfaces it in
+	// completions, and recovery (Config.Reconnect) re-synthesizes a read
+	// request from it when the original txOp is long gone at replay time.
+	h := &Handle{c: c, opID: c.nextOpID, size: op.Size, op: op}
+	t := &h.t
+	*t = txOp{
 		id: c.nextOpID, opType: op.Kind, flags: op.Flags,
-		remote: op.Remote, local: op.Local, data: data, total: uint32(op.Size),
+		remote: op.Remote, local: op.Local,
+		data: data, dataBuf: dataBuf, total: uint32(op.Size),
+		h: h,
 	}
 	c.nextOpID++
 	if ep.qosOn() {
@@ -215,12 +233,8 @@ func (c *Conn) enqueueOp(op Op, data []byte, viaCQ bool) *Handle {
 		// surviving reconnect replay, which re-queues these same objects.
 		t.qosCls, t.qosOps, t.qosBytes = c.opClass(op), 1, op.Size
 	}
-	// Every handle keeps its descriptor: the CQ path surfaces it in
-	// completions, and recovery (Config.Reconnect) re-synthesizes a read
-	// request from it when the original txOp is long gone at replay time.
-	t.h = &Handle{c: c, opID: t.id, size: op.Size, op: op}
 	if viaCQ {
-		t.h.cq = true
+		h.cq = true
 	}
 	if op.Kind == frame.OpRead {
 		c.pendingReads[t.id] = t.h
@@ -339,22 +353,36 @@ func (c *Conn) RingOn(p *sim.Proc, cpu *sim.Resource) (int, error) {
 		return 0, nil
 	}
 	batch := c.sq
-	c.sq = nil
+	// Hand the previous ring's batch backing to the SQ for the next
+	// Post run; descriptors posted while this ring's Exec blocks land
+	// there, untouched by the walk below.
+	c.sq = c.sqScratch
+	c.sqScratch = nil
 	ep := c.ep
 	ep.noteSQDepth(-n)
 	// Snapshot write payloads at ring time (the doorbell is the issue
 	// point), before the batched cost is charged — mirroring DoOn's
-	// snapshot-before-Exec order.
-	data := make([][]byte, n)
+	// snapshot-before-Exec order. The snapshot-pointer slices are conn
+	// scratch (reused ring to ring); small payloads snapshot into pooled
+	// buffers whose ownership transfers to the issued txOps.
+	data, bufs := c.ringData[:0], c.ringBufs[:0]
+	c.ringData, c.ringBufs = nil, nil
 	copyBytes := 0
-	for i, op := range batch {
-		if op.Kind != frame.OpWrite {
-			continue
+	for _, op := range batch {
+		var d []byte
+		var b *frame.Buf
+		if op.Kind == frame.OpWrite {
+			if op.Size > 0 && op.Size <= frame.BufCap {
+				b = frame.GetBuf()
+				d = append(b.Bytes()[:0], ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+			} else {
+				d = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
+			}
+			if !ep.cfg.Offload {
+				copyBytes += op.Size
+			}
 		}
-		data[i] = append([]byte(nil), ep.mem[op.Local:op.Local+uint64(op.Size)]...)
-		if !ep.cfg.Offload {
-			copyBytes += op.Size
-		}
+		data, bufs = append(data, d), append(bufs, b)
 	}
 	cost := ep.costs.BatchIssue(n, copyBytes)
 	if cpu == ep.cpus.App {
@@ -383,13 +411,26 @@ func (c *Conn) RingOn(p *sim.Proc, cpu *sim.Resource) (int, error) {
 			}
 			if j > i+1 {
 				c.enqueueMulti(batch[i:j], data[i:j])
+				// The coalesced payload copied the snapshots; their pooled
+				// backings are free again.
+				for k := i; k < j; k++ {
+					if bufs[k] != nil {
+						frame.PutBuf(bufs[k])
+						bufs[k] = nil
+					}
+				}
 				i = j
 				continue
 			}
 		}
-		c.enqueueOp(batch[i], data[i], true)
+		c.enqueueOp(batch[i], data[i], bufs[i], true)
+		bufs[i] = nil
 		i++
 	}
+	// Recycle the walk's scratch: the batch backing feeds the next ring's
+	// Post run, the snapshot-pointer slices the next ring's walk.
+	c.sqScratch = batch[:0]
+	c.ringData, c.ringBufs = data[:0], bufs[:0]
 	return n, nil
 }
 
@@ -422,13 +463,16 @@ func coalescable(op Op, limit int) bool {
 // it — is acknowledged.
 func (c *Conn) enqueueMulti(ops []Op, data [][]byte) {
 	ep := c.ep
-	subs := make([]frame.SubOp, len(ops))
+	// subs is encode-input scratch (reused across rings); recs is owned
+	// by the txOp and allocated per batch — one allocation amortized
+	// over the whole coalesce run.
+	subs := c.subScratch[:0]
 	recs := make([]multiSub, len(ops))
 	fenced := false
 	for i, op := range ops {
 		id := c.nextOpID
 		c.nextOpID++
-		subs[i] = frame.SubOp{OpID: id, Flags: op.Flags, Remote: op.Remote, Data: data[i]}
+		subs = append(subs, frame.SubOp{OpID: id, Flags: op.Flags, Remote: op.Remote, Data: data[i]})
 		recs[i] = multiSub{id: id, op: op}
 		if op.Flags&frame.FenceAfter != 0 {
 			fenced = true
@@ -443,13 +487,15 @@ func (c *Conn) enqueueMulti(ops []Op, data [][]byte) {
 		}
 		ep.Stats.OpsStarted++
 	}
-	payload, err := frame.EncodeMultiPayload(subs)
+	pb := frame.GetBuf()
+	payload, err := frame.EncodeMultiPayloadInto(pb.Bytes(), subs)
 	if err != nil {
 		panic(err) // Ring's packer keeps the batch under MaxPayload
 	}
+	c.subScratch = subs[:0]
 	t := &txOp{
 		id: recs[len(recs)-1].id, opType: frame.OpWrite,
-		data: payload, total: uint32(len(payload)), subs: recs,
+		data: payload, dataBuf: pb, total: uint32(len(payload)), subs: recs,
 	}
 	if ep.qosOn() {
 		// One container, one class (Ring breaks coalesce runs on class
@@ -520,12 +566,5 @@ func (c *Conn) pushCompletion(comp Completion) {
 		return
 	}
 	c.cqFlush = true
-	ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, func() {
-		c.cqFlush = false
-		stage := c.cqStage
-		c.cqStage = nil
-		for _, s := range stage {
-			c.cq.Send(ep.env, s)
-		}
-	})
+	ep.cpus.Proto.Submit(ep.env, ep.costs.UserWake, c.cqFlushFn)
 }

@@ -53,8 +53,8 @@ const qosNICQueueBound = 2
 
 // qosClass is the endpoint's live state for one traffic class.
 type qosClass struct {
-	ctrlQ []*Conn // conns with pending explicit ACK/NACK work
-	sendQ []*Conn // conns with transmittable data work
+	ctrlQ connFIFO // conns with pending explicit ACK/NACK work
+	sendQ connFIFO // conns with transmittable data work
 
 	deficit    int64 // DWFQ byte deficit (data path)
 	ctrlBudget int   // weighted-round-robin ctrl frames left this visit
@@ -316,13 +316,13 @@ func (ep *Endpoint) qosKickConn(c *Conn) {
 	q := &ep.qos[cls]
 	if !c.inCtrlQ && c.ctrlPending() {
 		c.inCtrlQ = true
-		q.ctrlQ = append(q.ctrlQ, c)
-		ep.recEvent(c.localID, obs.RecSched, 0, int64(len(q.ctrlQ)))
+		q.ctrlQ.push(c)
+		ep.recEvent(c.localID, obs.RecSched, 0, int64(q.ctrlQ.size()))
 	}
 	if !c.inSendQ && c.sendable() {
 		c.inSendQ = true
-		q.sendQ = append(q.sendQ, c)
-		ep.recEvent(c.localID, obs.RecSched, 1, int64(len(q.sendQ)))
+		q.sendQ.push(c)
+		ep.recEvent(c.localID, obs.RecSched, 1, int64(q.sendQ.size()))
 	}
 }
 
@@ -336,8 +336,7 @@ func (ep *Endpoint) qosPopCtrl() *Conn {
 	n := len(ep.qos)
 	for visited := 0; visited < n; visited++ {
 		q := &ep.qos[ep.qosCtrlCur]
-		if len(q.ctrlQ) == 0 {
-			q.ctrlQ = nil
+		if q.ctrlQ.empty() {
 			q.ctrlBudget = 0
 			ep.qosCtrlCur = (ep.qosCtrlCur + 1) % n
 			continue
@@ -345,9 +344,11 @@ func (ep *Endpoint) qosPopCtrl() *Conn {
 		if q.ctrlBudget <= 0 {
 			q.ctrlBudget = ep.cfg.QoS[ep.qosCtrlCur].Weight
 		}
-		for len(q.ctrlQ) > 0 && q.ctrlBudget > 0 {
-			c := q.ctrlQ[0]
-			q.ctrlQ = q.ctrlQ[1:]
+		for q.ctrlBudget > 0 {
+			c := q.ctrlQ.pop()
+			if c == nil {
+				break
+			}
 			c.inCtrlQ = false
 			if c.ctrlPending() {
 				q.ctrlBudget--
@@ -375,8 +376,7 @@ func (ep *Endpoint) qosPopSend() *Conn {
 	for visited := 0; visited < n; visited++ {
 		cls := ep.qosSendCur
 		q := &ep.qos[cls]
-		if len(q.sendQ) == 0 {
-			q.sendQ = nil
+		if q.sendQ.empty() {
 			q.deficit = 0
 			ep.qosSendCur = (ep.qosSendCur + 1) % n
 			continue
@@ -389,16 +389,17 @@ func (ep *Endpoint) qosPopSend() *Conn {
 		if q.deficit <= 0 {
 			q.deficit += int64(ep.cfg.QoS[cls].Weight) * qosQuantum
 		}
-		for len(q.sendQ) > 0 {
-			c := q.sendQ[0]
-			q.sendQ = q.sendQ[1:]
+		for {
+			c := q.sendQ.pop()
+			if c == nil {
+				break
+			}
 			c.inSendQ = false
 			if c.sendable() {
 				ep.qosServing = cls
 				return c
 			}
 		}
-		q.sendQ = nil
 		q.deficit = 0
 		ep.qosSendCur = (ep.qosSendCur + 1) % n
 	}
@@ -431,7 +432,7 @@ func (ep *Endpoint) qosChargeSend(cls, n int) {
 // data-path service.
 func (ep *Endpoint) qosSendWork() bool {
 	for i := range ep.qos {
-		if len(ep.qos[i].sendQ) > 0 {
+		if !ep.qos[i].sendQ.empty() {
 			return true
 		}
 	}
@@ -481,11 +482,11 @@ func (ep *Endpoint) qosArmPace() {
 }
 
 // qosSchedDepth is the total number of queued scheduler entries across
-// all class queues (the QoS counterpart of len(ctrlQ)+len(sendQ)).
+// all class queues (the QoS counterpart of ctrlQ.size()+sendQ.size()).
 func (ep *Endpoint) qosSchedDepth() int {
 	d := 0
 	for i := range ep.qos {
-		d += len(ep.qos[i].ctrlQ) + len(ep.qos[i].sendQ)
+		d += ep.qos[i].ctrlQ.size() + ep.qos[i].sendQ.size()
 	}
 	return d
 }

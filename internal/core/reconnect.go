@@ -219,8 +219,11 @@ func (c *Conn) rebirth(inc uint16) {
 		journal = append(journal, t)
 	}
 	for s := c.sndUna; s != c.sndNxt; s++ {
-		if tf := c.retrans[s]; tf != nil {
+		if tf, ok := c.retrans.get(s); ok {
 			add(tf.op)
+			// The frame record dies with the old epoch (the journal
+			// re-fragments its op from offset 0); recycle it.
+			c.freeTxFrame(tf)
 		}
 	}
 	for _, t := range c.txOps {
@@ -244,7 +247,7 @@ func (c *Conn) rebirth(inc uint16) {
 
 	// Transmit state: fresh epoch.
 	c.sndUna, c.sndNxt = 0, 0
-	c.retrans = make(map[uint32]*txFrame)
+	c.retrans.clear()
 	c.retransQ = nil
 	c.expiries = 0
 	c.rr = 0
@@ -260,10 +263,10 @@ func (c *Conn) rebirth(inc uint16) {
 	// while completed ones stay so replayed payload for them is dropped,
 	// never re-applied (exactly-once). The frontier survives untouched.
 	c.rcvNxt = 0
-	c.rcvSeen = make(map[uint32]bool)
+	c.rcvSeen.clear()
 	c.maxSeenPlus1 = 0
-	c.missingSince = make(map[uint32]sim.Time)
-	c.nackedAt = make(map[uint32]sim.Time)
+	c.missingSince.clear()
+	c.nackedAt.clear()
 	c.lastNack = 0
 	for i := 0; i < c.links; i++ {
 		c.linkHigh[i] = 0
@@ -273,7 +276,7 @@ func (c *Conn) rebirth(inc uint16) {
 	c.ackDue = false
 	c.nackDue = nil
 	c.applyNxt = 0
-	c.strictBuf = make(map[uint32]heldFrame)
+	c.strictBuf.clear()
 	c.held = nil
 	for id, op := range c.rxOps {
 		if !op.complete {

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"multiedge/internal/frame"
+	"multiedge/internal/hostmodel"
+	"multiedge/internal/sim"
+)
+
+// TestSeqRingBasics pins the map-equivalent semantics of the seqRing:
+// get/put/del/size round-trips, overwrite, and the overflow spill path
+// for live spans wider than the ring.
+func TestSeqRingBasics(t *testing.T) {
+	r := newSeqRing[int](128)
+	if r.size() != 0 {
+		t.Fatalf("fresh ring size %d", r.size())
+	}
+	r.put(5, 50)
+	r.put(6, 60)
+	r.put(5, 55) // overwrite
+	if v, ok := r.get(5); !ok || v != 55 {
+		t.Fatalf("get(5) = %v,%v", v, ok)
+	}
+	if r.size() != 2 {
+		t.Fatalf("size %d, want 2", r.size())
+	}
+	r.del(5)
+	if r.has(5) || r.size() != 1 {
+		t.Fatalf("del(5) left has=%v size=%d", r.has(5), r.size())
+	}
+	r.del(5) // idempotent
+	// Wrap-around keys behave like any other.
+	r.put(0xFFFFFFFF, 1)
+	r.put(0, 2)
+	if !r.has(0xFFFFFFFF) || !r.has(0) {
+		t.Fatal("wrap-adjacent keys lost")
+	}
+	r.clear()
+	if r.size() != 0 || r.has(6) {
+		t.Fatalf("clear left size=%d", r.size())
+	}
+
+	// Collision: two live keys one ring-size apart. The newer must win
+	// the slot, the older must survive in overflow — never be dropped.
+	n := uint32(len(r.slots))
+	r.put(10, 100)
+	r.put(10+n, 200)
+	if v, ok := r.get(10); !ok || v != 100 {
+		t.Fatalf("older colliding key lost: %v,%v", v, ok)
+	}
+	if v, ok := r.get(10 + n); !ok || v != 200 {
+		t.Fatalf("newer colliding key lost: %v,%v", v, ok)
+	}
+	if r.overflowLen() != 1 || r.size() != 2 {
+		t.Fatalf("overflow=%d size=%d", r.overflowLen(), r.size())
+	}
+	// Older key arriving second spills itself.
+	r.put(20+n, 1)
+	r.put(20, 2)
+	if v, ok := r.get(20); !ok || v != 2 {
+		t.Fatalf("older-second key lost: %v,%v", v, ok)
+	}
+	r.del(10)
+	r.del(10 + n)
+	if r.has(10) || r.has(10+n) {
+		t.Fatal("colliding keys survived del")
+	}
+}
+
+// arqEndpoint builds a minimal endpoint+conn pair for direct receive-path
+// unit tests: frames are injected straight into handleData without a
+// physical network, so a million-frame run stays fast.
+func arqEndpoint(t *testing.T) (*Endpoint, *Conn) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 16
+	ep := NewEndpoint(env, 0, cfg, hostmodel.Default(), hostmodel.NewCPUs("n0"), nil)
+	c := newConn(ep, 1, 1, 1)
+	return ep, c
+}
+
+// TestRcvSeenBounded is the bounded-growth regression for the receive
+// dedupe set: one million data frames through a lossy, reordering
+// arrival pattern must never grow rcvSeen beyond the window-sized ring,
+// and nothing may spill to the overflow map. Before the seqRing the
+// map was pruned only as rcvNxt advanced, which kept it bounded in the
+// steady state but churned a map insert+delete per frame; the ring
+// makes the bound structural.
+func TestRcvSeenBounded(t *testing.T) {
+	_, c := arqEndpoint(t)
+	const total = 1_000_000
+	const lossEvery = 97 // drop every 97th first transmission...
+	const repairLag = 40 // ...and deliver it this many frames later
+	ringCap := len(c.rcvSeen.slots)
+
+	deliver := func(seq uint32) {
+		h := frame.Header{
+			Type: frame.TypeData, ConnID: 1, Seq: seq,
+			OpID: uint64(seq), OpType: frame.OpWrite, Total: 0,
+		}
+		c.handleData(h, nil, 0)
+	}
+
+	var pending []uint32 // lost frames awaiting their late delivery
+	maxSize := 0
+	for i := 0; i < total; i++ {
+		seq := uint32(i)
+		if i%lossEvery == 13 {
+			pending = append(pending, seq)
+		} else {
+			deliver(seq)
+		}
+		if len(pending) > 0 && seq-pending[0] >= repairLag {
+			deliver(pending[0])
+			pending = pending[1:]
+		}
+		if i%4096 == 0 {
+			if n, ov := c.RcvSeenSizeForTest(); n > maxSize {
+				maxSize = n
+				if ov != 0 {
+					t.Fatalf("frame %d: rcvSeen spilled %d entries to overflow", i, ov)
+				}
+			}
+		}
+	}
+	for _, s := range pending {
+		deliver(s)
+	}
+	if maxSize > ringCap {
+		t.Fatalf("rcvSeen grew to %d entries, ring holds %d", maxSize, ringCap)
+	}
+	if n, ov := c.RcvSeenSizeForTest(); n != 0 || ov != 0 {
+		t.Fatalf("after full delivery rcvSeen retains %d entries (%d overflow)", n, ov)
+	}
+	if c.rcvNxt != total {
+		t.Fatalf("rcvNxt = %d, want %d", c.rcvNxt, total)
+	}
+}
+
+// TestStopTimersDropsGapState pins the stopTimers contract satellite:
+// dropping the in-flight repair timestamps (missingSince/nackedAt)
+// wholesale on teardown is intentional — stopTimers runs only on exits
+// from the live state, where the old sequence space is dead — and the
+// drop must be total, so no stale-seq timestamp can re-arm the NACK
+// machinery after close, failure or rebirth.
+func TestStopTimersDropsGapState(t *testing.T) {
+	_, c := arqEndpoint(t)
+	c.SeedGapForTest(7, 100)
+	c.SeedGapForTest(9, 120)
+	c.nackDue = []uint32{7, 9}
+	c.ackDue = true
+	if m, n := c.GapStateForTest(7); !m || !n {
+		t.Fatal("seed did not take")
+	}
+	c.StopTimersForTest()
+	for _, s := range []uint32{7, 9} {
+		if m, n := c.GapStateForTest(s); m || n {
+			t.Fatalf("seq %d gap state survived stopTimers (missing=%v nacked=%v)", s, m, n)
+		}
+	}
+	if c.TrackedGapsForTest() != 0 {
+		t.Fatalf("%d tracked gaps survived stopTimers", c.TrackedGapsForTest())
+	}
+	if ack, nacks := c.CtrlStateForTest(); ack || nacks != 0 {
+		t.Fatalf("ctrl state survived stopTimers: ackDue=%v nacks=%d", ack, nacks)
+	}
+}

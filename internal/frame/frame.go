@@ -291,13 +291,16 @@ func MustEncode(dst, src Addr, h *Header, payload []byte) []byte {
 	return buf
 }
 
+// crcZero stands in for the CRC field while checksumming; package
+// scope keeps the 4-byte slice from escaping per call.
+var crcZero [4]byte
+
 // checksum computes the CRC over the whole frame with the CRC field
 // treated as zero.
 func checksum(buf []byte) uint32 {
 	p := buf[EthHeaderLen:]
 	crc := crc32.Update(0, castagnoli, buf[:EthHeaderLen+offCRC])
-	var zero [4]byte
-	crc = crc32.Update(crc, castagnoli, zero[:])
+	crc = crc32.Update(crc, castagnoli, crcZero[:])
 	return crc32.Update(crc, castagnoli, p[offCRC+4:])
 }
 
@@ -357,15 +360,7 @@ func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
 // NACK frame reports (IPPS'07 §2.4: negative acknowledgements name lost
 // or damaged frames for retransmission).
 func EncodeNackPayload(missing []uint32) []byte {
-	if max := (MaxPayload - 2) / 4; len(missing) > max {
-		missing = missing[:max]
-	}
-	out := make([]byte, 2+4*len(missing))
-	binary.BigEndian.PutUint16(out, uint16(len(missing)))
-	for i, s := range missing {
-		binary.BigEndian.PutUint32(out[2+4*i:], s)
-	}
-	return out
+	return AppendNackPayload(nil, missing)
 }
 
 // SubOp is one coalesced small-write operation carried inside a
@@ -392,6 +387,15 @@ const multiCountLen = 2
 // frame's payload — the coalescing sender packs under MaxPayload by
 // construction.
 func EncodeMultiPayload(subs []SubOp) ([]byte, error) {
+	return EncodeMultiPayloadInto(nil, subs)
+}
+
+// EncodeMultiPayloadInto is EncodeMultiPayload targeting a
+// caller-supplied buffer (typically a pooled Buf's Bytes()): the records
+// serialize into buf's backing array when it is large enough, falling
+// back to a fresh allocation otherwise, and the resliced result is
+// byte-identical to EncodeMultiPayload's.
+func EncodeMultiPayloadInto(buf []byte, subs []SubOp) ([]byte, error) {
 	total := multiCountLen
 	for _, s := range subs {
 		total += SubOpOverhead + len(s.Data)
@@ -399,7 +403,12 @@ func EncodeMultiPayload(subs []SubOp) ([]byte, error) {
 	if total > MaxPayload {
 		return nil, fmt.Errorf("%w: %d coalesced sub-ops need %d > %d", ErrOversize, len(subs), total, MaxPayload)
 	}
-	out := make([]byte, total)
+	var out []byte
+	if cap(buf) >= total {
+		out = buf[:total]
+	} else {
+		out = make([]byte, total)
+	}
 	binary.BigEndian.PutUint16(out, uint16(len(subs)))
 	o := multiCountLen
 	for _, s := range subs {

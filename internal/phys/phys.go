@@ -12,6 +12,7 @@ package phys
 
 import (
 	"fmt"
+	"sync"
 
 	"multiedge/internal/frame"
 	"multiedge/internal/sim"
@@ -19,14 +20,68 @@ import (
 
 // Frame is a frame in flight: the encoded buffer plus cached addressing
 // so switches forward without re-parsing the whole header.
+//
+// Frames come in two flavors. A literal &Frame{...} owns a plain heap
+// buffer and is garbage-collected; Release is a no-op on it, so tests
+// and cold control paths need no lifecycle discipline. A pooled frame
+// (NewPooledFrame) owns a frame.Buf from the buffer pool and MUST be
+// released at exactly one death point: the drop that loses it, or the
+// end of receive dispatch (see DESIGN.md §13). The phys layer releases
+// frames it kills (drop-tail, link loss, failed links, misaddressing,
+// unknown switch destinations); delivery transfers ownership to the
+// receiver.
 type Frame struct {
 	Buf []byte
 	Dst frame.Addr
 	Src frame.Addr
+
+	pb     *frame.Buf // pooled buffer this frame owns (nil if Buf is plain)
+	pooled bool       // the Frame struct itself came from framePool
 }
 
 // Len returns the stored frame length in bytes.
 func (f *Frame) Len() int { return len(f.Buf) }
+
+var framePool = sync.Pool{New: func() any { return &Frame{} }}
+
+// NewPooledFrame builds a frame around a pooled buffer: buf must alias
+// pb's storage (typically frame.EncodeInto(pb.Bytes(), ...)). The
+// returned frame owns both the Frame record and the buffer until
+// Release.
+func NewPooledFrame(pb *frame.Buf, buf []byte, dst, src frame.Addr) *Frame {
+	f := framePool.Get().(*Frame)
+	f.Buf, f.Dst, f.Src = buf, dst, src
+	f.pb, f.pooled = pb, true
+	return f
+}
+
+// Release returns a pooled frame's buffer and record to their pools.
+// It is a no-op on frames built as plain literals, so every death
+// point can call it unconditionally.
+func (f *Frame) Release() {
+	if f == nil || !f.pooled {
+		return
+	}
+	pb := f.pb
+	f.Buf, f.pb, f.pooled = nil, nil, false
+	frame.PutBuf(pb)
+	framePool.Put(f)
+}
+
+// clone copies a frame into a fresh pooled frame. The corrupt and
+// duplicate fault paths use it so no two in-flight deliveries ever
+// alias one buffer.
+func (f *Frame) clone() *Frame {
+	pb := frame.GetBuf()
+	var buf []byte
+	if n := len(f.Buf); n <= cap(pb.Bytes()) {
+		buf = pb.Bytes()[:n]
+	} else {
+		buf = make([]byte, n) // oversized foreign frame; keep pb owned for symmetry
+	}
+	copy(buf, f.Buf)
+	return NewPooledFrame(pb, buf, f.Dst, f.Src)
+}
 
 // Receiver is anything that can accept a frame arriving off a link: a NIC
 // or a switch port. DeliverFrame runs in scheduler context at the
@@ -92,6 +147,8 @@ type OutPort struct {
 	condemned int  // frames queued while failed: lost even if Restore precedes their tx
 	drop      func(f *Frame) bool
 	mangler   Mangler
+	txFn      func(any) // long-lived tx-completion callback (arg: *Frame)
+	deliverFn func(any) // long-lived delivery callback (arg: *Frame)
 
 	// Counters.
 	TxFrames    uint64
@@ -107,7 +164,10 @@ type OutPort struct {
 // NewOutPort creates a transmit port feeding peer. capacity is the
 // drop-tail queue limit in frames (0 = unbounded).
 func NewOutPort(env *sim.Env, name string, params LinkParams, peer Receiver, capacity int) *OutPort {
-	return &OutPort{env: env, name: name, params: params, peer: peer, capacity: capacity}
+	o := &OutPort{env: env, name: name, params: params, peer: peer, capacity: capacity}
+	o.txFn = func(x any) { o.txComplete(x.(*Frame)) }
+	o.deliverFn = func(x any) { o.peer.DeliverFrame(x.(*Frame)) }
+	return o
 }
 
 // SetOnTx registers a callback invoked when a frame finishes leaving the
@@ -187,10 +247,12 @@ type Mangler func(f *Frame) Mangle
 func (o *OutPort) SetMangler(fn Mangler) { o.mangler = fn }
 
 // Send queues a frame for transmission. It reports false if the queue is
-// full, in which case the frame is dropped (congestion loss).
+// full, in which case the frame is dropped (congestion loss) and — as at
+// every death point — a pooled frame is released.
 func (o *OutPort) Send(f *Frame) bool {
 	if o.capacity > 0 && o.queued >= o.capacity {
 		o.DropsFull++
+		f.Release()
 		return false
 	}
 	o.queued++
@@ -207,66 +269,83 @@ func (o *OutPort) Send(f *Frame) bool {
 	}
 	txDone := start + o.params.wireTime(f.Len())
 	o.avail = txDone
-	e.At(txDone, func() {
-		o.queued--
-		o.TxFrames++
-		o.TxBytes += uint64(f.Len())
-		if o.onTx != nil {
-			o.onTx(f)
-		}
-		if o.condemned > 0 {
-			// Serialization completes in FIFO order, so the first
-			// `condemned` completions after Fail are exactly the frames
-			// that were queued when the failure hit.
-			o.condemned--
-			o.DropsFailed++
-			return
-		}
-		if o.failed {
-			o.DropsFailed++
-			return
-		}
-		if o.drop != nil && o.drop(f) {
-			o.DropsErr++
-			return
-		}
-		var m Mangle
-		if o.mangler != nil {
-			m = o.mangler(f)
-		}
-		if m.Drop {
-			o.DropsErr++
-			return
-		}
-		if o.params.LossProb > 0 && e.Rand().Float64() < o.params.LossProb {
-			o.DropsErr++
-			return
-		}
-		deliver := f
-		corrupt := m.Corrupt
-		if o.params.CorruptProb > 0 && e.Rand().Float64() < o.params.CorruptProb {
-			corrupt = true
-		}
-		if corrupt {
-			// Flip one byte in a copy (the original buffer may be a
-			// retransmit source at the sender).
-			buf := append([]byte(nil), f.Buf...)
-			buf[e.Rand().Intn(len(buf))] ^= 1 << uint(e.Rand().Intn(8))
-			deliver = &Frame{Buf: buf, Dst: f.Dst, Src: f.Src}
-			o.Corrupted++
-		}
-		arrive := o.params.Delay + m.Delay
-		e.After(arrive, func() { o.peer.DeliverFrame(deliver) })
-		dup := m.Dup
-		if o.params.DupProb > 0 && e.Rand().Float64() < o.params.DupProb {
-			dup = true
-		}
-		if dup {
-			o.Duplicated++
-			e.After(arrive+o.params.wireTime(f.Len()), func() { o.peer.DeliverFrame(f) })
-		}
-	})
+	e.SchedAtArg(txDone, o.txFn, f)
 	return true
+}
+
+// txComplete runs when f finishes serializing onto the wire: fault
+// injection, probabilistic loss/corrupt/dup draws, then delivery. Every
+// branch that loses the frame releases it; delivery hands ownership to
+// the receiver.
+func (o *OutPort) txComplete(f *Frame) {
+	e := o.env
+	o.queued--
+	o.TxFrames++
+	o.TxBytes += uint64(f.Len())
+	if o.onTx != nil {
+		o.onTx(f)
+	}
+	if o.condemned > 0 {
+		// Serialization completes in FIFO order, so the first
+		// `condemned` completions after Fail are exactly the frames
+		// that were queued when the failure hit.
+		o.condemned--
+		o.DropsFailed++
+		f.Release()
+		return
+	}
+	if o.failed {
+		o.DropsFailed++
+		f.Release()
+		return
+	}
+	if o.drop != nil && o.drop(f) {
+		o.DropsErr++
+		f.Release()
+		return
+	}
+	var m Mangle
+	if o.mangler != nil {
+		m = o.mangler(f)
+	}
+	if m.Drop {
+		o.DropsErr++
+		f.Release()
+		return
+	}
+	if o.params.LossProb > 0 && e.Rand().Float64() < o.params.LossProb {
+		o.DropsErr++
+		f.Release()
+		return
+	}
+	deliver := f
+	corrupt := m.Corrupt
+	if o.params.CorruptProb > 0 && e.Rand().Float64() < o.params.CorruptProb {
+		corrupt = true
+	}
+	if corrupt {
+		// Flip one byte in a copy, leaving the original bytes intact
+		// for the duplicate path below.
+		deliver = f.clone()
+		deliver.Buf[e.Rand().Intn(len(deliver.Buf))] ^= 1 << uint(e.Rand().Intn(8))
+		o.Corrupted++
+	}
+	arrive := o.params.Delay + m.Delay
+	e.SchedAfterArg(arrive, o.deliverFn, deliver)
+	dup := m.Dup
+	if o.params.DupProb > 0 && e.Rand().Float64() < o.params.DupProb {
+		dup = true
+	}
+	if dup {
+		// Deliver a clone, never the same *Frame twice: two in-flight
+		// deliveries aliasing one buffer would double-release it.
+		o.Duplicated++
+		e.SchedAfterArg(arrive+o.params.wireTime(f.Len()), o.deliverFn, f.clone())
+	}
+	if corrupt {
+		// The corrupted copy travelled instead of f; f dies here.
+		f.Release()
+	}
 }
 
 // Switch is a store-and-forward Ethernet switch with a static forwarding
@@ -320,6 +399,13 @@ func NewSwitch(env *sim.Env, name string, params SwitchParams) *Switch {
 type swInPort struct {
 	sw      *Switch
 	lastFwd sim.Time
+	fwdFn   func(any) // long-lived forwarding callback (arg: *Frame)
+}
+
+func newSwInPort(sw *Switch) *swInPort {
+	p := &swInPort{sw: sw}
+	p.fwdFn = func(x any) { p.forward(x.(*Frame)) }
+	return p
 }
 
 func (p *swInPort) DeliverFrame(f *Frame) {
@@ -333,18 +419,22 @@ func (p *swInPort) DeliverFrame(f *Frame) {
 		at = p.lastFwd // never reorder frames from the same input port
 	}
 	p.lastFwd = at
-	sw.env.At(at, func() {
-		out, ok := sw.table[f.Dst]
-		if !ok {
-			if sw.defRt == nil {
-				sw.DropUnknown++
-				return
-			}
-			out = sw.defRt
+	sw.env.SchedAtArg(at, p.fwdFn, f)
+}
+
+func (p *swInPort) forward(f *Frame) {
+	sw := p.sw
+	out, ok := sw.table[f.Dst]
+	if !ok {
+		if sw.defRt == nil {
+			sw.DropUnknown++
+			f.Release()
+			return
 		}
-		sw.Forwarded++
-		out.Send(f) // drop counted inside OutPort if queue full
-	})
+		out = sw.defRt
+	}
+	sw.Forwarded++
+	out.Send(f) // drop counted (and the frame released) inside OutPort if queue full
 }
 
 // AttachStation connects a station (NIC) with the given address to the
@@ -355,7 +445,7 @@ func (sw *Switch) AttachStation(addr frame.Addr, station Receiver, lp LinkParams
 	down := NewOutPort(sw.env, fmt.Sprintf("%s->%v", sw.name, addr), lp, station, queueCap)
 	sw.table[addr] = down
 	// Uplink: station -> switch. The station's own ring bounds it.
-	up := NewOutPort(sw.env, fmt.Sprintf("%v->%s", addr, sw.name), lp, &swInPort{sw: sw}, 0)
+	up := NewOutPort(sw.env, fmt.Sprintf("%v->%s", addr, sw.name), lp, newSwInPort(sw), 0)
 	return up
 }
 
@@ -374,7 +464,7 @@ func (sw *Switch) SetDefaultRoute(o *OutPort) { sw.defRt = o }
 // Call once per direction. lp describes the trunk; a link-aggregated
 // trunk of k links is modelled as one link of k times the rate.
 func (sw *Switch) ConnectSwitch(peer *Switch, lp LinkParams, queueCap int) *OutPort {
-	return NewOutPort(sw.env, sw.name+"->"+peer.name, lp, &swInPort{sw: peer}, queueCap)
+	return NewOutPort(sw.env, sw.name+"->"+peer.name, lp, newSwInPort(peer), queueCap)
 }
 
 // Route installs an explicit table entry: frames for addr leave through
@@ -452,11 +542,15 @@ type NIC struct {
 	dma    *sim.Resource
 	host   Host
 
-	rxRing      []*Frame
+	rxRing      []*Frame // live entries are rxRing[rxHead:]; resets on drain
+	rxHead      int      // so steady-state poll churn reuses one backing array
 	txDone      int
 	txSinceIntr int
 	masked      bool
 	pending     bool
+	txDmaFn     func(any) // long-lived tx-DMA completion (arg: *Frame)
+	rxDmaFn     func(any) // long-lived rx-DMA completion (arg: *Frame)
+	intrFn      func()    // long-lived interrupt-delivery callback
 
 	// Counters.
 	RxFrames   uint64
@@ -474,10 +568,31 @@ func NewNIC(env *sim.Env, name string, addr frame.Addr, params NICParams) *NIC {
 	if params.TxIntrCoalesce <= 0 {
 		params.TxIntrCoalesce = 1
 	}
-	return &NIC{
+	n := &NIC{
 		env: env, name: name, addr: addr, params: params,
 		dma: sim.NewResource(name + "/dma"),
 	}
+	n.txDmaFn = func(x any) {
+		f := x.(*Frame)
+		n.TxFrames++
+		n.TxBytes += uint64(f.Len())
+		n.out.Send(f)
+	}
+	n.rxDmaFn = func(x any) {
+		f := x.(*Frame)
+		n.RxFrames++
+		n.RxBytes += uint64(f.Len())
+		n.rxRing = append(n.rxRing, f)
+		n.raise(false)
+	}
+	n.intrFn = func() {
+		n.pending = false
+		n.Interrupts++
+		if n.host != nil {
+			n.host.Interrupt(n)
+		}
+	}
+	return n
 }
 
 // Addr returns the NIC's link-layer address.
@@ -502,11 +617,7 @@ func (n *NIC) AttachUplink(up *OutPort) {
 // its per-frame send work.
 func (n *NIC) Transmit(f *Frame) {
 	work := n.params.TxDMAPerFrame + sim.Time(int64(f.Len())*n.params.DMAPsPerByte/1000)
-	n.dma.Submit(n.env, work, func() {
-		n.TxFrames++
-		n.TxBytes += uint64(f.Len())
-		n.out.Send(f)
-	})
+	n.dma.SubmitArg(n.env, work, n.txDmaFn, f)
 }
 
 func (n *NIC) txCompleted(_ *Frame) {
@@ -524,15 +635,11 @@ func (n *NIC) txCompleted(_ *Frame) {
 func (n *NIC) DeliverFrame(f *Frame) {
 	if f.Dst != n.addr && f.Dst != frame.Broadcast {
 		n.Misaddr++
+		f.Release()
 		return
 	}
 	work := n.params.RxDMAPerFrame + sim.Time(int64(f.Len())*n.params.DMAPsPerByte/1000)
-	n.dma.Submit(n.env, work, func() {
-		n.RxFrames++
-		n.RxBytes += uint64(f.Len())
-		n.rxRing = append(n.rxRing, f)
-		n.raise(false)
-	})
+	n.dma.SubmitArg(n.env, work, n.rxDmaFn, f)
 }
 
 // raise requests an interrupt. Masked interrupts are suppressed (the
@@ -556,13 +663,7 @@ func (n *NIC) raise(isTx bool) {
 	} else {
 		n.RxIntr++
 	}
-	n.env.After(n.params.IntrDelay, func() {
-		n.pending = false
-		n.Interrupts++
-		if n.host != nil {
-			n.host.Interrupt(n)
-		}
-	})
+	n.env.SchedAfter(n.params.IntrDelay, n.intrFn)
 }
 
 // Mask disables interrupt generation (called by the interrupt handler
@@ -573,35 +674,41 @@ func (n *NIC) Mask() { n.masked = true }
 // interrupt is raised immediately so nothing is lost.
 func (n *NIC) Unmask() {
 	n.masked = false
-	if len(n.rxRing) > 0 || n.txDone > 0 {
+	if n.RxPending() || n.txDone > 0 {
 		n.raise(false)
 	}
 }
 
 // PollRx drains and returns all frames DMA'd into host buffers so far.
 func (n *NIC) PollRx() []*Frame {
-	if len(n.rxRing) == 0 {
+	if n.rxHead == len(n.rxRing) {
 		return nil
 	}
-	out := n.rxRing
-	n.rxRing = nil
+	out := append([]*Frame(nil), n.rxRing[n.rxHead:]...)
+	for i := n.rxHead; i < len(n.rxRing); i++ {
+		n.rxRing[i] = nil
+	}
+	n.rxRing, n.rxHead = n.rxRing[:0], 0
 	return out
 }
 
 // PollRxOne removes and returns the oldest frame in the host receive
 // buffers, or nil when none is pending.
 func (n *NIC) PollRxOne() *Frame {
-	if len(n.rxRing) == 0 {
+	if n.rxHead == len(n.rxRing) {
 		return nil
 	}
-	f := n.rxRing[0]
-	n.rxRing[0] = nil
-	n.rxRing = n.rxRing[1:]
+	f := n.rxRing[n.rxHead]
+	n.rxRing[n.rxHead] = nil
+	n.rxHead++
+	if n.rxHead == len(n.rxRing) {
+		n.rxRing, n.rxHead = n.rxRing[:0], 0
+	}
 	return f
 }
 
 // RxPending reports whether received frames await the host.
-func (n *NIC) RxPending() bool { return len(n.rxRing) > 0 }
+func (n *NIC) RxPending() bool { return len(n.rxRing) > n.rxHead }
 
 // TakeTxDone returns and clears the count of transmit completions since
 // the last call.

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in.
+// Allocation-count assertions skip under -race (instrumentation
+// allocates), while the loops they wrap still run so pool-reuse bugs
+// surface as race reports.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = true

@@ -15,6 +15,7 @@ type Proc struct {
 	resume chan struct{}
 	done   Signal
 	dead   bool
+	wake   func() // schedules this process; created once at spawn
 }
 
 // Name returns the name given at spawn time.
@@ -33,6 +34,7 @@ func (p *Proc) Dead() bool { return p.dead }
 // virtual time (after already-queued events at this instant).
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p.wake = func() { e.schedule(p) }
 	e.nprocs++
 	go func() {
 		<-p.resume
@@ -47,7 +49,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.After(0, func() { e.schedule(p) })
+	e.SchedAfter(0, p.wake)
 	return p
 }
 
@@ -69,8 +71,7 @@ func (p *Proc) park() {
 
 // Sleep suspends the process for d virtual nanoseconds.
 func (p *Proc) Sleep(d Time) {
-	e := p.env
-	e.After(d, func() { e.schedule(p) })
+	p.env.SchedAfter(d, p.wake)
 	p.park()
 }
 
@@ -83,6 +84,7 @@ func (p *Proc) Yield() { p.Sleep(0) }
 type Signal struct {
 	fired   bool
 	waiters []*Proc
+	w0      [1]*Proc // inline storage: the common single-waiter case allocates nothing
 	cbs     []func()
 }
 
@@ -109,12 +111,12 @@ func (s *Signal) fire(e *Env) {
 	}
 	s.fired = true
 	for _, p := range s.waiters {
-		proc := p
-		e.After(0, func() { e.schedule(proc) })
+		e.SchedAfter(0, p.wake)
 	}
 	s.waiters = nil
+	s.w0[0] = nil
 	for _, cb := range s.cbs {
-		e.After(0, cb)
+		e.SchedAfter(0, cb)
 	}
 	s.cbs = nil
 }
@@ -123,7 +125,7 @@ func (s *Signal) fire(e *Env) {
 // is scheduled immediately.
 func (s *Signal) OnFire(e *Env, fn func()) {
 	if s.fired {
-		e.After(0, fn)
+		e.SchedAfter(0, fn)
 		return
 	}
 	s.cbs = append(s.cbs, fn)
@@ -135,7 +137,12 @@ func (p *Proc) Wait(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	if s.waiters == nil {
+		s.w0[0] = p
+		s.waiters = s.w0[:1]
+	} else {
+		s.waiters = append(s.waiters, p)
+	}
 	p.park()
 }
 
@@ -150,11 +157,12 @@ func (p *Proc) WaitAll(sigs ...*Signal) {
 // processes and event-driven code.
 type Mailbox[T any] struct {
 	items   []T
+	head    int // live items are items[head:]; resets to 0 on drain
 	waiters []*Proc
 }
 
 // Len returns the number of queued items.
-func (m *Mailbox[T]) Len() int { return len(m.items) }
+func (m *Mailbox[T]) Len() int { return len(m.items) - m.head }
 
 // HasWaiters reports whether any process is blocked in Recv. Senders
 // that charge a wakeup cost only when someone is actually asleep (e.g.
@@ -163,36 +171,39 @@ func (m *Mailbox[T]) HasWaiters() bool { return len(m.waiters) > 0 }
 
 // Send enqueues v and wakes one waiting receiver, if any.
 func (m *Mailbox[T]) Send(e *Env, v T) {
+	if m.head > 0 && m.head == len(m.items) {
+		m.items, m.head = m.items[:0], 0
+	}
 	m.items = append(m.items, v)
 	if len(m.waiters) > 0 {
 		p := m.waiters[0]
 		m.waiters = m.waiters[:copy(m.waiters, m.waiters[1:])]
-		e.After(0, func() { e.schedule(p) })
+		e.SchedAfter(0, p.wake)
 	}
 }
 
 // Recv dequeues the oldest item, blocking while the mailbox is empty.
 func (m *Mailbox[T]) Recv(p *Proc) T {
-	for len(m.items) == 0 {
+	for m.Len() == 0 {
 		m.waiters = append(m.waiters, p)
 		p.park()
 	}
-	v := m.items[0]
-	var zero T
-	m.items[0] = zero
-	m.items = m.items[1:]
+	v, _ := m.TryRecv()
 	return v
 }
 
 // TryRecv dequeues the oldest item without blocking; ok reports whether an
 // item was available.
 func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
-	if len(m.items) == 0 {
+	if m.Len() == 0 {
 		return v, false
 	}
-	v = m.items[0]
+	v = m.items[m.head]
 	var zero T
-	m.items[0] = zero
-	m.items = m.items[1:]
+	m.items[m.head] = zero
+	m.head++
+	if m.head == len(m.items) {
+		m.items, m.head = m.items[:0], 0
+	}
 	return v, true
 }

@@ -46,7 +46,28 @@ func (r *Resource) Submit(e *Env, work Time, then func()) Time {
 	r.busy += work
 	r.jobs++
 	if then != nil {
-		e.At(done, then)
+		e.SchedAt(done, then)
+	}
+	return done
+}
+
+// SubmitArg is Submit with the completion callback split into a
+// long-lived func(any) and a per-call argument, so hot paths avoid
+// allocating a capturing closure per work item (see Env.SchedAtArg).
+func (r *Resource) SubmitArg(e *Env, work Time, then func(any), arg any) Time {
+	if work < 0 {
+		panic("sim: negative work duration")
+	}
+	start := e.Now()
+	if r.avail > start {
+		start = r.avail
+	}
+	done := start + work
+	r.avail = done
+	r.busy += work
+	r.jobs++
+	if then != nil {
+		e.SchedAtArg(done, then, arg)
 	}
 	return done
 }
@@ -54,8 +75,7 @@ func (r *Resource) Submit(e *Env, work Time, then func()) Time {
 // Exec queues a work item and blocks the calling process until it
 // completes.
 func (p *Proc) Exec(r *Resource, work Time) {
-	e := p.env
-	r.Submit(e, work, func() { e.schedule(p) })
+	r.Submit(p.env, work, p.wake)
 	p.park()
 }
 
