@@ -17,6 +17,7 @@
 //	medbench -fanin -metrics -obs-out /tmp/fanin.json -bench-out /tmp
 //	medbench -crashloop -health-every-ms 50 -obs-out /tmp/health.json
 //	medbench -serve -serve-clients 1024 -bench-out /tmp
+//	medbench -incast -bench-out /tmp
 //
 // Instrumentation composition matrix:
 //
@@ -78,6 +79,8 @@ func main() {
 	serveOps := flag.Int("serve-ops", 4, "closed-loop writes per session for -serve")
 	serveSize := flag.Int("serve-size", 2048, "bytes per operation for -serve")
 	serveReplicas := flag.Int("serve-replicas", 3, "backend replicas for -serve")
+	incastFlag := flag.Bool("incast", false, "run the incast-collapse bench: 64->1 burst with congestion control off then on, plus the parking-lot adaptive-striping comparison (exits 1 if CC misses the fairness/goodput gates or adaptive striping fails to beat round-robin)")
+	incastSenders := flag.Int("incast-senders", 64, "concurrent senders for -incast")
 	noisyFlag := flag.Bool("noisy", false, "run the noisy-neighbor QoS isolation bench: victim alone, victim+flood with QoS off, victim+flood with QoS on (exits 1 if the QoS-on victim p99 exceeds 3x its isolated baseline)")
 	noisyOps := flag.Int("noisy-ops", 400, "closed-loop victim operations per phase for -noisy")
 	noisyChaos := flag.Bool("noisy-chaos", false, "with -noisy: inject a loss burst mid-run")
@@ -98,7 +101,7 @@ func main() {
 
 	healthEvery := sim.Time(*healthEveryMs) * sim.Millisecond
 	obsOn := *metrics || *spans || *obsOut != "" || healthEvery > 0
-	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag || *serveFlag || *noisyFlag
+	obsComposes := *one != "" || *faninFlag || *crashloop || *chaosFlag || *serveFlag || *noisyFlag || *incastFlag
 	if *doTrace && *one == "" {
 		fmt.Fprintln(os.Stderr, "medbench: -trace only composes with -one; it does not apply to -netstats, -ablate or the figure sweeps")
 		os.Exit(2)
@@ -106,7 +109,7 @@ func main() {
 	if obsOn {
 		switch {
 		case !obsComposes:
-			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans/-health-every-ms/-obs-out only compose with -one, -fanin, -crashloop or -chaos")
+			fmt.Fprintln(os.Stderr, "medbench: -metrics/-spans/-health-every-ms/-obs-out only compose with -one, -fanin, -crashloop, -serve, -noisy, -incast or -chaos")
 			os.Exit(2)
 		case *doTrace:
 			fmt.Fprintln(os.Stderr, "medbench: -trace and -metrics/-spans are mutually exclusive; pick one instrumentation")
@@ -119,8 +122,8 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag || *serveFlag || *noisyFlag) {
-		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop, -serve, -noisy or -chaos")
+	if *benchOut != "" && !(*one != "" || *smallops || *faninFlag || *crashloop || *chaosFlag || *serveFlag || *noisyFlag || *incastFlag) {
+		fmt.Fprintln(os.Stderr, "medbench: -bench-out only composes with -one, -smallops, -fanin, -crashloop, -serve, -noisy, -incast or -chaos")
 		os.Exit(2)
 	}
 
@@ -293,6 +296,32 @@ func main() {
 			for _, r := range results {
 				exportDump(r.Dump)
 			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *incastFlag:
+		senders := *incastSenders
+		dur := 80 * sim.Millisecond
+		if *quick {
+			senders = 32
+			dur = 40 * sim.Millisecond
+		}
+		out, ok, incasts, lots := bench.RenderIncast(senders, 8<<10, dur, obsOpts)
+		fmt.Print(out)
+		doc := bench.NewBenchDoc("incast")
+		for _, r := range incasts {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		for _, r := range lots {
+			doc.Rows = append(doc.Rows, r.BenchRow())
+		}
+		writeBench(stampAllocs(doc))
+		for _, r := range incasts {
+			if r.Obs != nil {
+				exportObs(r.Obs)
+			}
+			exportDump(r.Dump)
 		}
 		if !ok {
 			os.Exit(1)

@@ -213,6 +213,69 @@ func (r NoisyResult) BenchRow() BenchRow {
 	return row
 }
 
+// BenchRow converts one incast phase into a bench-document row.
+func (r IncastResult) BenchRow() BenchRow {
+	mode := "ccoff"
+	if r.CC {
+		mode = "ccon"
+	}
+	row := BenchRow{
+		Name:       fmt.Sprintf("incast-%d-%s", r.Senders, mode),
+		Ops:        r.Ops,
+		OpsPerSec:  r.OpsPerSec,
+		GoodputMBs: r.GoodMB,
+		P50Us:      r.P50Us,
+		P95Us:      r.P95Us,
+		P99Us:      r.P99Us,
+		Extra: map[string]float64{
+			"utilization":    r.Utilization,
+			"jain":           r.Jain,
+			"failed_ops":     float64(r.Failed),
+			"peer_deaths":    float64(r.PeerDeaths),
+			"ecn_marks":      float64(r.EcnMarks),
+			"cwnd_cuts":      float64(r.CwndCuts),
+			"switch_drops":   float64(r.SwitchDrops),
+			"retrans":        float64(r.Retrans),
+			"pending_events": float64(r.PendingEvents),
+			"active_conns":   float64(r.ActiveConns),
+		},
+	}
+	if r.DataOK {
+		row.Extra["data_ok"] = 1
+	} else {
+		row.Extra["data_ok"] = 0
+	}
+	return row
+}
+
+// BenchRow converts one parking-lot phase into a bench-document row.
+func (r ParkingLotResult) BenchRow() BenchRow {
+	mode := "rr"
+	if r.Adaptive {
+		mode = "adaptive"
+	}
+	row := BenchRow{
+		Name:       "parkinglot-" + mode,
+		Ops:        r.Ops,
+		OpsPerSec:  r.OpsPerSec,
+		GoodputMBs: r.GoodMB,
+		P50Us:      r.P50Us,
+		P99Us:      r.P99Us,
+		Extra: map[string]float64{
+			"rail1_share":    r.Rail1Share,
+			"bg_ops":         float64(r.BgOps),
+			"pending_events": float64(r.PendingEvents),
+			"active_conns":   float64(r.ActiveConns),
+		},
+	}
+	if r.DataOK {
+		row.Extra["data_ok"] = 1
+	} else {
+		row.Extra["data_ok"] = 0
+	}
+	return row
+}
+
 // BenchRow converts one crash-loop measurement into a bench-document
 // row. Ops/s is streamed transfers over the run's virtual extent; the
 // latency percentiles are recovery latencies (restore to first

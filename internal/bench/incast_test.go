@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+
+	"multiedge/internal/sim"
+)
+
+// TestIncastFairnessConverges is ISSUE 10's convergence check: 32
+// synchronized senders under the congestion controller must share the
+// single bottleneck with a Jain index of at least 0.9 — AIMD plus ECN
+// marking has to converge to near-equal windows within the measurement
+// window — without a single spurious peer-death or failed operation.
+func TestIncastFairnessConverges(t *testing.T) {
+	r := RunIncast(IncastOptions{Senders: 32, Size: 8 << 10,
+		Duration: 40 * sim.Millisecond, CC: true, Seed: 7, DisableRecorder: true})
+	t.Logf("incast: %s", r)
+	if !r.DataOK {
+		t.Error("data verification failed")
+	}
+	if !r.LeakFree() {
+		t.Errorf("leaked post-close state: %d events, %d conns", r.PendingEvents, r.ActiveConns)
+	}
+	if r.Jain < 0.9 {
+		t.Errorf("Jain fairness %.3f below 0.9 (per-sender ops %d..%d)", r.Jain, r.MinOps, r.MaxOps)
+	}
+	if r.PeerDeaths != 0 || r.Failed != 0 {
+		t.Errorf("%d peer deaths, %d failed ops under congestion control; want none", r.PeerDeaths, r.Failed)
+	}
+	if r.EcnMarks == 0 || r.CwndCuts == 0 {
+		t.Errorf("congestion machinery idle (ecn %d, cuts %d); scenario not exercising CC", r.EcnMarks, r.CwndCuts)
+	}
+	if r.Utilization < 0.7 {
+		t.Errorf("bottleneck utilization %.2f below 0.7", r.Utilization)
+	}
+}
+
+// TestIncastBaselineCollapses pins the phenomenon the controller
+// exists for: the identical storm with CC off must drop frames at the
+// bottleneck and lose goodput relative to the controlled run.
+func TestIncastBaselineCollapses(t *testing.T) {
+	off := RunIncast(IncastOptions{Senders: 32, Size: 8 << 10,
+		Duration: 40 * sim.Millisecond, CC: false, Seed: 7, DisableRecorder: true})
+	on := RunIncast(IncastOptions{Senders: 32, Size: 8 << 10,
+		Duration: 40 * sim.Millisecond, CC: true, Seed: 7, DisableRecorder: true})
+	t.Logf("cc-off: %s", off)
+	t.Logf("cc-on:  %s", on)
+	if off.SwitchDrops == 0 {
+		t.Error("cc-off incast saw no switch drops; bottleneck not overloaded")
+	}
+	if off.GoodMB >= on.GoodMB {
+		t.Errorf("cc-off goodput %.1f MB/s >= cc-on %.1f MB/s; collapse not demonstrated", off.GoodMB, on.GoodMB)
+	}
+	if !off.DataOK || !off.LeakFree() {
+		t.Error("cc-off run corrupted data or leaked (ARQ must still recover everything)")
+	}
+}
+
+// TestParkingLotAdaptiveBeatsRoundRobin: with one rail congested by
+// lossless background queueing, probe-fed congestion-weighted striping
+// must shift the victim's frames to the clean rail and beat the
+// round-robin baseline.
+func TestParkingLotAdaptiveBeatsRoundRobin(t *testing.T) {
+	rr := RunParkingLot(ParkingLotOptions{Ops: 150, Size: 8 << 10, Adaptive: false, Seed: 7})
+	ad := RunParkingLot(ParkingLotOptions{Ops: 150, Size: 8 << 10, Adaptive: true, Seed: 7})
+	t.Logf("round-robin: %s", rr)
+	t.Logf("adaptive:    %s", ad)
+	for _, r := range []ParkingLotResult{rr, ad} {
+		if !r.DataOK || !r.LeakFree() {
+			t.Fatalf("run corrupted data or leaked: %s", r)
+		}
+	}
+	if ad.OpsPerSec <= rr.OpsPerSec {
+		t.Errorf("adaptive %.0f ops/s <= round-robin %.0f ops/s", ad.OpsPerSec, rr.OpsPerSec)
+	}
+	if ad.Rail1Share < 0.6 {
+		t.Errorf("adaptive victim rail-1 share %.2f below 0.6; picker not steering off the congested rail", ad.Rail1Share)
+	}
+	if rr.Rail1Share < 0.4 || rr.Rail1Share > 0.6 {
+		t.Errorf("round-robin victim rail-1 share %.2f not ~0.5; baseline is not striping evenly", rr.Rail1Share)
+	}
+}

@@ -276,6 +276,62 @@ func TestFloodReproducible(t *testing.T) {
 	}
 }
 
+func TestIncastReproducible(t *testing.T) {
+	// An incast storm is pure workload on the simulation clock — the
+	// synchronized senders draw nothing from the Runner's random
+	// stream — so composed with a loss burst under congestion control,
+	// identical seeds must still produce bit-identical results. Eight
+	// senders converge on node 1 through a marking fabric while the
+	// verified victim stream (node 0 → 1) shares the bottleneck.
+	mk := func(seed int64) Options {
+		cfg := cluster.OneLink1G(10)
+		cfg.Core.DeadInterval = 5 * sim.Second
+		cfg.Core.SchedQueue = true
+		cfg.Core.CongestionControl = core.CCConfig{Enable: true}
+		cfg.EcnThreshold = 16
+		return Options{
+			Config:    cfg,
+			Seed:      seed,
+			Transfers: 10,
+			Bytes:     8 << 10,
+			Gap:       10 * sim.Millisecond,
+			Horizon:   30 * sim.Second,
+			Script: func(r *Runner) {
+				r.Incast(sim.Millisecond, 80*sim.Millisecond,
+					[]int{2, 3, 4, 5, 6, 7, 8, 9}, 1, 0, 8<<10)
+				r.LossBurst(20*sim.Millisecond, 25*sim.Millisecond, 1, 0, 0.05)
+			},
+		}
+	}
+	for _, seed := range []int64{seedBase(t), seedBase(t) + 1} {
+		a, avs := Run(mk(seed))
+		b, _ := Run(mk(seed))
+		for _, v := range avs {
+			t.Errorf("seed %d: violation %s", seed, v)
+		}
+		if a.Report != b.Report {
+			t.Fatalf("seed %d: reports differ between identical incast runs:\n%+v\n%+v",
+				seed, a.Report, b.Report)
+		}
+		if a != b {
+			t.Fatalf("seed %d: results differ between identical incast runs:\n%+v\n%+v",
+				seed, a, b)
+		}
+		if a.Completed != 10 || !a.DataOK {
+			t.Errorf("seed %d: victim stream %d/10 complete, dataOK=%v under incast",
+				seed, a.Completed, a.DataOK)
+		}
+		if a.Report.EcnMarks == 0 || a.Report.Proto.CcCwndCuts == 0 {
+			t.Errorf("seed %d: incast left no congestion trace (marks %d, cuts %d)",
+				seed, a.Report.EcnMarks, a.Report.Proto.CcCwndCuts)
+		}
+		if a.Report.Proto.PeerDeadEvents != 0 {
+			t.Errorf("seed %d: %d spurious peer-death verdicts under congestion control",
+				seed, a.Report.Proto.PeerDeadEvents)
+		}
+	}
+}
+
 func TestDuplicateEveryNth(t *testing.T) {
 	// Regression for receive-side dedupe: duplicate every 3rd frame on
 	// node 0's rail for the whole run. Every duplicate data frame must

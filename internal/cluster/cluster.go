@@ -42,6 +42,24 @@ type Config struct {
 	EdgeGroup  int
 	TrunkLinks int
 
+	// Spines widens the tree into a two-tier Clos (leaf-spine) fabric:
+	// instead of one core switch per rail, every edge switch uplinks to
+	// Spines spine switches and spreads destinations across them
+	// deterministically (destination node modulo Spines), so distinct
+	// flows share distinct bottlenecks. Requires EdgeGroup; 0 or 1 keeps
+	// the single-core tree.
+	Spines int
+
+	// EcnThreshold arms ECN-style congestion marking on every switch
+	// output queue (station downlinks and inter-switch trunks): a frame
+	// enqueued while the queue already holds at least this many frames is
+	// marked congestion-experienced (phys.Frame.Ecn), the receiver echoes
+	// marks back in acknowledgements, and senders with
+	// Core.CongestionControl enabled cut their window — throttling before
+	// drop-tail loss. Must not exceed Switch.QueueCap (a threshold past
+	// the drop point could never fire). Zero keeps marking off.
+	EcnThreshold int
+
 	// RailLinks, when non-nil, overrides Link per rail (len must equal
 	// LinksPerNode): heterogeneous installations mix link generations,
 	// e.g. a 1-GbE rail next to a 10-GbE rail. Pair it with
@@ -75,6 +93,20 @@ func (c *Config) Validate() error {
 	}
 	if c.EdgeGroup == 0 && c.TrunkLinks > 0 {
 		return fmt.Errorf("cluster %q: TrunkLinks %d without EdgeGroup", c.Name, c.TrunkLinks)
+	}
+	if c.Spines < 0 {
+		return fmt.Errorf("cluster %q: negative Spines %d", c.Name, c.Spines)
+	}
+	if c.Spines > 1 && c.EdgeGroup == 0 {
+		return fmt.Errorf("cluster %q: Spines %d without EdgeGroup (a spine fabric needs edge switches)",
+			c.Name, c.Spines)
+	}
+	if c.EcnThreshold < 0 {
+		return fmt.Errorf("cluster %q: negative EcnThreshold %d", c.Name, c.EcnThreshold)
+	}
+	if c.EcnThreshold > 0 && c.Switch.QueueCap > 0 && c.EcnThreshold > c.Switch.QueueCap {
+		return fmt.Errorf("cluster %q: EcnThreshold %d beyond switch queue capacity %d (frames drop before they could be marked)",
+			c.Name, c.EcnThreshold, c.Switch.QueueCap)
 	}
 	if c.Core.Window <= 0 || c.Core.AckEvery <= 0 || c.Core.MemBytes <= 0 {
 		return fmt.Errorf("cluster %q: invalid core config (Window %d, AckEvery %d, MemBytes %d)",
@@ -130,6 +162,32 @@ func (c *Config) Validate() error {
 		if q.MaxQueuedBytes < 0 {
 			return fmt.Errorf("cluster %q: QoS class %d: negative byte quota %d", c.Name, i, q.MaxQueuedBytes)
 		}
+	}
+	cc := c.Core.CongestionControl
+	if cc.Enable && !c.Core.SchedQueue {
+		return fmt.Errorf("cluster %q: CongestionControl requires SchedQueue (the window gates the scheduler's transmit slots)", c.Name)
+	}
+	if !cc.Enable && (cc.InitWindow != 0 || cc.MinWindow != 0 || cc.MaxWindow != 0 || cc.Backlog != 0 || cc.ProbeInterval != 0) {
+		return fmt.Errorf("cluster %q: CongestionControl window bounds without Enable do nothing", c.Name)
+	}
+	if cc.InitWindow < 0 || cc.MinWindow < 0 || cc.MaxWindow < 0 || cc.Backlog < 0 {
+		return fmt.Errorf("cluster %q: negative CongestionControl bound (InitWindow %d, MinWindow %d, MaxWindow %d, Backlog %d)",
+			c.Name, cc.InitWindow, cc.MinWindow, cc.MaxWindow, cc.Backlog)
+	}
+	if cc.ProbeInterval < 0 {
+		return fmt.Errorf("cluster %q: negative CongestionControl ProbeInterval %v", c.Name, cc.ProbeInterval)
+	}
+	if cc.MaxWindow > 0 && cc.MinWindow > cc.MaxWindow {
+		return fmt.Errorf("cluster %q: CongestionControl MinWindow %d above MaxWindow %d",
+			c.Name, cc.MinWindow, cc.MaxWindow)
+	}
+	if cc.MaxWindow > 0 && cc.InitWindow > cc.MaxWindow {
+		return fmt.Errorf("cluster %q: CongestionControl InitWindow %d above MaxWindow %d",
+			c.Name, cc.InitWindow, cc.MaxWindow)
+	}
+	if cc.MaxWindow > c.Core.Window {
+		return fmt.Errorf("cluster %q: CongestionControl MaxWindow %d above the ARQ window %d (the extra slots could never be used)",
+			c.Name, cc.MaxWindow, c.Core.Window)
 	}
 	return nil
 }
@@ -272,19 +330,51 @@ func New(cfg Config) *Cluster {
 		}
 		trunkLP := cfg.railLink(l)
 		trunkLP.PsPerByte /= int64(trunks) // a LAG of k links ~ one k-times-faster link
-		coreSw := phys.NewSwitch(env, fmt.Sprintf("core%d", l), sp)
-		cl.Switches = append(cl.Switches, coreSw)
+		spines := cfg.Spines
+		if spines <= 0 {
+			spines = 1
+		}
+		cores := make([]*phys.Switch, spines)
+		for s := range cores {
+			name := fmt.Sprintf("core%d", l)
+			if spines > 1 {
+				name = fmt.Sprintf("spine%d.%d", l, s)
+			}
+			cores[s] = phys.NewSwitch(env, name, sp)
+			cl.Switches = append(cl.Switches, cores[s])
+		}
 		groups := (cfg.Nodes + cfg.EdgeGroup - 1) / cfg.EdgeGroup
 		for g := 0; g < groups; g++ {
 			edge := phys.NewSwitch(env, fmt.Sprintf("edge%d.%d", l, g), sp)
 			cl.Switches = append(cl.Switches, edge)
-			up := edge.ConnectSwitch(coreSw, trunkLP, cfg.Switch.QueueCap)
-			down := coreSw.ConnectSwitch(edge, trunkLP, cfg.Switch.QueueCap)
-			cl.Trunks = append(cl.Trunks, up, down)
-			edge.SetDefaultRoute(up)
+			ups := make([]*phys.OutPort, spines)
+			for s, coreSw := range cores {
+				up := edge.ConnectSwitch(coreSw, trunkLP, cfg.Switch.QueueCap)
+				down := coreSw.ConnectSwitch(edge, trunkLP, cfg.Switch.QueueCap)
+				cl.Trunks = append(cl.Trunks, up, down)
+				if cfg.EcnThreshold > 0 {
+					up.SetEcnThreshold(cfg.EcnThreshold)
+					down.SetEcnThreshold(cfg.EcnThreshold)
+				}
+				ups[s] = up
+				for i := g * cfg.EdgeGroup; i < (g+1)*cfg.EdgeGroup && i < cfg.Nodes; i++ {
+					coreSw.Route(frame.NewAddr(i, l), down)
+				}
+			}
+			edge.SetDefaultRoute(ups[0])
+			if spines > 1 {
+				// Clos spreading: every remote destination rides a fixed
+				// spine (node id modulo Spines), so distinct flows share
+				// distinct bottlenecks while each flow stays FIFO-ordered.
+				for dest := 0; dest < cfg.Nodes; dest++ {
+					if dest >= g*cfg.EdgeGroup && dest < (g+1)*cfg.EdgeGroup {
+						continue // local station: AttachStation routes it directly
+					}
+					edge.Route(frame.NewAddr(dest, l), ups[dest%spines])
+				}
+			}
 			for i := g * cfg.EdgeGroup; i < (g+1)*cfg.EdgeGroup && i < cfg.Nodes; i++ {
 				stationSw[l][i] = edge
-				coreSw.Route(frame.NewAddr(i, l), down)
 			}
 		}
 	}
@@ -295,6 +385,15 @@ func New(cfg Config) *Cluster {
 			nic := phys.NewNIC(env, fmt.Sprintf("n%d/nic%d", i, l), addr, cfg.NIC)
 			up := stationSw[l][i].AttachStation(addr, nic, cfg.railLink(l), cfg.Switch.QueueCap)
 			nic.AttachUplink(up)
+			if cfg.EcnThreshold > 0 {
+				// Station downlinks are the classic incast bottleneck: the
+				// switch queue in front of the one receiver everyone fans
+				// into. Marking happens in the fabric only — NIC transmit
+				// queues stay unmarked, as on real hardware.
+				if p := stationSw[l][i].OutPortFor(addr); p != nil {
+					p.SetEcnThreshold(cfg.EcnThreshold)
+				}
+			}
 			n.NICs = append(n.NICs, nic)
 		}
 		n.EP = core.NewEndpoint(env, i, cfg.Core, cfg.Costs, n.CPUs, n.NICs)
@@ -423,6 +522,7 @@ type NetReport struct {
 	WireFrames    uint64 // frames leaving all NICs
 	WireBytes     uint64
 	SwitchDrops   uint64 // congestion (drop-tail) losses
+	EcnMarks      uint64 // frames ECN-marked by switch queues (Config.EcnThreshold)
 	LinkErrDrops  uint64 // transient-error losses
 	LinkFailDrops uint64 // frames lost to hard link failures (FailLink)
 	Interrupts    uint64 // interrupts delivered to hosts
@@ -448,20 +548,31 @@ func (cl *Cluster) Collect() NetReport {
 			r.LinkFailDrops += nic.OutPort().DropsFailed
 		}
 	}
+	// Routing tables can alias one physical port under many addresses
+	// (core switches route every node of an edge group at the same trunk
+	// downlink; Clos edges route remote nodes at spine uplinks), so the
+	// walk dedupes by port or multi-homed trunks would count once per
+	// routed address.
+	seen := make(map[*phys.OutPort]bool)
+	count := func(p *phys.OutPort) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		r.SwitchDrops += p.DropsFull
+		r.EcnMarks += p.EcnMarks
+		r.LinkErrDrops += p.DropsErr
+		r.LinkFailDrops += p.DropsFailed
+	}
 	for _, sw := range cl.Switches {
 		for i := 0; i < cl.Cfg.Nodes; i++ {
 			for l := 0; l < cl.Cfg.LinksPerNode; l++ {
-				if p := sw.OutPortFor(frame.NewAddr(i, l)); p != nil {
-					r.SwitchDrops += p.DropsFull
-					r.LinkErrDrops += p.DropsErr
-					r.LinkFailDrops += p.DropsFailed
-				}
+				count(sw.OutPortFor(frame.NewAddr(i, l)))
 			}
 		}
 	}
 	for _, tp := range cl.Trunks {
-		r.SwitchDrops += tp.DropsFull
-		r.LinkErrDrops += tp.DropsErr
+		count(tp)
 	}
 	return r
 }
@@ -476,6 +587,7 @@ func (r NetReport) Sub(prev NetReport) NetReport {
 	out.WireFrames -= prev.WireFrames
 	out.WireBytes -= prev.WireBytes
 	out.SwitchDrops -= prev.SwitchDrops
+	out.EcnMarks -= prev.EcnMarks
 	out.LinkErrDrops -= prev.LinkErrDrops
 	out.LinkFailDrops -= prev.LinkFailDrops
 	out.Interrupts -= prev.Interrupts
@@ -531,6 +643,13 @@ func diffStats(a, b core.Stats) core.Stats {
 	a.QosAdmissionWaits -= b.QosAdmissionWaits
 	a.QosRateDeferrals -= b.QosRateDeferrals
 	a.QosSchedFrames -= b.QosSchedFrames
+	a.EcnMarksSeen -= b.EcnMarksSeen
+	a.EcnEchoesSent -= b.EcnEchoesSent
+	a.EcnEchoesRecv -= b.EcnEchoesRecv
+	a.CcCwndCuts -= b.CcCwndCuts
+	a.CcRetxDeferred -= b.CcRetxDeferred
+	a.CcOpsThrottled -= b.CcOpsThrottled
+	a.CcAdmissionWaits -= b.CcAdmissionWaits
 	a.AppProtoTime -= b.AppProtoTime
 	// HoldMax and RtoBackoffMax are peaks, not counters: left as-is.
 	return a

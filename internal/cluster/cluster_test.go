@@ -7,6 +7,7 @@ import (
 
 	"multiedge/internal/core"
 	"multiedge/internal/frame"
+	"multiedge/internal/phys"
 	"multiedge/internal/sim"
 )
 
@@ -150,6 +151,79 @@ func TestValidateQoS(t *testing.T) {
 	}
 }
 
+// TestValidateCongestionControl covers the congestion-control and
+// fabric knobs Validate checks: well-formed configurations pass, and
+// each malformed knob is rejected with an error naming the offending
+// field — zero/negative window bounds, an ECN threshold the queue
+// could never reach, and congestion control without the scheduler it
+// gates.
+func TestValidateCongestionControl(t *testing.T) {
+	ccCfg := func(sched bool, cc core.CCConfig) Config {
+		cfg := OneLink1G(2)
+		cfg.Core.SchedQueue = sched
+		cfg.Core.CongestionControl = cc
+		return cfg
+	}
+	mut := func(cfg Config, f func(*Config)) Config { f(&cfg); return cfg }
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; "" = must validate
+	}{
+		{"cc-off", OneLink1G(2), ""},
+		{"cc-valid-defaults", ccCfg(true, core.CCConfig{Enable: true}), ""},
+		{"cc-valid-full-knobs", ccCfg(true, core.CCConfig{
+			Enable: true, InitWindow: 8, MinWindow: 2, MaxWindow: 64, Backlog: 32}), ""},
+		{"ecn-valid", mut(OneLink1G(2), func(c *Config) { c.EcnThreshold = 8 }), ""},
+		{"clos-valid", mut(TreeOneLink1G(8, 4, 1), func(c *Config) { c.Spines = 2 }), ""},
+		{"cc-needs-schedqueue", ccCfg(false, core.CCConfig{Enable: true}),
+			"CongestionControl requires SchedQueue"},
+		{"cc-knobs-without-enable", ccCfg(true, core.CCConfig{InitWindow: 8}),
+			"without Enable do nothing"},
+		{"cc-negative-bound", ccCfg(true, core.CCConfig{Enable: true, MinWindow: -1}),
+			"negative CongestionControl bound"},
+		{"cc-probe-valid", ccCfg(true, core.CCConfig{Enable: true, ProbeInterval: 2 * sim.Millisecond}), ""},
+		{"cc-probe-without-enable", ccCfg(true, core.CCConfig{ProbeInterval: sim.Millisecond}),
+			"without Enable do nothing"},
+		{"cc-negative-probe-interval", ccCfg(true, core.CCConfig{Enable: true, ProbeInterval: -sim.Millisecond}),
+			"negative CongestionControl ProbeInterval"},
+		{"cc-zero-via-min-above-max", ccCfg(true, core.CCConfig{Enable: true, MinWindow: 8, MaxWindow: 4}),
+			"MinWindow 8 above MaxWindow 4"},
+		{"cc-init-above-max", ccCfg(true, core.CCConfig{Enable: true, InitWindow: 9, MaxWindow: 4}),
+			"InitWindow 9 above MaxWindow 4"},
+		{"cc-max-above-arq-window", ccCfg(true, core.CCConfig{Enable: true, MaxWindow: 256}),
+			"above the ARQ window"},
+		{"negative-spines", mut(OneLink1G(2), func(c *Config) { c.Spines = -1 }),
+			"negative Spines"},
+		{"spines-without-edges", mut(OneLink1G(4), func(c *Config) { c.Spines = 2 }),
+			"without EdgeGroup"},
+		{"negative-ecn-threshold", mut(OneLink1G(2), func(c *Config) { c.EcnThreshold = -4 }),
+			"negative EcnThreshold"},
+		{"ecn-beyond-queue-cap", mut(OneLink1G(2), func(c *Config) {
+			c.Switch.QueueCap = 16
+			c.EcnThreshold = 32
+		}), "beyond switch queue capacity"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestBadConfigPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -188,6 +262,52 @@ func TestTreeTopologyForwarding(t *testing.T) {
 	}
 	if inter <= intra {
 		t.Errorf("inter-group latency %v not above intra-group %v", inter, intra)
+	}
+}
+
+// TestClosTopologyForwarding: with Spines > 1 the tree fabric becomes
+// a two-tier Clos — every edge uplinks to every spine, and remote
+// destinations are spread across spines by destination index. All
+// cross-group pairs must forward, and both spines must carry traffic.
+func TestClosTopologyForwarding(t *testing.T) {
+	cfg := TreeOneLink1G(8, 4, 1)
+	cfg.Spines = 2
+	cl := New(cfg)
+	if len(cl.Switches) != 4 { // 2 spines + 2 edges
+		t.Fatalf("switches = %d, want 4 (2 spines + 2 edges)", len(cl.Switches))
+	}
+	// Destination-index spreading must light up both spines: count
+	// frames each spine forwards toward group 1 (spines are created
+	// before edges, so they are the first two switches).
+	var viaSpine [2]int
+	for i, sw := range cl.Switches[:2] {
+		i := i
+		sw.OutPortFor(frame.NewAddr(4, 0)).SetOnTx(func(*phys.Frame) { viaSpine[i]++ })
+	}
+	conns := cl.FullMesh()
+	const n = 4096
+	done := 0
+	for s := 0; s < 4; s++ { // group 0 → group 1, two dests per spine
+		s := s
+		src := cl.Nodes[s].EP.Alloc(n)
+		dst := cl.Nodes[4+s].EP.Alloc(n)
+		for i := 0; i < n; i++ {
+			cl.Nodes[s].EP.Mem()[src+uint64(i)] = byte(i*7 + 3 + s)
+		}
+		cl.Env.Go("x", func(p *sim.Proc) {
+			conns[s][4+s].MustDo(p, core.Op{Remote: dst, Local: src, Size: n, Kind: frame.OpWrite}).Wait(p)
+			if cl.Nodes[4+s].EP.Mem()[dst] != byte(3+s) {
+				t.Errorf("pair %d: payload corrupt", s)
+			}
+			done++
+		})
+	}
+	cl.Env.RunUntil(10 * sim.Second)
+	if done != 4 {
+		t.Fatalf("%d/4 cross-spine transfers completed", done)
+	}
+	if viaSpine[0] == 0 || viaSpine[1] == 0 {
+		t.Errorf("spine traffic split %v: destination spreading left a spine idle", viaSpine)
 	}
 }
 

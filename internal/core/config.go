@@ -214,6 +214,99 @@ type Config struct {
 	// QoS without it). Empty (the default) disables the layer entirely
 	// and keeps every pinned golden byte-identical.
 	QoS []QoSClass
+	// CongestionControl enables the end-to-end congestion layer: an AIMD
+	// congestion window per connection sits between the scheduler and the
+	// wire (fresh frames AND retransmissions respect it), ECN marks from
+	// congested switch queues (cluster.Config.EcnThreshold) echoed in
+	// acks cut the window before drop-tail fires, retransmission timeouts
+	// halve it, and per-rail RTT estimates weight the striping decision
+	// away from congested rails. When the window is exhausted, admission
+	// backpressure kicks in with the QoS quota contract: Do blocks
+	// honoring Op.Deadline, Post fails fast with ErrThrottled. Requires
+	// SchedQueue (cluster.Config.Validate rejects the combination
+	// without it). Disabled (the zero value) keeps every pinned golden
+	// byte-identical.
+	CongestionControl CCConfig
+}
+
+// CCConfig parameterizes the per-connection AIMD congestion controller.
+// The zero value disables the layer; with Enable set, zero-valued bounds
+// take the documented defaults.
+type CCConfig struct {
+	// Enable turns the congestion controller on.
+	Enable bool
+	// InitWindow is the initial congestion window in frames. 0 defaults
+	// to 16 (slow enough that 64 fan-in senders do not instantly
+	// overflow a commodity switch queue, fast enough to probe up within
+	// a few RTTs).
+	InitWindow int
+	// MinWindow floors the window under repeated cuts so a connection
+	// always keeps probing. 0 defaults to 2.
+	MinWindow int
+	// MaxWindow caps additive increase. 0 defaults to Config.Window
+	// (the flow-control window already bounds the wire; cwnd beyond it
+	// is meaningless).
+	MaxWindow int
+	// Backlog bounds how many operations a connection may queue while
+	// its congestion window is exhausted before admission backpressure
+	// (blocking Do / fail-fast Post) engages. 0 defaults to 64.
+	Backlog int
+	// ProbeInterval is how often a multi-rail connection measures each
+	// rail's own round trip with a probe/echo exchange. Cumulative
+	// acknowledgements cannot split rails — the ack only advances when
+	// the slowest rail's interleaved frames have arrived, so every rail
+	// appears equally slow — and the weighted rail scheduler needs the
+	// true split to steer load off a congested rail. 0 defaults to
+	// 1ms; probes run only while the controller is enabled and the
+	// connection stripes more than one link.
+	ProbeInterval sim.Time
+}
+
+// ccOn reports whether the congestion controller is enabled.
+func (c *Config) ccOn() bool { return c.CongestionControl.Enable }
+
+// ccInit returns the effective initial congestion window.
+func (c *Config) ccInit() int {
+	cw := c.CongestionControl.InitWindow
+	if cw <= 0 {
+		cw = 16
+	}
+	if max := c.ccMax(); cw > max {
+		cw = max
+	}
+	return cw
+}
+
+// ccMin returns the effective congestion-window floor.
+func (c *Config) ccMin() int {
+	if m := c.CongestionControl.MinWindow; m > 0 {
+		return m
+	}
+	return 2
+}
+
+// ccMax returns the effective congestion-window cap.
+func (c *Config) ccMax() int {
+	if m := c.CongestionControl.MaxWindow; m > 0 {
+		return m
+	}
+	return c.Window
+}
+
+// ccProbeIvl returns the effective per-rail probe interval.
+func (c *Config) ccProbeIvl() sim.Time {
+	if p := c.CongestionControl.ProbeInterval; p > 0 {
+		return p
+	}
+	return sim.Millisecond
+}
+
+// ccBacklog returns the op backlog bound admission backpressure uses.
+func (c *Config) ccBacklog() int {
+	if b := c.CongestionControl.Backlog; b > 0 {
+		return b
+	}
+	return 64
 }
 
 // QoSClass configures one traffic class (tenant) of the QoS layer.

@@ -55,6 +55,8 @@ type Conn struct {
 	lastTx       sim.Time // last frame transmitted on this conn
 	hbTimer      timer
 	readGuard    timer // daemon liveness check while read replies are pending
+	railProbe    timer // per-rail RTT probe tick (multi-rail + CC only)
+	railProbeRR  int   // next rail to probe (rails are probed staggered)
 
 	// Transmit side.
 	nextOpID     uint64
@@ -170,6 +172,35 @@ type Conn struct {
 	reconnSpan    *obs.Span  // outage→recovered causal span
 
 	bytesAcked uint64 // payload bytes acknowledged end-to-end, lifetime
+
+	// Per-rail RTT split: the conn-level estimator above blends every
+	// rail into one SRTT, which hides a slow rail behind a fast one.
+	// These track each rail separately — same Jacobson/Karels update,
+	// same Karn filter (never-retransmitted frames only) — purely as
+	// congestion signals and health gauges. The conn-level RTO is still
+	// driven by the blended estimator, so retransmission timing (and the
+	// paper goldens) are unchanged.
+	railSrtt   []sim.Time // per-link smoothed RTT (0 = no sample yet)
+	railRttvar []sim.Time // per-link RTT variance
+	// railNewest/railHave are per-ack-walk scratch picking each rail's
+	// newest non-retransmitted sample (the per-rail counterpart of
+	// handleAck's "newest" Karn tracking); cleared after every walk.
+	// With the congestion controller on, multi-rail conns measure each
+	// rail with dedicated probe/echo frames instead (see armRailProbes):
+	// a cumulative ack only advances once the slowest rail's interleaved
+	// frames arrive, so ack-walk samples collapse every rail onto the
+	// slowest one's round trip.
+	railNewest []sim.Time
+	railHave   []bool
+
+	// Congestion control (Config.CongestionControl). All state is inert
+	// when the feature is off; see cc.go for the AIMD rules.
+	cwnd        int    // congestion window, frames
+	ccAckCredit int    // acked frames banked toward the next additive increase
+	ccRecover   uint32 // no further cut until sndUna reaches this (one cut per flight)
+	ccRetxSent  int    // retransmissions since the last ack progress or RTO
+	ccEcnRx     int    // receiver side: marked frames awaiting an ECN echo
+	railOut     []int  // per-link frames transmitted there and not yet acked
 }
 
 // txOp is an operation on the send side: the kernel-buffer snapshot of
@@ -339,6 +370,14 @@ func newConn(ep *Endpoint, localID uint32, remoteNode, links int) *Conn {
 		linkDeadAt:   make([]sim.Time, links),
 		strictBuf:    newSeqRing[heldFrame](ep.cfg.Window),
 		rxOps:        make(map[uint64]*rxOp),
+		railSrtt:     make([]sim.Time, links),
+		railRttvar:   make([]sim.Time, links),
+		railNewest:   make([]sim.Time, links),
+		railHave:     make([]bool, links),
+	}
+	if ep.cfg.ccOn() {
+		c.cwnd = ep.cfg.ccInit()
+		c.railOut = make([]int, links)
 	}
 	c.onRTOFn = c.onRTO
 	c.ackFn = func() {
@@ -513,7 +552,7 @@ func (c *Conn) Close(p *sim.Proc) {
 func (c *Conn) stopTimers() {
 	for _, t := range []interface{ Stop() bool }{
 		c.ackTimer, c.nackTimer, c.rtoTimer, c.hbTimer,
-		c.probeTimer, c.readGuard, c.connTimer,
+		c.railProbe, c.probeTimer, c.readGuard, c.connTimer,
 		c.reconnTimer, c.reconnGiveUp,
 	} {
 		if t != nil {
@@ -637,9 +676,15 @@ func (c *Conn) sendable() bool {
 		return false
 	}
 	if len(c.retransQ) > 0 {
-		return true
+		// Queued repairs respect the congestion window too: pacing out
+		// more than cwnd retransmissions per round trip would amplify
+		// exactly the congestion that caused the loss. A blocked repair
+		// also holds back fresh data — recovery goes first — and the
+		// budget re-opens on ack progress or the next RTO, so a stalled
+		// recovery can never deadlock (see cc.go).
+		return c.ccRetxOK()
 	}
-	return c.inflight() < c.ep.cfg.Window && c.curOp() != nil
+	return c.inflight() < c.effWindow() && c.curOp() != nil
 }
 
 // ctrlPending reports whether an explicit ACK or NACK is due.
@@ -653,6 +698,13 @@ func (c *Conn) ctrlPending() bool {
 // the QoS scheduler charges against the served class.
 func (c *Conn) sendNextDataFrame() int {
 	for len(c.retransQ) > 0 {
+		if !c.ccRetxOK() {
+			// Over the per-round-trip retransmission budget: leave the
+			// queue intact and emit nothing. sendable() agrees, so the
+			// scheduler parks the conn until an ack or RTO re-opens it.
+			c.ep.Stats.CcRetxDeferred++
+			return 0
+		}
 		seq := c.retransQ[0]
 		// Copy-shift keeps the backing array; the queue is short (loss
 		// bursts), so the shift is cheaper than steady-state re-allocs.
@@ -663,10 +715,17 @@ func (c *Conn) sendNextDataFrame() int {
 		}
 		tf.inQ = false
 		c.transmit(tf, true)
+		if len(c.retransQ) > 0 && !c.ccRetxOK() {
+			// That was the last repair slot this round trip: the rest
+			// of the queue waits until ack progress or the next RTO
+			// re-opens the budget (sendable() parks the conn, so the
+			// exhausted branch above never observes the deferral).
+			c.ep.Stats.CcRetxDeferred++
+		}
 		return len(tf.payload)
 	}
 	op := c.curOp()
-	if op == nil || c.inflight() >= c.ep.cfg.Window {
+	if op == nil || c.inflight() >= c.effWindow() {
 		return 0 // conditions changed since sendable()
 	}
 	pay := uint32(c.maxFramePayload())
@@ -716,6 +775,9 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 	if isRetrans {
 		tf.retx = true
 		c.ep.Stats.Retransmissions++
+		if c.ep.cfg.ccOn() {
+			c.ccRetxSent++
+		}
 		c.ep.trc(c.localID, trace.TxRetransmit, tf.seq, len(tf.payload))
 	} else {
 		if c.inflight() == 1 {
@@ -730,7 +792,15 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 	if tf.op.probe && !isRetrans {
 		li = tf.link // the probe's first copy is forced onto the dead link
 	}
+	prev := tf.link
 	tf.link = c.sendFrameOn(&h, tf.payload, li)
+	if c.railOut != nil {
+		if isRetrans {
+			// The frame's outstanding charge moves with it to its new rail.
+			c.railDec(prev)
+		}
+		c.railOut[tf.link]++
+	}
 	tf.txAt = c.ep.env.Now()
 	op.forEachSpan(func(sp *obs.Span) {
 		if isRetrans {
@@ -759,6 +829,14 @@ func (c *Conn) transmit(tf *txFrame, isRetrans bool) {
 // carrying traffic): round-robin by default (the paper's §2.5), or the
 // least-backlog link under Config.AdaptiveStripe.
 func (c *Conn) pickLink() int {
+	if c.railOut != nil && c.links > 1 {
+		// Congestion-weighted striping (Config.CongestionControl): shift
+		// load away from rails that are slow end-to-end, not just ones
+		// with a deep local queue. See Conn.ccPickLink.
+		if li := c.ccPickLink(); li >= 0 {
+			return li
+		}
+	}
 	if c.ep.cfg.AdaptiveStripe {
 		best := -1
 		var bestBacklog sim.Time
@@ -823,6 +901,17 @@ func (c *Conn) sendFrameOn(h *frame.Header, payload []byte, li int) int {
 	// frames whose incarnation does not match (Config.Reconnect). Zero —
 	// the historical pad bytes — when the feature is off.
 	h.Incarnation = c.incarnation
+	if h.HasAck && c.ccEcnRx > 0 {
+		// Echo the congestion marks seen since the last ack-bearing frame
+		// back to the data sender (the out-of-band wire mark becomes a
+		// CRC-covered header bit). Echoing is unconditional — marks only
+		// exist when a switch threshold is armed — and it is the sender's
+		// *reaction* that Config.CongestionControl gates.
+		h.EcnEcho = true
+		c.ep.Stats.EcnEchoesSent++
+		c.ep.recEvent(c.localID, obs.RecEcnEcho, int64(c.ccEcnRx), 0)
+		c.ccEcnRx = 0
+	}
 	nic := c.ep.nics[li]
 	dst := frame.NewAddr(c.remoteNode, li)
 	// Encode into a pooled wire buffer: the frame owns it from here and
@@ -998,6 +1087,120 @@ func (c *Conn) updateRTT(sample sim.Time) {
 	}
 }
 
+// updateRailRTT applies the per-rail samples gathered during one
+// handleAck walk (railNewest/railHave) and clears the scratch. Same
+// Jacobson/Karels coefficients as updateRTT, but per link and purely
+// observational: nothing here arms a timer or feeds the conn-level RTO,
+// so enabling nothing changes nothing.
+func (c *Conn) updateRailRTT() {
+	now := c.ep.env.Now()
+	for li := 0; li < c.links; li++ {
+		if !c.railHave[li] {
+			continue
+		}
+		sample := now - c.railNewest[li]
+		c.railNewest[li], c.railHave[li] = 0, false
+		c.railApply(li, sample)
+	}
+}
+
+// railApply folds one per-rail RTT sample into rail li's estimator.
+func (c *Conn) railApply(li int, sample sim.Time) {
+	if sample <= 0 || li < 0 || li >= c.links {
+		return
+	}
+	if c.railSrtt[li] == 0 {
+		c.railSrtt[li] = sample
+		c.railRttvar[li] = sample / 2
+		return
+	}
+	d := c.railSrtt[li] - sample
+	if d < 0 {
+		d = -d
+	}
+	c.railRttvar[li] = (3*c.railRttvar[li] + d) / 4
+	c.railSrtt[li] = (7*c.railSrtt[li] + sample) / 8
+}
+
+// railProbing reports whether this connection measures rails with
+// dedicated probe/echo exchanges. While probing, the ack-walk per-rail
+// sampling is suppressed: a cumulative ack is gated on the slowest
+// rail's interleaved frames, so its samples would drag every rail's
+// estimate up to the slowest one and erase the split the weighted rail
+// scheduler steers by.
+func (c *Conn) railProbing() bool {
+	return c.railOut != nil && c.links > 1
+}
+
+// armRailProbes starts the per-rail RTT probe tick on a multi-rail
+// connection with the congestion controller enabled. Each tick probes
+// ONE rail, rotating, at ProbeInterval/links — every rail is measured
+// once per interval, but never two rails in the same instant: probes
+// launched together contend for the shared protocol CPU at both ends,
+// and that serialized per-frame cost swamps and reorders the very path
+// difference the probes exist to measure. A daemon timer: an idle
+// probing connection never keeps a finished simulation alive.
+func (c *Conn) armRailProbes() {
+	if !c.railProbing() || (c.railProbe != nil && c.railProbe.Pending()) {
+		return
+	}
+	tick := c.ep.cfg.ccProbeIvl() / sim.Time(c.links)
+	if tick < 50*sim.Microsecond {
+		tick = 50 * sim.Microsecond
+	}
+	var fire func()
+	fire = func() {
+		if c.closed {
+			return
+		}
+		c.sendRailProbe()
+		c.railProbe = c.ep.afterDaemonTimer(tick, fire)
+	}
+	c.railProbe = c.ep.afterDaemonTimer(tick, fire)
+}
+
+// sendRailProbe emits one probe on the next live rail in rotation. Seq
+// carries the rail index and OpID the transmit timestamp; the peer
+// echoes both back on the arrival rail, so the returning sample
+// measures that rail's own round trip — queueing in the fabric included
+// — independent of the ARQ's cumulative acknowledgement.
+func (c *Conn) sendRailProbe() {
+	now := c.ep.env.Now()
+	for i := 0; i < c.links; i++ {
+		li := (c.railProbeRR + i) % c.links
+		if c.deadLinks > 0 && c.deadLinks < c.links && c.linkDead[li] {
+			continue
+		}
+		c.railProbeRR = (li + 1) % c.links
+		h := frame.Header{Type: frame.TypeRailProbe, ConnID: c.remoteID,
+			Ack: c.rcvNxt, HasAck: true, Seq: uint32(li), OpID: uint64(now)}
+		c.sendFrameOn(&h, nil, li)
+		c.ep.Stats.CcRailProbes++
+		return
+	}
+}
+
+// railRTO is the per-rail SRTT+4*RTTVAR estimate clamped like updateRTT,
+// for health snapshots; 0 while the rail has no sample.
+func (c *Conn) railRTO(li int) sim.Time {
+	if li < 0 || li >= len(c.railSrtt) || c.railSrtt[li] == 0 {
+		return 0
+	}
+	cfg := &c.ep.cfg
+	rto := c.railSrtt[li] + 4*c.railRttvar[li]
+	floor := cfg.RTOMin
+	if floor <= 0 {
+		floor = cfg.RTO
+	}
+	if rto < floor {
+		rto = floor
+	}
+	if cfg.RTOMax > 0 && rto > cfg.RTOMax {
+		rto = cfg.RTOMax
+	}
+	return rto
+}
+
 // currentRTO returns the timeout the next expiry timer should use: the
 // fixed Config.RTO outside adaptive mode, otherwise the Jacobson
 // estimate doubled once per consecutive expiry (exponential backoff)
@@ -1061,6 +1264,10 @@ func (c *Conn) onRTO() {
 			c.remoteNode, c.expiries, now-c.lastProgress, ErrPeerDead), true)
 		return
 	}
+	// Loss is a congestion signal: halve the window (at most once per
+	// flight) and re-open the retransmission budget — RTO expiry is the
+	// clock that paces a blocked recovery forward.
+	c.ccOnRto()
 	if cfg.GoBackN {
 		// Go-back-N baseline: resend everything outstanding.
 		for s := c.sndUna; s != c.sndNxt; s++ {
@@ -1110,16 +1317,27 @@ func (c *Conn) handleAck(ack uint32) {
 			if !tf.retx && (!haveNewest || tf.txAt > newestAt) {
 				newestAt, haveNewest = tf.txAt, true
 			}
+			if !tf.retx && !c.railProbing() && tf.link >= 0 && tf.link < c.links &&
+				(!c.railHave[tf.link] || tf.txAt > c.railNewest[tf.link]) {
+				c.railNewest[tf.link], c.railHave[tf.link] = tf.txAt, true
+			}
+			if c.railOut != nil {
+				c.railDec(tf.link)
+			}
 			op := tf.op
 			c.freeTxFrame(tf)
 			c.checkTxOpDone(op)
 		}
+	}
+	if c.ep.cfg.ccOn() {
+		c.ccOnAck(int(ack - c.sndUna))
 	}
 	c.sndUna = ack
 	c.expiries = 0
 	c.lastProgress = c.ep.env.Now()
 	if haveNewest {
 		c.updateRTT(c.ep.env.Now() - newestAt)
+		c.updateRailRTT()
 	}
 	if c.inflight() > 0 {
 		c.armRTO()
@@ -1410,6 +1628,7 @@ func (c *Conn) startKeepalive() {
 	c.lastHeard = now
 	c.lastTx = now
 	c.lastProgress = now
+	c.armRailProbes()
 	hb := c.ep.cfg.HeartbeatInterval
 	if hb <= 0 {
 		return

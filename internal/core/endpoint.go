@@ -115,6 +115,7 @@ type rxJob struct {
 	h       frame.Header
 	payload []byte
 	link    int
+	ecn     bool // congestion-experienced mark carried out of band by fr
 }
 
 func (ep *Endpoint) getRxJob() *rxJob {
@@ -175,10 +176,10 @@ func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus
 	}
 	ep.dispatchFn = func(x any) {
 		j := x.(*rxJob)
-		fr, src, h, payload, link := j.fr, j.src, j.h, j.payload, j.link
+		fr, src, h, payload, link, ecn := j.fr, j.src, j.h, j.payload, j.link, j.ecn
 		*j = rxJob{}
 		ep.rxJobFree = append(ep.rxJobFree, j)
-		ep.dispatchFrame(src, h, payload, link)
+		ep.dispatchFrame(src, h, payload, link, ecn)
 		fr.Release()
 		ep.threadStep()
 	}
@@ -186,11 +187,11 @@ func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus
 	ep.burstFn = func() {
 		jobs := ep.rxBurst
 		for k, j := range jobs {
-			fr, src, h, payload, link := j.fr, j.src, j.h, j.payload, j.link
+			fr, src, h, payload, link, ecn := j.fr, j.src, j.h, j.payload, j.link, j.ecn
 			*j = rxJob{}
 			ep.rxJobFree = append(ep.rxJobFree, j)
 			jobs[k] = nil
-			ep.dispatchFrame(src, h, payload, link)
+			ep.dispatchFrame(src, h, payload, link, ecn)
 			fr.Release()
 		}
 		// Reset before re-entering the loop: threadStep may start the
@@ -206,6 +207,12 @@ func NewEndpoint(env *sim.Env, node int, cfg Config, costs hostmodel.Costs, cpus
 			panic("core: Config.QoS requires Config.SchedQueue")
 		}
 		ep.initQoS()
+	}
+	if cfg.CongestionControl.Enable && !cfg.SchedQueue {
+		// The congestion window gates transmissions between the scheduler
+		// and the wire; without the scheduler queue there is no per-conn
+		// service loop to park a window-blocked conn on.
+		panic("core: Config.CongestionControl requires Config.SchedQueue")
 	}
 	for _, n := range nics {
 		n.SetHost(ep)
@@ -682,7 +689,7 @@ func (ep *Endpoint) processRxFrame(fr *phys.Frame, link int) {
 		cost = ep.protoCost(ep.costs.AckProc)
 	}
 	j := ep.getRxJob()
-	j.fr, j.src, j.h, j.payload, j.link = fr, src, h, payload, link
+	j.fr, j.src, j.h, j.payload, j.link, j.ecn = fr, src, h, payload, link, fr.Ecn
 	ep.protoRes().SubmitArg(ep.env, cost, ep.dispatchFn, j)
 }
 
@@ -728,7 +735,7 @@ func (ep *Endpoint) pollRxBurst() bool {
 			cost += ep.protoCost(ep.costs.AckProc)
 		}
 		j := ep.getRxJob()
-		j.fr, j.src, j.h, j.payload, j.link = fr, src, h, payload, link
+		j.fr, j.src, j.h, j.payload, j.link, j.ecn = fr, src, h, payload, link, fr.Ecn
 		ep.rxBurst = append(ep.rxBurst, j)
 	}
 	if n == 0 {
@@ -738,8 +745,11 @@ func (ep *Endpoint) pollRxBurst() bool {
 	return true
 }
 
-// dispatchFrame routes a decoded frame to connection handling.
-func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte, link int) {
+// dispatchFrame routes a decoded frame to connection handling. ecn is
+// the frame's out-of-band congestion-experienced mark (phys.Frame.Ecn),
+// observed here because the mark belongs to the wire frame, not to the
+// CRC-covered header the switches cannot rewrite.
+func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte, link int, ecn bool) {
 	switch h.Type {
 	case frame.TypeConnReq:
 		ep.handleConnReq(src, h)
@@ -808,6 +818,16 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		return // late frames for a torn-down (or failed) connection
 	}
 	c.lastHeard = ep.env.Now()
+	if ecn {
+		// A switch queue along the path marked this frame: remember it so
+		// the next ack-bearing frame echoes congestion to the sender.
+		ep.Stats.EcnMarksSeen++
+		c.ccEcnRx++
+	}
+	if h.EcnEcho {
+		// The peer echoed marks our own data picked up in the fabric.
+		c.ccOnEcnEcho()
+	}
 	switch h.Type {
 	case frame.TypeData, frame.TypeReadReq, frame.TypeMultiData:
 		c.handleData(h, payload, link)
@@ -824,6 +844,19 @@ func (ep *Endpoint) dispatchFrame(src frame.Addr, h frame.Header, payload []byte
 		ep.Stats.CtrlRecv++
 		ep.Stats.HeartbeatsRecv++
 		c.handleAck(h.Ack)
+	case frame.TypeRailProbe:
+		// Answer on the arrival NIC: rails are symmetric (NIC i peers
+		// with NIC i through switch i), so the echo retraces the probed
+		// rail and the round trip measures that rail alone.
+		ep.Stats.CtrlRecv++
+		c.handleAck(h.Ack)
+		eh := frame.Header{Type: frame.TypeRailProbeEcho, ConnID: c.remoteID,
+			Ack: c.rcvNxt, HasAck: true, Seq: h.Seq, OpID: h.OpID}
+		c.sendFrameOn(&eh, nil, link)
+	case frame.TypeRailProbeEcho:
+		ep.Stats.CtrlRecv++
+		c.handleAck(h.Ack)
+		c.railApply(int(h.Seq), ep.env.Now()-sim.Time(h.OpID))
 	case frame.TypeReset:
 		// The peer abandoned the connection (its failure detector fired).
 		// Fail our side too — without echoing a Reset back, which would

@@ -77,6 +77,12 @@ func (c *Conn) RcvStateForTest() (rcvNxt, maxSeenPlus1 uint32) {
 	return c.rcvNxt, c.maxSeenPlus1
 }
 
+// CcStateForTest exposes the live congestion window and the
+// retransmissions charged against it since the last ack progress or
+// RTO, so the loss-burst regression can assert the wire invariant
+// retxSent <= cwnd while recovery is in flight.
+func (c *Conn) CcStateForTest() (cwnd, retxSent int) { return c.cwnd, c.ccRetxSent }
+
 // MaxNackForTest and MaxTrackedGapsForTest expose the protocol caps.
 const (
 	MaxNackForTest        = maxNack

@@ -22,9 +22,18 @@ func (c *Conn) Health() obs.ConnHealth {
 		RTOUs:       float64(c.currentRTO()) / 1000,
 		Inflight:    c.inflight(),
 		Window:      c.ep.cfg.Window,
+		Cwnd:        c.cwnd,
 		SQDepth:     len(c.sq),
 		CQDepth:     c.cq.Len(),
 		BytesAcked:  c.bytesAcked,
+	}
+	h.Rails = make([]obs.RailHealth, c.links)
+	for li := 0; li < c.links; li++ {
+		h.Rails[li] = obs.RailHealth{
+			SRTTUs:   float64(c.railSrtt[li]) / 1000,
+			RTTVarUs: float64(c.railRttvar[li]) / 1000,
+			RTOUs:    float64(c.railRTO(li)) / 1000,
+		}
 	}
 	// Journal length: what a reconnect would replay — queued/in-flight
 	// send ops plus pending reads whose requests were already fully

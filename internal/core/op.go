@@ -153,6 +153,15 @@ func (c *Conn) DoOn(p *sim.Proc, cpu *sim.Resource, op Op) (*Handle, error) {
 		return nil, err
 	}
 	ep := c.ep
+	if ep.cfg.ccOn() {
+		// Window backpressure: a spent congestion window with a full
+		// backlog behind it blocks the issuer here, honoring Op.Deadline.
+		// This gate runs before the quota gate because it takes no charge
+		// — an error below cannot leak an admission already granted.
+		if err := c.ccAdmitDo(p, op); err != nil {
+			return nil, err
+		}
+	}
 	if ep.qosOn() {
 		// Blocking admission: over-quota issuers wait here for room —
 		// graceful backpressure — honoring Op.Deadline. The charge taken
@@ -305,6 +314,13 @@ type Completion struct {
 func (c *Conn) Post(op Op) error {
 	if err := c.checkOp(op); err != nil {
 		return err
+	}
+	// The congestion gate runs before the quota gate: it takes no charge,
+	// so a rejection here cannot leak an admission already taken.
+	if c.ep.cfg.ccOn() {
+		if err := c.ccAdmitFast(); err != nil {
+			return err
+		}
 	}
 	if c.ep.qosOn() {
 		cls, ok := c.qosAdmitFast(op)

@@ -257,6 +257,18 @@ func (c *Conn) rebirth(inc uint16) {
 		c.linkDeadAt[i] = 0
 	}
 	c.deadLinks = 0
+	if c.railOut != nil {
+		// Congestion state dies with the epoch: the outstanding-frame
+		// charges refer to frames that will never be acked, and an outage
+		// says nothing about post-recovery capacity — restart from the
+		// initial window like a fresh conn.
+		for i := range c.railOut {
+			c.railOut[i] = 0
+		}
+		c.cwnd = c.ep.cfg.ccInit()
+		c.ccAckCredit, c.ccRetxSent, c.ccEcnRx = 0, 0, 0
+		c.ccRecover = 0
+	}
 
 	// Receive state: fresh epoch. Partially received operations are
 	// deleted — the peer replays them from offset 0 with identical data —

@@ -74,6 +74,18 @@ type Stats struct {
 	QosRateDeferrals  uint64 // scheduler visits deferred by an empty token bucket
 	QosSchedFrames    uint64 // data frames dispatched by the DWFQ scheduler
 
+	// Congestion control (Config.CongestionControl). The ECN counters
+	// tick whenever marks flow (a switch threshold is armed), even with
+	// the window reaction off — echoes are wire facts either way.
+	EcnMarksSeen     uint64 // congestion-marked frames taken off the wire
+	EcnEchoesSent    uint64 // ack-bearing frames that carried the echo flag
+	EcnEchoesRecv    uint64 // echoes received back as congestion signals
+	CcCwndCuts       uint64 // multiplicative decreases (ECN echo or RTO)
+	CcRetxDeferred   uint64 // retransmission rounds deferred by the repair budget
+	CcOpsThrottled   uint64 // fail-fast submissions refused by window backpressure
+	CcAdmissionWaits uint64 // blocking submissions that waited for window room
+	CcRailProbes     uint64 // per-rail RTT probes sent (multi-rail conns)
+
 	// CPU time charged on the application CPU on behalf of the
 	// protocol (operation initiation: syscall, descriptor, copy).
 	AppProtoTime sim.Time
@@ -159,6 +171,14 @@ func (s *Stats) Add(o *Stats) {
 	s.QosAdmissionWaits += o.QosAdmissionWaits
 	s.QosRateDeferrals += o.QosRateDeferrals
 	s.QosSchedFrames += o.QosSchedFrames
+	s.EcnMarksSeen += o.EcnMarksSeen
+	s.EcnEchoesSent += o.EcnEchoesSent
+	s.EcnEchoesRecv += o.EcnEchoesRecv
+	s.CcCwndCuts += o.CcCwndCuts
+	s.CcRetxDeferred += o.CcRetxDeferred
+	s.CcOpsThrottled += o.CcOpsThrottled
+	s.CcAdmissionWaits += o.CcAdmissionWaits
+	s.CcRailProbes += o.CcRailProbes
 	s.AppProtoTime += o.AppProtoTime
 }
 
@@ -217,6 +237,14 @@ func (s *Stats) Collector(node int) obs.Collector {
 		c("core_qos_admission_waits_total", s.QosAdmissionWaits)
 		c("core_qos_rate_deferrals_total", s.QosRateDeferrals)
 		c("core_qos_sched_frames_total", s.QosSchedFrames)
+		c("cc_ecn_marks_seen_total", s.EcnMarksSeen)
+		c("cc_ecn_echoes_sent_total", s.EcnEchoesSent)
+		c("cc_ecn_echoes_recv_total", s.EcnEchoesRecv)
+		c("cc_cwnd_cuts_total", s.CcCwndCuts)
+		c("cc_retx_deferred_total", s.CcRetxDeferred)
+		c("cc_ops_throttled_total", s.CcOpsThrottled)
+		c("cc_admission_waits_total", s.CcAdmissionWaits)
+		c("cc_rail_probes_total", s.CcRailProbes)
 		emit(obs.Sample{Name: "core_hold_max", Labels: []obs.Label{nl},
 			Value: float64(s.HoldMax), Type: obs.TypeGauge})
 		emit(obs.Sample{Name: "core_rto_backoff_max", Labels: []obs.Label{nl},

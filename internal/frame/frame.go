@@ -55,7 +55,10 @@ type Type uint8
 // frames carry several small coalesced write operations as sub-op
 // records (see EncodeMultiPayload); Heartbeat frames keep an idle
 // connection's liveness tracking fed; Reset tells the peer the sender
-// has abandoned the connection (peer-failure surfacing).
+// has abandoned the connection (peer-failure surfacing); RailProbe is a
+// per-rail round-trip measurement the receiver answers with a
+// RailProbeEcho on the arrival rail (Seq carries the rail index, OpID
+// the sender's transmit timestamp, both echoed verbatim).
 const (
 	TypeData Type = 1 + iota
 	TypeReadReq
@@ -68,6 +71,8 @@ const (
 	TypeMultiData
 	TypeHeartbeat
 	TypeReset
+	TypeRailProbe
+	TypeRailProbeEcho
 )
 
 func (t Type) String() string {
@@ -94,6 +99,10 @@ func (t Type) String() string {
 		return "HEARTBEAT"
 	case TypeReset:
 		return "RESET"
+	case TypeRailProbe:
+		return "RAILPROBE"
+	case TypeRailProbeEcho:
+		return "RAILPROBEECHO"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -175,6 +184,14 @@ type Header struct {
 	Ack    uint32 // piggy-backed cumulative acknowledgement (next expected seq)
 	HasAck bool   // whether Ack is meaningful
 
+	// EcnEcho echoes congestion-experienced marks back to the sender:
+	// the receiver sets it on ack-bearing frames after taking delivery of
+	// a frame a congested switch queue marked (phys.Frame.Ecn), and the
+	// sender's congestion controller treats it as an early loss signal.
+	// Never set unless ECN marking is armed in the fabric, so existing
+	// traffic stays byte-identical.
+	EcnEcho bool
+
 	OpID    uint64 // operation sequence number within the connection
 	OpType  OpType
 	OpFlags OpFlags
@@ -208,7 +225,9 @@ type Header struct {
 //	48: payloadLen(2) incarnation(2)
 //	52: crc32(4)
 const (
-	flagHasAck = 0x01
+	flagHasAck  = 0x01
+	flagEcnEcho = 0x02
+	flagsKnown  = flagHasAck | flagEcnEcho
 
 	offType    = 0
 	offFlags   = 1
@@ -239,6 +258,7 @@ var (
 	ErrBadChecksum = errors.New("frame: checksum mismatch")
 	ErrBadLength   = errors.New("frame: payload length field disagrees with buffer")
 	ErrBadType     = errors.New("frame: unknown frame type")
+	ErrBadFlags    = errors.New("frame: unknown header flag bits")
 	ErrOversize    = errors.New("frame: payload exceeds MaxPayload")
 	ErrBadEther    = errors.New("frame: not a MultiEdge frame")
 )
@@ -262,6 +282,9 @@ func Encode(dst, src Addr, h *Header, payload []byte) ([]byte, error) {
 	var fl byte
 	if h.HasAck {
 		fl |= flagHasAck
+	}
+	if h.EcnEcho {
+		fl |= flagEcnEcho
 	}
 	p[offFlags] = fl
 	p[offOpType] = byte(h.OpType)
@@ -329,10 +352,16 @@ func Decode(buf []byte) (dst, src Addr, h Header, payload []byte, err error) {
 		return 0, 0, Header{}, nil, ErrBadChecksum
 	}
 	h.Type = Type(p[offType])
-	if h.Type < TypeData || h.Type > TypeReset {
+	if h.Type < TypeData || h.Type > TypeRailProbeEcho {
 		return 0, 0, Header{}, nil, ErrBadType
 	}
+	if p[offFlags]&^flagsKnown != 0 {
+		// Unknown flag bits would decode, vanish on re-encode, and break
+		// the decode→re-encode bit-exactness property the fuzzer pins.
+		return 0, 0, Header{}, nil, ErrBadFlags
+	}
 	h.HasAck = p[offFlags]&flagHasAck != 0
+	h.EcnEcho = p[offFlags]&flagEcnEcho != 0
 	h.OpType = OpType(p[offOpType])
 	h.OpFlags = OpFlags(p[offOpFlags])
 	h.ConnID = binary.BigEndian.Uint32(p[offConnID:])

@@ -106,6 +106,9 @@ func EncodeInto(buf []byte, dst, src Addr, h *Header, payload []byte) ([]byte, e
 	if h.HasAck {
 		fl |= flagHasAck
 	}
+	if h.EcnEcho {
+		fl |= flagEcnEcho
+	}
 	p[offFlags] = fl
 	p[offOpType] = byte(h.OpType)
 	p[offOpFlags] = byte(h.OpFlags)

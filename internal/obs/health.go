@@ -26,13 +26,27 @@ type ConnHealth struct {
 	RTTVarUs float64
 	RTOUs    float64 // timeout the next expiry timer would arm, µs
 
+	// Rails is the per-rail RTT split of the blended estimator above,
+	// one entry per physical link the conn stripes over.
+	Rails []RailHealth
+
 	Inflight int // unacknowledged frames outstanding
 	Window   int // configured window (Inflight's bound)
+	Cwnd     int // congestion window (0 = congestion control off)
 
 	SQDepth    int    // posted-but-unrung descriptors
 	CQDepth    int    // unpolled completions
 	JournalOps int    // incomplete send-side ops a reconnect would replay
 	BytesAcked uint64 // payload bytes acknowledged end-to-end, lifetime
+}
+
+// RailHealth is one rail's point-in-time RTT estimate: the per-link
+// split of the connection's blended SRTT (all zero before the rail's
+// first Karn-clean sample).
+type RailHealth struct {
+	SRTTUs   float64
+	RTTVarUs float64
+	RTOUs    float64
 }
 
 // EndpointHealth is one endpoint's point-in-time health, including
@@ -57,10 +71,19 @@ func (h EndpointHealth) appendJSON(b *strings.Builder) {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(b, `{"conn":%d,"peer":%d,"state":"%s","incarnation":%d,"reconnects":%d,`+
-			`"srtt_us":%g,"rttvar_us":%g,"rto_us":%g,"inflight":%d,"window":%d,`+
-			`"sq_depth":%d,"cq_depth":%d,"journal_ops":%d,"bytes_acked":%d}`,
+			`"srtt_us":%g,"rttvar_us":%g,"rto_us":%g,"rails":[`,
 			c.Conn, c.Peer, jsonEscape(c.State), c.Incarnation, c.Reconnects,
-			c.SRTTUs, c.RTTVarUs, c.RTOUs, c.Inflight, c.Window,
+			c.SRTTUs, c.RTTVarUs, c.RTOUs)
+		for j, r := range c.Rails {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, `{"srtt_us":%g,"rttvar_us":%g,"rto_us":%g}`,
+				r.SRTTUs, r.RTTVarUs, r.RTOUs)
+		}
+		fmt.Fprintf(b, `],"inflight":%d,"window":%d,"cwnd":%d,`+
+			`"sq_depth":%d,"cq_depth":%d,"journal_ops":%d,"bytes_acked":%d}`,
+			c.Inflight, c.Window, c.Cwnd,
 			c.SQDepth, c.CQDepth, c.JournalOps, c.BytesAcked)
 	}
 	b.WriteString("]}")

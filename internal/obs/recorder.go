@@ -44,6 +44,9 @@ const (
 	RecAbandon                        // conn terminally failed by Conn.Abandon; A = incarnation, B = inflight
 	RecThrottled                      // QoS admission backpressure; A = class, B = 0 fail-fast / 1 blocking wait
 	RecRateDefer                      // QoS class parked on an empty token bucket; A = class, B = refill delay
+	RecCwndCut                        // congestion window halved; A = new cwnd, B = 0 ECN echo / 1 RTO
+	RecEcnEcho                        // ECN marks echoed on an ack-bearing frame; A = marks covered
+	RecCcBlock                        // congestion-window backpressure; A = cwnd, B = 0 fail-fast / 1 blocking wait
 	recKindCount
 )
 
@@ -51,7 +54,8 @@ var recKindNames = [recKindCount]string{
 	"?", "dial", "established", "closed", "failed", "peer-dead",
 	"rto-expiry", "reconnect", "redial", "rebirth", "nack-drop",
 	"doorbell", "sched", "link-dead", "link-restore", "stale-drop",
-	"abandon", "throttled", "rate-defer",
+	"abandon", "throttled", "rate-defer", "cwnd-cut", "ecn-echo",
+	"cc-block",
 }
 
 // String returns the event kind's wire name ("rto-expiry", ...).

@@ -35,6 +35,16 @@ type Frame struct {
 	Dst frame.Addr
 	Src frame.Addr
 
+	// Ecn is the congestion-experienced mark: set by a congested output
+	// queue the frame traverses (see OutPort.SetEcnThreshold) and read by
+	// the receiving protocol layer. It travels out of band — alongside
+	// the buffer rather than inside it — because the protocol header is
+	// CRC-covered end to end; real switches rewrite the ECN field and fix
+	// up checksums, which this models without giving switches write
+	// access to protocol bytes. Zero unless a port marks it, so runs
+	// without ECN thresholds are untouched.
+	Ecn bool
+
 	pb     *frame.Buf // pooled buffer this frame owns (nil if Buf is plain)
 	pooled bool       // the Frame struct itself came from framePool
 }
@@ -51,6 +61,7 @@ var framePool = sync.Pool{New: func() any { return &Frame{} }}
 func NewPooledFrame(pb *frame.Buf, buf []byte, dst, src frame.Addr) *Frame {
 	f := framePool.Get().(*Frame)
 	f.Buf, f.Dst, f.Src = buf, dst, src
+	f.Ecn = false
 	f.pb, f.pooled = pb, true
 	return f
 }
@@ -80,7 +91,9 @@ func (f *Frame) clone() *Frame {
 		buf = make([]byte, n) // oversized foreign frame; keep pb owned for symmetry
 	}
 	copy(buf, f.Buf)
-	return NewPooledFrame(pb, buf, f.Dst, f.Src)
+	c := NewPooledFrame(pb, buf, f.Dst, f.Src)
+	c.Ecn = f.Ecn
+	return c
 }
 
 // Receiver is anything that can accept a frame arriving off a link: a NIC
@@ -141,6 +154,7 @@ type OutPort struct {
 	capacity int
 
 	queued    int      // frames accepted but not yet fully transmitted
+	ecnThresh int      // queue depth at which accepted frames are ECN-marked (0 = off)
 	avail     sim.Time // when the wire becomes free
 	onTx      func(f *Frame)
 	failed    bool // hard link failure: everything transmitted is lost
@@ -154,6 +168,7 @@ type OutPort struct {
 	TxFrames    uint64
 	TxBytes     uint64
 	DropsFull   uint64 // drop-tail losses (congestion)
+	EcnMarks    uint64 // frames ECN-marked by this queue (SetEcnThreshold)
 	DropsErr    uint64 // transient-error losses
 	DropsFailed uint64 // frames lost to a hard link failure
 	Duplicated  uint64 // adversarial duplications injected
@@ -173,6 +188,18 @@ func NewOutPort(env *sim.Env, name string, params LinkParams, peer Receiver, cap
 // SetOnTx registers a callback invoked when a frame finishes leaving the
 // wire (transmit completion, used by NICs to signal the host).
 func (o *OutPort) SetOnTx(fn func(f *Frame)) { o.onTx = fn }
+
+// SetEcnThreshold arms ECN-style congestion marking: every frame
+// accepted while the queue (including the frame itself) holds at least
+// n frames is marked congestion-experienced. Marking happens at
+// enqueue — before drop-tail would fire at Capacity — so a threshold
+// below the capacity lets the transport throttle before the queue
+// overflows. 0 (the default) disables marking, leaving every existing
+// run untouched.
+func (o *OutPort) SetEcnThreshold(n int) { o.ecnThresh = n }
+
+// EcnThreshold returns the armed marking threshold (0 = off).
+func (o *OutPort) EcnThreshold() int { return o.ecnThresh }
 
 // Queued returns the number of frames accepted but not yet transmitted.
 func (o *OutPort) Queued() int { return o.queued }
@@ -258,6 +285,10 @@ func (o *OutPort) Send(f *Frame) bool {
 	o.queued++
 	if o.queued > o.MaxQueue {
 		o.MaxQueue = o.queued
+	}
+	if o.ecnThresh > 0 && o.queued >= o.ecnThresh && !f.Ecn {
+		f.Ecn = true
+		o.EcnMarks++
 	}
 	if o.failed {
 		o.condemned++
